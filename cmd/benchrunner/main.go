@@ -1,0 +1,65 @@
+// Command benchrunner regenerates the paper's evaluation tables and
+// figures (see EXPERIMENTS.md for the mapping).
+//
+// Usage:
+//
+//	benchrunner -exp all -scale 0.25 -repeats 3
+//	benchrunner -exp prefs
+//	benchrunner -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"prefdb/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1.0 ≈ 20k movies)")
+		repeats = flag.Int("repeats", 3, "repetitions per measurement (best-of)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "id\tpaper\ttitle")
+		for _, ex := range bench.Experiments() {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", ex.ID, ex.Paper, ex.Title)
+		}
+		w.Flush()
+		return
+	}
+
+	env := bench.NewEnv(*scale)
+	var toRun []bench.Experiment
+	if *exp == "all" {
+		toRun = bench.Experiments()
+	} else {
+		ex, err := bench.FindExperiment(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		toRun = []bench.Experiment{ex}
+	}
+
+	for _, ex := range toRun {
+		fmt.Printf("=== %s — %s (%s) ===\n", ex.ID, ex.Title, ex.Paper)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		if err := ex.Run(env, w, *repeats); err != nil {
+			fatal(fmt.Errorf("%s: %w", ex.ID, err))
+		}
+		w.Flush()
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrunner:", err)
+	os.Exit(1)
+}

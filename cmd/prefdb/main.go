@@ -1,0 +1,253 @@
+// Command prefdb is an interactive shell / one-shot runner for the
+// preference-aware database engine.
+//
+// Usage:
+//
+//	prefdb [-load imdb|dblp] [-scale 0.1] [-mode gbu] [-explain] [-q "SELECT ..."]
+//
+// Without -q it reads statements from stdin, terminated by ';'.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"prefdb"
+)
+
+func main() {
+	var (
+		load    = flag.String("load", "", "preload a synthetic dataset: imdb or dblp")
+		scale   = flag.Float64("scale", 0.1, "dataset scale factor (1.0 ≈ 20k movies)")
+		seed    = flag.Int64("seed", 42, "dataset generator seed")
+		mode    = flag.String("mode", "gbu", "evaluation strategy: native, bu, gbu, ftp, plugin-naive, plugin-merged")
+		explain = flag.Bool("explain", false, "print the optimized plan and execution stats")
+		query   = flag.String("q", "", "execute one statement and exit")
+		maxRows = flag.Int("rows", 25, "maximum rows to display")
+		open    = flag.String("open", "", "restore a database snapshot before running")
+		save    = flag.String("save", "", "write a database snapshot on exit")
+	)
+	flag.Parse()
+
+	db := prefdb.Open()
+	if *open != "" {
+		f, err := os.Open(*open)
+		if err != nil {
+			fatal(err)
+		}
+		db, err = prefdb.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored snapshot %s\n", *open)
+	}
+	defer func() {
+		if *save == "" {
+			return
+		}
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved snapshot %s\n", *save)
+	}()
+	m, err := prefdb.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	db.Mode = m
+
+	switch strings.ToLower(*load) {
+	case "":
+	case "imdb":
+		sizes, err := prefdb.LoadIMDB(db, prefdb.DatagenConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded synthetic IMDB at scale %g: %d movies\n", *scale, sizes["movies"])
+	case "dblp":
+		sizes, err := prefdb.LoadDBLP(db, prefdb.DatagenConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded synthetic DBLP at scale %g: %d publications\n", *scale, sizes["publications"])
+	default:
+		fatal(fmt.Errorf("unknown dataset %q (imdb, dblp)", *load))
+	}
+
+	if *query != "" {
+		if err := runStatement(db, *query, *explain, *maxRows); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("prefdb shell — terminate statements with ';', \\help for meta-commands, Ctrl-D to exit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt(buf.Len() > 0)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if buf.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), "\\") {
+			if quit := metaCommand(db, strings.TrimSpace(line)); quit {
+				return
+			}
+			prompt(false)
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if stmt != ";" && stmt != "" {
+				if err := runStatement(db, stmt, *explain, *maxRows); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				}
+			}
+		}
+		prompt(buf.Len() > 0)
+	}
+}
+
+// metaCommand handles backslash commands; it reports whether to quit.
+func metaCommand(db *prefdb.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return true
+	case "\\help", "\\h":
+		fmt.Println(`meta-commands:
+  \tables            list tables with row counts
+  \schema <table>    show a table's columns, key and indexes
+  \mode [name]       show or set the evaluation strategy
+  \quit              exit`)
+	case "\\tables":
+		cat := db.Catalog()
+		for _, name := range cat.Tables() {
+			t, err := cat.Table(name)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  %-16s %d rows\n", name, t.Len())
+		}
+	case "\\schema":
+		if len(fields) < 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\schema <table>")
+			break
+		}
+		t, err := db.Catalog().Table(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			break
+		}
+		s := t.Schema()
+		for i, c := range s.Columns {
+			keyMark := ""
+			for _, k := range s.Key {
+				if k == i {
+					keyMark = "  PRIMARY KEY"
+				}
+			}
+			fmt.Printf("  %-16s %s%s\n", c.Name, c.Kind, keyMark)
+		}
+		if cols := t.HashIndexColumns(); len(cols) > 0 {
+			fmt.Printf("  hash indexes: %s\n", strings.Join(cols, ", "))
+		}
+		if cols := t.BTreeIndexColumns(); len(cols) > 0 {
+			fmt.Printf("  btree indexes: %s\n", strings.Join(cols, ", "))
+		}
+	case "\\mode":
+		if len(fields) < 2 {
+			fmt.Println("mode:", db.Mode)
+			break
+		}
+		m, err := prefdb.ParseMode(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			break
+		}
+		db.Mode = m
+		fmt.Println("mode:", db.Mode)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown meta-command %s (try \\help)\n", fields[0])
+	}
+	return false
+}
+
+func prompt(continuation bool) {
+	if continuation {
+		fmt.Print("   ...> ")
+	} else {
+		fmt.Print("prefdb> ")
+	}
+}
+
+func runStatement(db *prefdb.DB, sql string, explain bool, maxRows int) error {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	if res.Message != "" {
+		fmt.Println(res.Message)
+		return nil
+	}
+	printRelation(res, maxRows)
+	if explain {
+		fmt.Println("-- plan:")
+		fmt.Print(indent(res.Plan, "--   "))
+		fmt.Printf("-- stats: %v\n", res.Stats)
+	}
+	return nil
+}
+
+func printRelation(res *prefdb.Result, maxRows int) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(res.Columns(), "\t"))
+	for i, row := range res.Rel.Rows {
+		if i == maxRows {
+			break
+		}
+		cells := make([]string, 0, len(row.Tuple)+2)
+		for _, v := range row.Tuple {
+			cells = append(cells, v.String())
+		}
+		if row.SC.Known {
+			cells = append(cells, fmt.Sprintf("%.3f", row.SC.Score), fmt.Sprintf("%.3f", row.SC.Conf))
+		} else {
+			cells = append(cells, "⊥", "0")
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	w.Flush()
+	if res.Rel.Len() > maxRows {
+		fmt.Printf("... (%d rows total)\n", res.Rel.Len())
+	} else {
+		fmt.Printf("(%d rows)\n", res.Rel.Len())
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefdb:", err)
+	os.Exit(1)
+}

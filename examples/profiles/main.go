@@ -1,0 +1,90 @@
+// Profiles shows the §V application model end-to-end: a preference
+// repository collects each user's preferences (in the PREFERRING clause
+// syntax), plain SQL queries are automatically enriched with the
+// applicable ones, and the whole database round-trips through a snapshot.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"prefdb"
+)
+
+func main() {
+	db := prefdb.Open()
+	if _, err := prefdb.LoadIMDB(db, prefdb.DatagenConfig{Scale: 0.05, Seed: 11}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The application collects preferences per user over time. Alice's are
+	// explicit (confidence 1); the system also learnt two weaker ones from
+	// her viewing history.
+	profiles := prefdb.NewProfileStore()
+	for _, clause := range []string{
+		"genre = 'Comedy' SCORE 1 CONF 1 ON genres AS lovesComedies",
+		"year >= 2005 SCORE recency(year, 2011) CONF 0.6 ON movies AS leansRecent",
+		"votes > 1000 SCORE linear(rating, 0.1) CONF 0.7 ON ratings AS trustsCrowd",
+	} {
+		if err := profiles.AddClause("alice", clause); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := profiles.AddClause("bob", "genre = 'Horror' SCORE 1 CONF 0.9 ON genres AS horrorFan"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user types plain SQL; the engine integrates whatever stored
+	// preferences are applicable to the relations in the query.
+	q := `SELECT title, year FROM movies
+	      JOIN genres ON movies.m_id = genres.m_id
+	      WHERE year >= 1995
+	      TOP 5 BY score`
+
+	for _, user := range []string{"alice", "bob"} {
+		res, err := db.QueryForUser(q, profiles, user, prefdb.ModeGBU)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Top movies for %s:\n", user)
+		for _, row := range res.Rel.Rows {
+			fmt.Printf("  %-14s %v  score=%.3f conf=%.2f\n",
+				row.Tuple[0], row.Tuple[1], row.SC.Score, row.SC.Conf)
+		}
+		fmt.Println()
+	}
+
+	// Note the ratings preference was skipped for this query (RATINGS is
+	// not joined); add the join and it participates.
+	q2 := `SELECT title, rating FROM movies
+	       JOIN genres ON movies.m_id = genres.m_id
+	       JOIN ratings ON movies.m_id = ratings.m_id
+	       TOP 3 BY score`
+	res, err := db.QueryForUser(q2, profiles, "alice", prefdb.ModeGBU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("With RATINGS joined, alice's crowd preference kicks in:")
+	for _, row := range res.Rel.Rows {
+		fmt.Printf("  %-14s rating=%v  score=%.3f conf=%.2f\n",
+			row.Tuple[0], row.Tuple[1], row.SC.Score, row.SC.Conf)
+	}
+
+	// Snapshot the database and query the restored copy.
+	var buf bytes.Buffer
+	if err := prefdb.Save(db, &buf); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	restored, err := prefdb.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := restored.QueryForUser(q, profiles, "alice", prefdb.ModeGBU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSnapshot round-trip: %d bytes, restored top result %q\n",
+		size, res2.Rel.Rows[0].Tuple[0])
+}

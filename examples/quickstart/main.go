@@ -1,0 +1,60 @@
+// Quickstart: create a table, add preferences to a query, and inspect the
+// resulting scores and confidences.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefdb"
+)
+
+func main() {
+	db := prefdb.Open()
+
+	must(db, `CREATE TABLE movies (
+		m_id INT, title TEXT, year INT, duration INT,
+		PRIMARY KEY (m_id)
+	)`)
+	must(db, `INSERT INTO movies VALUES
+		(1, 'Gran Torino', 2008, 116),
+		(2, 'Wall Street', 1987, 126),
+		(3, 'Million Dollar Baby', 2004, 132),
+		(4, 'Match Point', 2005, 124),
+		(5, 'Scoop', 2006, 96)`)
+
+	// A preferential query: preferences are soft — they score tuples, they
+	// never filter them. Filtering (TOP k) happens afterwards, on scores.
+	res, err := db.Exec(`
+		SELECT title, year FROM movies
+		PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 1.0 ON movies,
+		           duration <= 120 SCORE around(duration, 120) CONF 0.5 ON movies
+		USING sum
+		RANK BY score`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("All movies ranked by preference score:")
+	fmt.Println(res.Rel)
+
+	// The same query with a top-k filter.
+	top, err := db.Exec(`
+		SELECT title FROM movies
+		PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 1.0 ON movies,
+		           duration <= 120 SCORE around(duration, 120) CONF 0.5 ON movies
+		TOP 2 BY score`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top 2:")
+	for _, row := range top.Rel.Rows {
+		fmt.Printf("  %-22s score=%.3f conf=%.2f\n", row.Tuple[0], row.SC.Score, row.SC.Conf)
+	}
+}
+
+func must(db *prefdb.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

@@ -1,0 +1,3 @@
+module prefdb
+
+go 1.22

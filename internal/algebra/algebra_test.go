@@ -1,0 +1,392 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"prefdb/internal/catalog"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	movies := schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "title", Kind: types.KindString},
+		schema.Column{Name: "year", Kind: types.KindInt},
+		schema.Column{Name: "d_id", Kind: types.KindInt},
+	).WithKey("m_id")
+	directors := schema.New(
+		schema.Column{Name: "d_id", Kind: types.KindInt},
+		schema.Column{Name: "director", Kind: types.KindString},
+	).WithKey("d_id")
+	genres := schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "genre", Kind: types.KindString},
+	).WithKey("m_id", "genre")
+	if _, err := c.CreateTable("movies", movies); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("directors", directors); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("genres", genres); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func resolver(t *testing.T) *Resolver {
+	return &Resolver{Catalog: testCatalog(t), Funcs: pref.Functions()}
+}
+
+func samplePlan() Node {
+	return &TopK{K: 10, By: ByScore, Input: &Project{
+		Cols: []expr.Col{expr.ColRef("movies.title")},
+		Input: &Prefer{
+			P: pref.Constant("p1", "genres", expr.Eq("genre", types.Str("Comedy")), 1, 0.8),
+			Input: &Join{
+				Cond: expr.Bin{Op: expr.OpEq, L: expr.ColRef("movies.m_id"), R: expr.ColRef("genres.m_id")},
+				Left: &Select{
+					Cond:  expr.Eq("year", types.Int(2011)),
+					Input: &Scan{Table: "movies"},
+				},
+				Right: &Scan{Table: "genres"},
+			},
+		},
+	}}
+}
+
+func TestWalkAndCountOps(t *testing.T) {
+	p := samplePlan()
+	var order []string
+	Walk(p, func(n Node) bool {
+		order = append(order, n.String())
+		return true
+	})
+	if len(order) != 7 {
+		t.Fatalf("Walk visited %d nodes: %v", len(order), order)
+	}
+	if !strings.HasPrefix(order[0], "Top(") {
+		t.Errorf("preorder broken: %v", order[0])
+	}
+	ops := CountOps(p)
+	want := map[string]int{"scan": 2, "select": 1, "project": 1, "join": 1, "prefer": 1, "filter": 1}
+	for k, v := range want {
+		if ops[k] != v {
+			t.Errorf("CountOps[%s] = %d, want %d", k, ops[k], v)
+		}
+	}
+	// Early stop: skip subtrees.
+	count := 0
+	Walk(p, func(n Node) bool {
+		count++
+		_, isJoin := n.(*Join)
+		return !isJoin
+	})
+	if count != 4 {
+		t.Errorf("skip-subtree Walk visited %d", count)
+	}
+}
+
+func TestTransformRebuilds(t *testing.T) {
+	p := samplePlan()
+	// Replace the TopK's K.
+	q := Transform(p, func(n Node) Node {
+		if tk, ok := n.(*TopK); ok {
+			return &TopK{K: 5, By: tk.By, Input: tk.Input}
+		}
+		return n
+	})
+	if q.(*TopK).K != 5 {
+		t.Error("transform did not apply")
+	}
+	if p.(*TopK).K != 10 {
+		t.Error("transform mutated original")
+	}
+	// Identity transform returns a plan equal to the original.
+	r := Transform(p, func(n Node) Node { return n })
+	if !Equal(p, r) {
+		t.Error("identity transform changed plan")
+	}
+}
+
+func TestBaseRelations(t *testing.T) {
+	p := samplePlan()
+	rels := BaseRelations(p)
+	if !rels["movies"] || !rels["genres"] || len(rels) != 2 {
+		t.Errorf("BaseRelations = %v", rels)
+	}
+	aliased := &Scan{Table: "movies", Alias: "M"}
+	if !BaseRelations(aliased)["m"] {
+		t.Error("alias should be lower-cased")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p := samplePlan()
+	f := Format(p)
+	lines := strings.Split(strings.TrimRight(f, "\n"), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("Format lines = %d:\n%s", len(lines), f)
+	}
+	if !strings.HasPrefix(lines[1], "  Project") {
+		t.Errorf("indentation broken: %q", lines[1])
+	}
+	if !Equal(p, samplePlan()) {
+		t.Error("identical plans should be Equal")
+	}
+	if Equal(p, &Scan{Table: "movies"}) {
+		t.Error("different plans reported Equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		n    Node
+		want string
+	}{
+		{&Scan{Table: "movies"}, "Scan(movies)"},
+		{&Scan{Table: "movies", Alias: "m"}, "Scan(movies AS m)"},
+		{&Select{Cond: expr.Eq("x", types.Int(1))}, "Select((x = 1))"},
+		{&Join{}, "Join(cross)"},
+		{&Set{Op: SetUnion}, "Union()"},
+		{&Set{Op: SetIntersect}, "Intersect()"},
+		{&Set{Op: SetDiff}, "Diff()"},
+		{&TopK{K: 3, By: ByConf}, "Top(3, conf)"},
+		{&Threshold{By: ByConf, Op: expr.OpGe, Value: 1.2}, "Threshold(conf >= 1.2)"},
+		{&Skyline{}, "Skyline()"},
+		{&Rank{By: ByScore}, "Rank(score)"},
+	}
+	for _, c := range cases {
+		if got := c.n.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestWithChildrenArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected arity panic")
+		}
+	}()
+	(&Select{}).WithChildren([]Node{&Scan{}, &Scan{}})
+}
+
+func TestResolveScanSelectProject(t *testing.T) {
+	r := resolver(t)
+	s, err := r.Resolve(&Scan{Table: "movies"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 || s.Columns[0].Table != "movies" {
+		t.Errorf("scan schema = %v", s)
+	}
+	// Alias renames qualifiers.
+	s2, err := r.Resolve(&Scan{Table: "movies", Alias: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Columns[0].Table != "m" {
+		t.Errorf("aliased qualifier = %q", s2.Columns[0].Table)
+	}
+	// Select validates its condition.
+	if _, err := r.Resolve(&Select{Cond: expr.Eq("nope", types.Int(1)), Input: &Scan{Table: "movies"}}); err == nil {
+		t.Error("bad select condition should fail resolution")
+	}
+	// Project narrows the schema.
+	p, err := r.Resolve(&Project{Cols: []expr.Col{expr.ColRef("title"), expr.ColRef("m_id")}, Input: &Scan{Table: "movies"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Columns[0].Name != "title" {
+		t.Errorf("projected schema = %v", p)
+	}
+	if _, err := r.Resolve(&Project{Cols: []expr.Col{expr.ColRef("ghost")}, Input: &Scan{Table: "movies"}}); err == nil {
+		t.Error("projection of unknown column should fail")
+	}
+}
+
+func TestResolveJoinAndSet(t *testing.T) {
+	r := resolver(t)
+	j := &Join{
+		Cond:  expr.Bin{Op: expr.OpEq, L: expr.ColRef("movies.d_id"), R: expr.ColRef("directors.d_id")},
+		Left:  &Scan{Table: "movies"},
+		Right: &Scan{Table: "directors"},
+	}
+	s, err := r.Resolve(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Errorf("join schema len = %d", s.Len())
+	}
+	// Composite key survives.
+	if len(s.Key) != 2 {
+		t.Errorf("join key = %v", s.Key)
+	}
+	// Set ops require union compatibility.
+	u := &Set{Op: SetUnion, Left: &Scan{Table: "movies"}, Right: &Scan{Table: "movies", Alias: "m2"}}
+	if _, err := r.Resolve(u); err != nil {
+		t.Errorf("compatible union failed: %v", err)
+	}
+	bad := &Set{Op: SetUnion, Left: &Scan{Table: "movies"}, Right: &Scan{Table: "directors"}}
+	if _, err := r.Resolve(bad); err == nil {
+		t.Error("incompatible union should fail")
+	}
+}
+
+func TestResolvePreferAndFilters(t *testing.T) {
+	r := resolver(t)
+	ok := &Prefer{
+		P:     pref.Constant("p", "genres", expr.Eq("genre", types.Str("Comedy")), 1, 0.8),
+		Input: &Scan{Table: "genres"},
+	}
+	if _, err := r.Resolve(ok); err != nil {
+		t.Fatal(err)
+	}
+	// Conditional part referencing a column absent from the input fails.
+	bad := &Prefer{
+		P:     pref.Constant("p", "genres", expr.Eq("director", types.Str("x")), 1, 0.8),
+		Input: &Scan{Table: "genres"},
+	}
+	if _, err := r.Resolve(bad); err == nil {
+		t.Error("prefer with unresolvable condition should fail")
+	}
+	// Scoring part errors surface too.
+	badScore := &Prefer{
+		P: pref.Preference{Name: "p", On: []string{"genres"}, Cond: expr.TrueLiteral(),
+			Score: expr.Call{Name: "nosuch"}, Conf: 0.5},
+		Input: &Scan{Table: "genres"},
+	}
+	if _, err := r.Resolve(badScore); err == nil {
+		t.Error("prefer with unknown scoring function should fail")
+	}
+	// Invalid preference (conf out of range).
+	badConf := &Prefer{
+		P: pref.Preference{Name: "p", On: []string{"genres"}, Cond: expr.TrueLiteral(),
+			Score: expr.TrueLiteral(), Conf: 2},
+		Input: &Scan{Table: "genres"},
+	}
+	if _, err := r.Resolve(badConf); err == nil {
+		t.Error("invalid preference should fail")
+	}
+	// Filters.
+	if _, err := r.Resolve(&TopK{K: 0, Input: &Scan{Table: "movies"}}); err == nil {
+		t.Error("Top(0) should fail")
+	}
+	if _, err := r.Resolve(&Threshold{Op: expr.OpAdd, Input: &Scan{Table: "movies"}}); err == nil {
+		t.Error("non-comparison threshold should fail")
+	}
+	if _, err := r.Resolve(&Skyline{Input: &Scan{Table: "movies"}}); err != nil {
+		t.Errorf("skyline resolve: %v", err)
+	}
+	if _, err := r.Resolve(&Rank{Input: &Scan{Table: "movies"}}); err != nil {
+		t.Errorf("rank resolve: %v", err)
+	}
+	if _, err := r.Resolve(nil); err == nil {
+		t.Error("nil plan should fail")
+	}
+}
+
+func TestResolveWholePlan(t *testing.T) {
+	r := resolver(t)
+	s, err := r.Resolve(samplePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Columns[0].Name != "title" {
+		t.Errorf("final schema = %v", s)
+	}
+	if _, err := r.Resolve(&Scan{Table: "nope"}); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestValuesNode(t *testing.T) {
+	rel := prel.New(schema.New(schema.Column{Name: "x", Kind: types.KindInt}))
+	rel.Append(prel.Row{Tuple: []types.Value{types.Int(1)}})
+	v := &Values{Rel: rel, Label: "tmp1"}
+	if len(v.Children()) != 0 {
+		t.Error("Values should be a leaf")
+	}
+	if got := v.String(); got != "Values(tmp1, 1 rows)" {
+		t.Errorf("String = %q", got)
+	}
+	unnamed := &Values{Rel: rel}
+	if got := unnamed.String(); got != "Values(tmp, 1 rows)" {
+		t.Errorf("unnamed String = %q", got)
+	}
+	cp := v.WithChildren(nil)
+	if cp.(*Values).Rel != rel {
+		t.Error("WithChildren should preserve the relation")
+	}
+	// Resolver yields the carried schema.
+	r := resolver(t)
+	s, err := r.Resolve(v)
+	if err != nil || s.Len() != 1 {
+		t.Errorf("resolve values = %v, %v", s, err)
+	}
+}
+
+func TestCountOpsFilters(t *testing.T) {
+	base := &Scan{Table: "movies"}
+	plans := []Node{
+		&TopK{K: 1, Input: base},
+		&Threshold{Op: expr.OpGe, Input: base},
+		&Skyline{Input: base},
+		&Rank{Input: base},
+	}
+	for _, p := range plans {
+		if CountOps(p)["filter"] != 1 {
+			t.Errorf("%s not counted as filter", p)
+		}
+	}
+	set := &Set{Op: SetUnion, Left: base, Right: &Scan{Table: "movies", Alias: "m2"}}
+	if CountOps(set)["set"] != 1 {
+		t.Error("set op not counted")
+	}
+}
+
+func TestWithChildrenRebuilds(t *testing.T) {
+	a := &Scan{Table: "movies"}
+	b := &Scan{Table: "genres"}
+	nodes := []Node{
+		&Select{Cond: expr.TrueLiteral(), Input: a},
+		&Project{Cols: []expr.Col{expr.ColRef("m_id")}, Input: a},
+		&Prefer{P: pref.Constant("p", "movies", expr.TrueLiteral(), 1, 0.5), Input: a},
+		&TopK{K: 2, Input: a},
+		&Threshold{Op: expr.OpGe, Input: a},
+		&Skyline{Input: a},
+		&Rank{Input: a},
+	}
+	for _, n := range nodes {
+		out := n.WithChildren([]Node{b})
+		if out.Children()[0] != b {
+			t.Errorf("%T WithChildren did not swap input", n)
+		}
+		if n.Children()[0] != a {
+			t.Errorf("%T WithChildren mutated original", n)
+		}
+	}
+	j := &Join{Left: a, Right: b}
+	j2 := j.WithChildren([]Node{b, a})
+	if j2.Children()[0] != b || j2.Children()[1] != a {
+		t.Error("join WithChildren broken")
+	}
+	s := &Set{Op: SetDiff, Left: a, Right: b}
+	s2 := s.WithChildren([]Node{b, a})
+	if s2.(*Set).Op != SetDiff || s2.Children()[0] != b {
+		t.Error("set WithChildren broken")
+	}
+	sc := a.WithChildren(nil)
+	if sc.(*Scan).Table != "movies" {
+		t.Error("scan WithChildren broken")
+	}
+}

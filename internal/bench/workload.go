@@ -1,0 +1,107 @@
+// Package bench contains the experiment harness that regenerates the
+// paper's evaluation: the IMDB-1..3 / DBLP-1..3 query workload (Table II),
+// and one experiment per reported table or figure (see EXPERIMENTS.md for
+// the experiment ↔ paper mapping and the expected result shapes).
+package bench
+
+import "fmt"
+
+// Query is one workload query with the properties reported in Table II.
+type Query struct {
+	// Name is the workload identifier (IMDB-1 ... DBLP-3).
+	Name string
+	// SQL is the preferential query text.
+	SQL string
+	// R is the number of joined relations |R|.
+	R int
+	// Lambda is the number of preferences λ.
+	Lambda int
+	// P and NP count the relations with and without preferences.
+	P, NP int
+}
+
+// IMDBQueries returns the movie-database workload.
+func IMDBQueries() []Query {
+	return []Query{
+		{
+			Name: "IMDB-1", R: 2, Lambda: 2, P: 2, NP: 0,
+			SQL: `SELECT title, year FROM movies
+			      JOIN genres ON movies.m_id = genres.m_id
+			      WHERE year >= 1990
+			      PREFERRING genre = 'Comedy' SCORE 1 CONF 0.9 ON genres,
+			                 year >= 2000 SCORE recency(year, 2011) CONF 0.8 ON movies
+			      USING sum TOP 10 BY score`,
+		},
+		{
+			Name: "IMDB-2", R: 4, Lambda: 3, P: 3, NP: 1,
+			SQL: `SELECT title, director FROM movies
+			      JOIN directors ON movies.d_id = directors.d_id
+			      JOIN genres ON movies.m_id = genres.m_id
+			      JOIN ratings ON movies.m_id = ratings.m_id
+			      WHERE year >= 1980
+			      PREFERRING genre = 'Drama' SCORE 0.9 CONF 0.8 ON genres,
+			                 votes > 500 SCORE linear(rating, 0.1) CONF 0.8 ON ratings,
+			                 duration <= 120 SCORE around(duration, 120) CONF 0.5 ON movies
+			      USING sum TOP 20 BY score`,
+		},
+		{
+			Name: "IMDB-3", R: 4, Lambda: 2, P: 2, NP: 2,
+			SQL: `SELECT title, actor FROM movies
+			      JOIN cast ON movies.m_id = cast.m_id
+			      JOIN actors ON cast.a_id = actors.a_id
+			      JOIN genres ON movies.m_id = genres.m_id
+			      WHERE year >= 2000
+			      PREFERRING genre = 'Action' SCORE recency(year, 2011) CONF 0.8 ON (movies, genres),
+			                 genre = 'Drama' SCORE 1 CONF 0.6 ON genres
+			      USING sum THRESHOLD conf >= 0.6`,
+		},
+	}
+}
+
+// DBLPQueries returns the bibliography workload.
+func DBLPQueries() []Query {
+	return []Query{
+		{
+			Name: "DBLP-1", R: 2, Lambda: 2, P: 1, NP: 1,
+			SQL: `SELECT title, name FROM publications
+			      JOIN conferences ON publications.p_id = conferences.p_id
+			      PREFERRING name = 'ICDE' SCORE 1 CONF 0.9 ON conferences,
+			                 year >= 2000 SCORE recency(year, 2011) CONF 0.8 ON conferences
+			      USING sum TOP 10 BY score`,
+		},
+		{
+			Name: "DBLP-2", R: 3, Lambda: 2, P: 2, NP: 1,
+			SQL: `SELECT title, name FROM publications
+			      JOIN pub_authors ON publications.p_id = pub_authors.p_id
+			      JOIN authors ON pub_authors.a_id = authors.a_id
+			      PREFERRING pub_type = 'article' SCORE 0.8 CONF 0.9 ON publications,
+			                 pub_authors.a_id < 100 SCORE 1 CONF 0.7 ON pub_authors
+			      USING sum TOP 25 BY score`,
+		},
+		{
+			Name: "DBLP-3", R: 3, Lambda: 2, P: 1, NP: 2,
+			SQL: `SELECT title FROM publications
+			      JOIN citations ON publications.p_id = citations.p2_id
+			      JOIN conferences ON publications.p_id = conferences.p_id
+			      WHERE year >= 1990
+			      PREFERRING name IN ('SIGMOD', 'VLDB', 'ICDE') SCORE 1 CONF 0.8 ON conferences,
+			                 year >= 2005 SCORE recency(year, 2011) CONF 0.9 ON conferences
+			      USING max SKYLINE`,
+		},
+	}
+}
+
+// AllQueries returns the full six-query workload.
+func AllQueries() []Query {
+	return append(IMDBQueries(), DBLPQueries()...)
+}
+
+// FindQuery resolves a workload query by name.
+func FindQuery(name string) (Query, error) {
+	for _, q := range AllQueries() {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("bench: unknown workload query %q", name)
+}

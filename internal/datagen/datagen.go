@@ -1,0 +1,464 @@
+// Package datagen generates the synthetic IMDB- and DBLP-shaped datasets
+// used to reproduce the paper's experiments. The real datasets (an IMDB
+// snapshot from March 2010 and a DBLP XML dump from June 2011) are not
+// redistributable; the generators reproduce the paper's schemas (Fig. 1 and
+// Fig. 8), the relative table sizes of Table I, and skewed value
+// distributions (Zipfian genres, ratings, author productivity) so that
+// selectivity-driven effects behave like the originals. Generation is
+// deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"prefdb/internal/catalog"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// Config parameterizes dataset generation.
+type Config struct {
+	// Scale multiplies every table's reference cardinality; 1.0 yields a
+	// laptop-sized database with the paper's Table I ratios.
+	Scale float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultConfig is scale 1.0 with a fixed seed.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 42} }
+
+// Sizes reports the generated cardinality per table.
+type Sizes map[string]int
+
+// String renders the sizes sorted by table name (Table I style).
+func (s Sizes) String() string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		out += fmt.Sprintf("%-12s %d\n", n, s[n])
+	}
+	return out
+}
+
+// Reference cardinalities at scale 1.0. The ratios between tables follow
+// the paper's Table I (e.g. CAST ≈ 8.4× MOVIES, PUB_AUTHORS ≈ 2× PUBLICATIONS).
+const (
+	imdbMovies    = 20000
+	imdbDirectors = 2400  // ≈ 0.12 × movies
+	imdbGenres    = 12700 // ≈ 0.63 × movies (movies with ≥1 genre row)
+	imdbActors    = 12000
+	imdbCast      = 167000 // ≈ 8.35 × movies
+	imdbRatings   = 4000   // ≈ 0.20 × movies
+	imdbAwards    = 800
+
+	dblpPubs        = 20000
+	dblpAuthors     = 7350  // ≈ 0.37 × publications
+	dblpPubAuthors  = 40600 // ≈ 2.03 × publications
+	dblpConferences = 7200  // ≈ 0.36 × publications
+	dblpJournals    = 5200  // ≈ 0.26 × publications
+	dblpCitations   = 60000
+)
+
+var genreNames = []string{
+	"Drama", "Comedy", "Documentary", "Action", "Thriller", "Romance",
+	"Horror", "Crime", "Adventure", "Sci-Fi", "Animation", "Family",
+	"Mystery", "Fantasy", "Biography", "War", "History", "Music",
+	"Western", "Sport", "Musical", "Film-Noir",
+}
+
+var awardNames = []string{"Oscar", "Golden Globe", "BAFTA", "Palme d'Or", "Golden Lion"}
+
+var confVenues = []string{"ICDE", "SIGMOD", "VLDB", "EDBT", "CIKM", "KDD", "WWW", "ICDM", "SODA", "PODS"}
+var journalVenues = []string{"TODS", "VLDBJ", "TKDE", "Inf. Syst.", "DKE", "JACM", "CACM", "TOIS"}
+var locations = []string{"Washington", "Istanbul", "Athens", "San Jose", "Seoul", "Shanghai", "Paris", "Tokyo"}
+
+func scaled(base int, scale float64) int {
+	n := int(math.Round(float64(base) * scale))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// LoadIMDB creates and populates the movie schema of Fig. 1 plus secondary
+// indexes used by the optimizer's access paths.
+func LoadIMDB(cat *catalog.Catalog, cfg Config) (Sizes, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %v", cfg.Scale)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	sizes := Sizes{}
+
+	nMovies := scaled(imdbMovies, cfg.Scale)
+	nDirectors := scaled(imdbDirectors, cfg.Scale)
+	nActors := scaled(imdbActors, cfg.Scale)
+	nGenres := scaled(imdbGenres, cfg.Scale)
+	nCast := scaled(imdbCast, cfg.Scale)
+	nRatings := scaled(imdbRatings, cfg.Scale)
+	nAwards := scaled(imdbAwards, cfg.Scale)
+
+	movies, err := cat.CreateTable("movies", schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "title", Kind: types.KindString},
+		schema.Column{Name: "year", Kind: types.KindInt},
+		schema.Column{Name: "duration", Kind: types.KindInt},
+		schema.Column{Name: "d_id", Kind: types.KindInt},
+	).WithKey("m_id"))
+	if err != nil {
+		return nil, err
+	}
+	directors, err := cat.CreateTable("directors", schema.New(
+		schema.Column{Name: "d_id", Kind: types.KindInt},
+		schema.Column{Name: "director", Kind: types.KindString},
+	).WithKey("d_id"))
+	if err != nil {
+		return nil, err
+	}
+	genres, err := cat.CreateTable("genres", schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "genre", Kind: types.KindString},
+	).WithKey("m_id", "genre"))
+	if err != nil {
+		return nil, err
+	}
+	actors, err := cat.CreateTable("actors", schema.New(
+		schema.Column{Name: "a_id", Kind: types.KindInt},
+		schema.Column{Name: "actor", Kind: types.KindString},
+	).WithKey("a_id"))
+	if err != nil {
+		return nil, err
+	}
+	cast, err := cat.CreateTable("cast", schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "a_id", Kind: types.KindInt},
+		schema.Column{Name: "role", Kind: types.KindString},
+	).WithKey("m_id", "a_id"))
+	if err != nil {
+		return nil, err
+	}
+	ratings, err := cat.CreateTable("ratings", schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "rating", Kind: types.KindFloat},
+		schema.Column{Name: "votes", Kind: types.KindInt},
+	).WithKey("m_id"))
+	if err != nil {
+		return nil, err
+	}
+	awards, err := cat.CreateTable("awards", schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "award", Kind: types.KindString},
+		schema.Column{Name: "year", Kind: types.KindInt},
+	).WithKey("m_id", "award"))
+	if err != nil {
+		return nil, err
+	}
+
+	for d := 0; d < nDirectors; d++ {
+		if err := directors.Insert(row(types.Int(int64(d)), types.Str(fmt.Sprintf("Director %05d", d)))); err != nil {
+			return nil, err
+		}
+	}
+	for a := 0; a < nActors; a++ {
+		if err := actors.Insert(row(types.Int(int64(a)), types.Str(fmt.Sprintf("Actor %05d", a)))); err != nil {
+			return nil, err
+		}
+	}
+
+	// Movies: release years skew recent (the snapshot was taken in 2010),
+	// durations center near 100 minutes.
+	dirZipf := newZipf(r, nDirectors, 1.2)
+	genreZipf := newZipf(r, len(genreNames), 1.3)
+	actorZipf := newZipf(r, nActors, 1.1)
+	votesZipf := newZipf(r, 50000, 1.05)
+	for m := 0; m < nMovies; m++ {
+		year := 1930 + int(81*math.Pow(r.Float64(), 0.45)) // skewed towards 2011
+		if year > 2011 {
+			year = 2011
+		}
+		duration := int(clampF(r.NormFloat64()*25+104, 45, 280))
+		dID := int64(dirZipf())
+		if err := movies.Insert(row(
+			types.Int(int64(m)), types.Str(fmt.Sprintf("Movie %06d", m)),
+			types.Int(int64(year)), types.Int(int64(duration)), types.Int(dID),
+		)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Genres: Zipf-popular genres; movies with genre rows get 1-3 of them.
+	genreCount := 0
+	for m := 0; genreCount < nGenres; m = (m + 1) % nMovies {
+		k := 1 + r.Intn(3)
+		seen := map[int]bool{}
+		for i := 0; i < k && genreCount < nGenres; i++ {
+			g := genreZipf()
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			if err := genres.Insert(row(types.Int(int64(m)), types.Str(genreNames[g]))); err != nil {
+				return nil, err
+			}
+			genreCount++
+		}
+	}
+
+	// Cast: actor popularity is Zipfian.
+	for i := 0; i < nCast; i++ {
+		m := r.Intn(nMovies)
+		a := actorZipf()
+		if err := cast.Insert(row(
+			types.Int(int64(m)), types.Int(int64(a)),
+			types.Str(fmt.Sprintf("Role %d", i%37)),
+		)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Ratings: ratings cluster between 5 and 8; votes follow a heavy tail.
+	for i := 0; i < nRatings; i++ {
+		m := i * nMovies / nRatings
+		rating := clampF(r.NormFloat64()*1.4+6.4, 1, 10)
+		votes := int64(10 + votesZipf())
+		if err := ratings.Insert(row(
+			types.Int(int64(m)), types.Float(round1(rating)), types.Int(votes),
+		)); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < nAwards; i++ {
+		m := r.Intn(nMovies)
+		if err := awards.Insert(row(
+			types.Int(int64(m)), types.Str(awardNames[i%len(awardNames)]),
+			types.Int(int64(1980+r.Intn(31))),
+		)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Secondary indexes used by the optimizer's access paths.
+	for _, ix := range [][2]string{
+		{"movies", "d_id"}, {"genres", "m_id"}, {"genres", "genre"},
+		{"cast", "m_id"}, {"cast", "a_id"}, {"ratings", "m_id"}, {"awards", "m_id"},
+	} {
+		if err := cat.CreateHashIndex(ix[0], ix[1]); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range [][2]string{{"movies", "year"}, {"movies", "duration"}, {"ratings", "votes"}, {"ratings", "rating"}} {
+		if err := cat.CreateBTreeIndex(ix[0], ix[1]); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, t := range []*catalog.Table{movies, directors, genres, actors, cast, ratings, awards} {
+		sizes[t.Name] = t.Len()
+	}
+	return sizes, nil
+}
+
+// LoadDBLP creates and populates the bibliography schema of Fig. 8.
+func LoadDBLP(cat *catalog.Catalog, cfg Config) (Sizes, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %v", cfg.Scale)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+	sizes := Sizes{}
+
+	nPubs := scaled(dblpPubs, cfg.Scale)
+	nAuthors := scaled(dblpAuthors, cfg.Scale)
+	nPubAuthors := scaled(dblpPubAuthors, cfg.Scale)
+	nConfs := scaled(dblpConferences, cfg.Scale)
+	nJournals := scaled(dblpJournals, cfg.Scale)
+	nCitations := scaled(dblpCitations, cfg.Scale)
+
+	pubs, err := cat.CreateTable("publications", schema.New(
+		schema.Column{Name: "p_id", Kind: types.KindInt},
+		schema.Column{Name: "title", Kind: types.KindString},
+		schema.Column{Name: "pub_type", Kind: types.KindString},
+	).WithKey("p_id"))
+	if err != nil {
+		return nil, err
+	}
+	authors, err := cat.CreateTable("authors", schema.New(
+		schema.Column{Name: "a_id", Kind: types.KindInt},
+		schema.Column{Name: "name", Kind: types.KindString},
+	).WithKey("a_id"))
+	if err != nil {
+		return nil, err
+	}
+	pubAuthors, err := cat.CreateTable("pub_authors", schema.New(
+		schema.Column{Name: "p_id", Kind: types.KindInt},
+		schema.Column{Name: "a_id", Kind: types.KindInt},
+	).WithKey("p_id", "a_id"))
+	if err != nil {
+		return nil, err
+	}
+	confs, err := cat.CreateTable("conferences", schema.New(
+		schema.Column{Name: "p_id", Kind: types.KindInt},
+		schema.Column{Name: "name", Kind: types.KindString},
+		schema.Column{Name: "year", Kind: types.KindInt},
+		schema.Column{Name: "location", Kind: types.KindString},
+	).WithKey("p_id"))
+	if err != nil {
+		return nil, err
+	}
+	journals, err := cat.CreateTable("journals", schema.New(
+		schema.Column{Name: "p_id", Kind: types.KindInt},
+		schema.Column{Name: "name", Kind: types.KindString},
+		schema.Column{Name: "year", Kind: types.KindInt},
+		schema.Column{Name: "volume", Kind: types.KindInt},
+	).WithKey("p_id"))
+	if err != nil {
+		return nil, err
+	}
+	citations, err := cat.CreateTable("citations", schema.New(
+		schema.Column{Name: "p1_id", Kind: types.KindInt},
+		schema.Column{Name: "p2_id", Kind: types.KindInt},
+	).WithKey("p1_id", "p2_id"))
+	if err != nil {
+		return nil, err
+	}
+
+	for a := 0; a < nAuthors; a++ {
+		if err := authors.Insert(row(types.Int(int64(a)), types.Str(fmt.Sprintf("Author %05d", a)))); err != nil {
+			return nil, err
+		}
+	}
+	// The first nConfs publications are conference papers, the next
+	// nJournals journal articles, the rest informal (tech reports etc.).
+	for p := 0; p < nPubs; p++ {
+		pubType := "informal"
+		switch {
+		case p < nConfs:
+			pubType = "inproceedings"
+		case p < nConfs+nJournals:
+			pubType = "article"
+		}
+		if err := pubs.Insert(row(
+			types.Int(int64(p)), types.Str(fmt.Sprintf("Paper %06d", p)), types.Str(pubType),
+		)); err != nil {
+			return nil, err
+		}
+	}
+	confZipf := newZipf(r, len(confVenues), 1.2)
+	journalZipf := newZipf(r, len(journalVenues), 1.2)
+	authorZipf := newZipf(r, nAuthors, 1.15)
+	citeZipf := newZipf(r, nPubs, 1.1)
+	for p := 0; p < nConfs; p++ {
+		year := 1970 + int(42*math.Pow(r.Float64(), 0.5))
+		if year > 2011 {
+			year = 2011
+		}
+		if err := confs.Insert(row(
+			types.Int(int64(p)), types.Str(confVenues[confZipf()]),
+			types.Int(int64(year)), types.Str(locations[r.Intn(len(locations))]),
+		)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nJournals; i++ {
+		p := nConfs + i
+		year := 1970 + int(42*math.Pow(r.Float64(), 0.5))
+		if year > 2011 {
+			year = 2011
+		}
+		if err := journals.Insert(row(
+			types.Int(int64(p)), types.Str(journalVenues[journalZipf()]),
+			types.Int(int64(year)), types.Int(int64(1+r.Intn(40))),
+		)); err != nil {
+			return nil, err
+		}
+	}
+	// Authorship: productivity is Zipfian; each paper gets >= 1 author.
+	inserted := 0
+	for p := 0; p < nPubs && inserted < nPubAuthors; p++ {
+		k := 1 + r.Intn(4)
+		seen := map[int]bool{}
+		for i := 0; i < k && inserted < nPubAuthors; i++ {
+			a := authorZipf()
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			if err := pubAuthors.Insert(row(types.Int(int64(p)), types.Int(int64(a)))); err != nil {
+				return nil, err
+			}
+			inserted++
+		}
+	}
+	for inserted < nPubAuthors {
+		p := r.Intn(nPubs)
+		a := r.Intn(nAuthors)
+		if err := pubAuthors.Insert(row(types.Int(int64(p)), types.Int(int64(a)))); err != nil {
+			return nil, err
+		}
+		inserted++
+	}
+	// Citations: popular papers attract most citations.
+	seenCite := map[[2]int]bool{}
+	for i := 0; i < nCitations; i++ {
+		from := r.Intn(nPubs)
+		to := citeZipf()
+		if from == to || seenCite[[2]int{from, to}] {
+			continue
+		}
+		seenCite[[2]int{from, to}] = true
+		if err := citations.Insert(row(types.Int(int64(from)), types.Int(int64(to)))); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, ix := range [][2]string{
+		{"pub_authors", "p_id"}, {"pub_authors", "a_id"}, {"conferences", "p_id"},
+		{"journals", "p_id"}, {"citations", "p1_id"}, {"citations", "p2_id"},
+		{"conferences", "name"}, {"journals", "name"}, {"publications", "pub_type"},
+	} {
+		if err := cat.CreateHashIndex(ix[0], ix[1]); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range [][2]string{{"conferences", "year"}, {"journals", "year"}} {
+		if err := cat.CreateBTreeIndex(ix[0], ix[1]); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, t := range []*catalog.Table{pubs, authors, pubAuthors, confs, journals, citations} {
+		sizes[t.Name] = t.Len()
+	}
+	return sizes, nil
+}
+
+func row(vs ...types.Value) []types.Value { return vs }
+
+// newZipf returns a sampler of indexes in [0, n) with Zipf-distributed
+// popularity.
+func newZipf(r *rand.Rand, n int, s float64) func() int {
+	if n <= 1 {
+		return func() int { return 0 }
+	}
+	z := rand.NewZipf(r, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }

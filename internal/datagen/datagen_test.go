@@ -1,0 +1,152 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"prefdb/internal/catalog"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+func TestLoadIMDBSizesAndRatios(t *testing.T) {
+	cat := catalog.New()
+	sizes, err := LoadIMDB(cat, Config{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{"movies", "directors", "genres", "actors", "cast", "ratings", "awards"} {
+		if sizes[tbl] == 0 {
+			t.Errorf("table %s empty", tbl)
+		}
+	}
+	// Table I ratios hold approximately: CAST >> MOVIES > GENRES > RATINGS.
+	if !(sizes["cast"] > 5*sizes["movies"]) {
+		t.Errorf("cast/movies ratio off: %d vs %d", sizes["cast"], sizes["movies"])
+	}
+	if !(sizes["movies"] > sizes["genres"] && sizes["genres"] > sizes["ratings"]) {
+		t.Errorf("ordering off: %v", sizes)
+	}
+	if !(sizes["directors"] < sizes["movies"]/4) {
+		t.Errorf("directors too many: %v", sizes)
+	}
+}
+
+func TestLoadIMDBDeterministic(t *testing.T) {
+	load := func() string {
+		cat := catalog.New()
+		if _, err := LoadIMDB(cat, Config{Scale: 0.02, Seed: 99}); err != nil {
+			t.Fatal(err)
+		}
+		tbl, _ := cat.Table("movies")
+		var sb strings.Builder
+		tbl.Heap.Scan(func(_ storage.RowID, tuple []types.Value) bool {
+			for _, v := range tuple {
+				sb.WriteString(v.String())
+				sb.WriteByte('|')
+			}
+			return true
+		})
+		return sb.String()
+	}
+	if load() != load() {
+		t.Error("generation is not deterministic for a fixed seed")
+	}
+}
+
+func TestLoadIMDBDistributions(t *testing.T) {
+	cat := catalog.New()
+	if _, err := LoadIMDB(cat, Config{Scale: 0.1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	movies, _ := cat.Table("movies")
+	st := movies.Stats()
+	yearIdx := movies.Schema().MustIndexOf("year")
+	ys := st.Columns[yearIdx]
+	if ys.Min < 1930 || ys.Max > 2011 {
+		t.Errorf("year range = [%v, %v]", ys.Min, ys.Max)
+	}
+	// Genre popularity is skewed: Drama should dominate.
+	genres, _ := cat.Table("genres")
+	gst := genres.Stats()
+	gIdx := genres.Schema().MustIndexOf("genre")
+	drama := gst.Columns[gIdx].MCV[types.Str("Drama")]
+	if drama == 0 || float64(drama) < 0.25*float64(gst.Rows) {
+		t.Errorf("Drama frequency = %d of %d, want skewed head", drama, gst.Rows)
+	}
+	// Ratings within [1,10].
+	ratings, _ := cat.Table("ratings")
+	rs := ratings.Stats().Columns[ratings.Schema().MustIndexOf("rating")]
+	if rs.Min < 1 || rs.Max > 10 {
+		t.Errorf("rating range = [%v, %v]", rs.Min, rs.Max)
+	}
+	// Indexes exist for the optimizer.
+	if _, ok := genres.HashIndexOn("genre"); !ok {
+		t.Error("genres(genre) hash index missing")
+	}
+	if _, ok := movies.BTreeIndexOn("year"); !ok {
+		t.Error("movies(year) btree index missing")
+	}
+}
+
+func TestLoadDBLP(t *testing.T) {
+	cat := catalog.New()
+	sizes, err := LoadDBLP(cat, Config{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{"publications", "authors", "pub_authors", "conferences", "journals", "citations"} {
+		if sizes[tbl] == 0 {
+			t.Errorf("table %s empty", tbl)
+		}
+	}
+	// PUB_AUTHORS ≈ 2× PUBLICATIONS.
+	ratio := float64(sizes["pub_authors"]) / float64(sizes["publications"])
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("pub_authors ratio = %v", ratio)
+	}
+	// Conference papers carry the inproceedings type.
+	pubs, _ := cat.Table("publications")
+	st := pubs.Stats()
+	tIdx := pubs.Schema().MustIndexOf("pub_type")
+	if st.Columns[tIdx].MCV[types.Str("inproceedings")] == 0 {
+		t.Error("no inproceedings rows")
+	}
+	// Conference p_ids reference publications of the right type.
+	confs, _ := cat.Table("conferences")
+	if confs.Len() != sizes["conferences"] {
+		t.Errorf("conferences size mismatch")
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	if _, err := LoadIMDB(catalog.New(), Config{Scale: 0}); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := LoadDBLP(catalog.New(), Config{Scale: -1}); err == nil {
+		t.Error("negative scale should error")
+	}
+}
+
+func TestScaleProportionality(t *testing.T) {
+	small, err := LoadIMDB(catalog.New(), Config{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := LoadIMDB(catalog.New(), Config{Scale: 0.04, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(big["movies"]) / float64(small["movies"])
+	if r < 1.8 || r > 2.2 {
+		t.Errorf("scale proportionality = %v", r)
+	}
+}
+
+func TestSizesString(t *testing.T) {
+	s := Sizes{"b": 2, "a": 1}
+	out := s.String()
+	if !strings.Contains(out, "a") || strings.Index(out, "a") > strings.Index(out, "b") {
+		t.Errorf("Sizes.String = %q", out)
+	}
+}

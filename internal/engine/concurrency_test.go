@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadOnlyQueries runs many queries in parallel against one
+// database: each query gets its own executor, so read-only workloads must
+// be race-free (run with -race).
+func TestConcurrentReadOnlyQueries(t *testing.T) {
+	db := setupDB(t)
+	queries := []string{
+		`SELECT title FROM movies WHERE year >= 2000
+		 PREFERRING year >= 2005 SCORE recency(year, 2011) CONF 0.9 ON movies
+		 TOP 3 BY score`,
+		`SELECT title FROM movies JOIN genres ON movies.m_id = genres.m_id
+		 PREFERRING genre = 'Comedy' SCORE 1 CONF 0.8 ON genres
+		 RANK BY score`,
+		`SELECT title FROM movies JOIN ratings ON movies.m_id = ratings.m_id
+		 PREFERRING votes > 500 SCORE linear(rating, 0.1) CONF 0.7 ON ratings
+		 SKYLINE`,
+	}
+	modes := []Mode{ModeNative, ModeGBU, ModeFtP, ModePluginNaive}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				q := queries[(w+i)%len(queries)]
+				m := modes[(w+i)%len(modes)]
+				res, err := db.Query(q, m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rel == nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

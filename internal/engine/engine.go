@@ -1,0 +1,495 @@
+// Package engine is prefdb's top-level façade: it owns a catalog, parses
+// SQL statements (including the PREFERRING dialect), plans and optimizes
+// preferential queries, and executes them with a chosen evaluation mode
+// (native, BU, GBU, FtP, or one of the plug-in baselines).
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/exec"
+	"prefdb/internal/expr"
+	"prefdb/internal/optimizer"
+	"prefdb/internal/parser"
+	"prefdb/internal/planner"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// Mode selects the query evaluation strategy.
+type Mode uint8
+
+const (
+	// ModeGBU is the default: Group Bottom-Up (Alg. 2).
+	ModeGBU Mode = iota
+	// ModeBU executes operator-at-a-time (the paper's BU).
+	ModeBU
+	// ModeFtP is Filter-then-Prefer (Alg. 1).
+	ModeFtP
+	// ModeNative runs the whole extended plan in one pipeline.
+	ModeNative
+	// ModePluginNaive is the plug-in baseline with one query per preference.
+	ModePluginNaive
+	// ModePluginMerged is the plug-in baseline with one disjunctive query.
+	ModePluginMerged
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeGBU:
+		return "gbu"
+	case ModeBU:
+		return "bu"
+	case ModeFtP:
+		return "ftp"
+	case ModeNative:
+		return "native"
+	case ModePluginNaive:
+		return "plugin-naive"
+	case ModePluginMerged:
+		return "plugin-merged"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Modes lists every mode in presentation order.
+func Modes() []Mode {
+	return []Mode{ModeNative, ModeBU, ModeGBU, ModeFtP, ModePluginNaive, ModePluginMerged}
+}
+
+// ParseMode resolves a mode by name.
+func ParseMode(name string) (Mode, error) {
+	switch strings.ToLower(name) {
+	case "gbu", "group-bottom-up", "":
+		return ModeGBU, nil
+	case "bu", "bottom-up":
+		return ModeBU, nil
+	case "ftp", "filter-then-prefer":
+		return ModeFtP, nil
+	case "native":
+		return ModeNative, nil
+	case "plugin", "plugin-naive":
+		return ModePluginNaive, nil
+	case "plugin-merged":
+		return ModePluginMerged, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown mode %q (native, bu, gbu, ftp, plugin-naive, plugin-merged)", name)
+	}
+}
+
+// DB is a prefdb database instance.
+type DB struct {
+	cat *catalog.Catalog
+	pl  *planner.Planner
+	opt *optimizer.Optimizer
+
+	// Mode is the default evaluation strategy for Query.
+	Mode Mode
+	// Optimize toggles the preference-aware query optimizer.
+	Optimize bool
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	cat := catalog.New()
+	return &DB{
+		cat:      cat,
+		pl:       planner.New(cat),
+		opt:      optimizer.New(cat),
+		Mode:     ModeGBU,
+		Optimize: true,
+	}
+}
+
+// Catalog exposes the underlying catalog (for loaders and benchmarks).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Optimizer exposes the preference-aware optimizer so benchmarks can toggle
+// individual heuristics (ablation experiments).
+func (db *DB) Optimizer() *optimizer.Optimizer { return db.opt }
+
+// Result is the answer to a statement.
+type Result struct {
+	// Rel is the result p-relation (nil for DDL/DML).
+	Rel *prel.PRelation
+	// Stats holds the execution counters for queries.
+	Stats exec.Stats
+	// Plan is the executed (optimized) logical plan, for EXPLAIN-style use.
+	Plan string
+	// Message describes the effect of DDL/DML statements.
+	Message string
+}
+
+// Columns returns the result header including the score and confidence
+// attributes of the p-relation.
+func (r *Result) Columns() []string {
+	if r.Rel == nil {
+		return nil
+	}
+	out := make([]string, 0, r.Rel.Schema.Len()+2)
+	for _, c := range r.Rel.Schema.Columns {
+		out = append(out, c.QualifiedName())
+	}
+	return append(out, "score", "conf")
+}
+
+// Exec parses and executes any statement (DDL, DML or query).
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *parser.SelectStmt:
+		return db.runSelect(s, db.Mode)
+	case *parser.CreateTableStmt:
+		return db.createTable(s)
+	case *parser.CreateIndexStmt:
+		return db.createIndex(s)
+	case *parser.InsertStmt:
+		return db.insert(s)
+	case *parser.DeleteStmt:
+		return db.delete(s)
+	case *parser.UpdateStmt:
+		return db.update(s)
+	case *parser.ExplainStmt:
+		return db.explain(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// Query parses, plans and executes a preferential query with the given
+// mode.
+func (db *DB) Query(sql string, mode Mode) (*Result, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.runSelect(q, mode)
+}
+
+// QueryPlan plans (and optionally optimizes) a query without executing it.
+func (db *DB) QueryPlan(sql string) (*planner.Plan, error) {
+	plan, err := db.pl.PlanQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	if db.Optimize {
+		plan.Root = db.opt.Optimize(plan.Root)
+	}
+	return plan, nil
+}
+
+func (db *DB) runSelect(q *parser.SelectStmt, mode Mode) (*Result, error) {
+	plan, err := db.pl.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunPlan(plan, mode)
+}
+
+// RunPlan executes an already-built plan with the given mode, applying the
+// optimizer when enabled and trimming the result to the user-requested
+// columns.
+func (db *DB) RunPlan(plan *planner.Plan, mode Mode) (*Result, error) {
+	root := plan.Root
+	if db.Optimize {
+		root = db.opt.Optimize(root)
+	}
+	ex := exec.New(db.cat)
+	ex.Agg = plan.Agg
+
+	var rel *prel.PRelation
+	var err error
+	switch mode {
+	case ModePluginNaive, ModePluginMerged:
+		// The plug-in sits on top of the engine: it receives the baseline
+		// (non-optimized) plan, since the preference-aware optimizer is
+		// precisely what a plug-in cannot use.
+		runner := &pluginRunner{exec: ex, merged: mode == ModePluginMerged}
+		rel, err = runner.run(plan.Root)
+	default:
+		strategy, sErr := execStrategy(mode)
+		if sErr != nil {
+			return nil, sErr
+		}
+		rel, err = ex.Run(root, strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Trim the extended projection back to the user's columns.
+	trimmed, err := trimResult(rel, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: trimmed, Stats: ex.Stats(), Plan: algebra.Format(root)}, nil
+}
+
+func execStrategy(mode Mode) (exec.Strategy, error) {
+	switch mode {
+	case ModeNative:
+		return exec.Native, nil
+	case ModeBU:
+		return exec.BU, nil
+	case ModeGBU:
+		return exec.GBU, nil
+	case ModeFtP:
+		return exec.FtP, nil
+	default:
+		return 0, fmt.Errorf("engine: mode %v is not an executor strategy", mode)
+	}
+}
+
+func trimResult(rel *prel.PRelation, plan *planner.Plan) (*prel.PRelation, error) {
+	ords, err := plan.TrimToOutput(rel.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if len(ords) == rel.Schema.Len() {
+		identity := true
+		for i, o := range ords {
+			if o != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			return rel, nil
+		}
+	}
+	out := prel.New(rel.Schema.Project(ords))
+	for _, row := range rel.Rows {
+		tuple := make([]types.Value, len(ords))
+		for i, o := range ords {
+			tuple[i] = row.Tuple[o]
+		}
+		out.Append(prel.Row{Tuple: tuple, SC: row.SC})
+	}
+	return out, nil
+}
+
+// --- DDL / DML ---
+
+func (db *DB) createTable(s *parser.CreateTableStmt) (*Result, error) {
+	cols := make([]schema.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = schema.Column{Name: c.Name, Kind: c.Kind}
+	}
+	sch := schema.New(cols...)
+	if len(s.Key) > 0 {
+		for _, k := range s.Key {
+			if _, err := sch.IndexOf("", k); err != nil {
+				return nil, fmt.Errorf("engine: PRIMARY KEY column %q not in table", k)
+			}
+		}
+		sch.WithKey(s.Key...)
+	}
+	if _, err := db.cat.CreateTable(s.Name, sch); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created table %s (%d columns)", s.Name, len(cols))}, nil
+}
+
+func (db *DB) createIndex(s *parser.CreateIndexStmt) (*Result, error) {
+	var err error
+	kind := "hash"
+	if s.BTree {
+		kind = "btree"
+		err = db.cat.CreateBTreeIndex(s.Table, s.Col)
+	} else {
+		err = db.cat.CreateHashIndex(s.Table, s.Col)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created %s index on %s(%s)", kind, s.Table, s.Col)}, nil
+}
+
+func (db *DB) insert(s *parser.InsertStmt) (*Result, error) {
+	t, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	sch := t.Schema()
+	if s.Query != nil {
+		return db.insertSelect(t, s)
+	}
+	for ri, row := range s.Rows {
+		if len(row) != sch.Len() {
+			return nil, fmt.Errorf("engine: row %d has %d values, table %s has %d columns", ri+1, len(row), s.Table, sch.Len())
+		}
+		coerced := make([]types.Value, len(row))
+		for i, v := range row {
+			cv, err := coerce(v, sch.Columns[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("engine: row %d column %s: %w", ri+1, sch.Columns[i].Name, err)
+			}
+			coerced[i] = cv
+		}
+		if err := t.Insert(coerced); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("inserted %d rows into %s", len(s.Rows), s.Table)}, nil
+}
+
+func (db *DB) delete(s *parser.DeleteStmt) (*Result, error) {
+	t, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred := func([]types.Value) bool { return true }
+	if s.Where != nil {
+		cond, err := expr.CompileCondition(s.Where, t.Schema(), db.pl.Funcs)
+		if err != nil {
+			return nil, err
+		}
+		pred = cond.Truthy
+	}
+	n := t.DeleteWhere(pred)
+	return &Result{Message: fmt.Sprintf("deleted %d rows from %s", n, s.Table)}, nil
+}
+
+func (db *DB) update(s *parser.UpdateStmt) (*Result, error) {
+	t, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	sch := t.Schema()
+	pred := func([]types.Value) bool { return true }
+	if s.Where != nil {
+		cond, err := expr.CompileCondition(s.Where, sch, db.pl.Funcs)
+		if err != nil {
+			return nil, err
+		}
+		pred = cond.Truthy
+	}
+	type setter struct {
+		ord  int
+		kind types.Kind
+		eval *expr.Compiled
+	}
+	setters := make([]setter, len(s.Set))
+	for i, a := range s.Set {
+		ord, err := sch.IndexOf("", a.Col)
+		if err != nil {
+			return nil, err
+		}
+		c, err := expr.Compile(a.Expr, sch, db.pl.Funcs)
+		if err != nil {
+			return nil, err
+		}
+		setters[i] = setter{ord: ord, kind: sch.Columns[ord].Kind, eval: c}
+	}
+	n, err := t.UpdateWhere(pred, func(tuple []types.Value) ([]types.Value, error) {
+		out := append([]types.Value(nil), tuple...)
+		for _, st := range setters {
+			v, cErr := coerce(st.eval.Eval(tuple), st.kind)
+			if cErr != nil {
+				return nil, fmt.Errorf("engine: column %s: %w", sch.Columns[st.ord].Name, cErr)
+			}
+			out[st.ord] = v
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("updated %d rows in %s", n, s.Table)}, nil
+}
+
+// insertSelect materializes a query and inserts its tuples into the target
+// table (score-confidence pairs are dropped: base tables hold data; scores
+// are query-dependent, as §VI argues against storing them permanently).
+func (db *DB) insertSelect(t *catalog.Table, s *parser.InsertStmt) (*Result, error) {
+	res, err := db.runSelect(s.Query, db.Mode)
+	if err != nil {
+		return nil, err
+	}
+	sch := t.Schema()
+	if res.Rel.Schema.Len() != sch.Len() {
+		return nil, fmt.Errorf("engine: INSERT SELECT yields %d columns, table %s has %d",
+			res.Rel.Schema.Len(), s.Table, sch.Len())
+	}
+	// Validate and coerce everything before mutating (atomicity).
+	coercedRows := make([][]types.Value, 0, res.Rel.Len())
+	for ri, row := range res.Rel.Rows {
+		coerced := make([]types.Value, len(row.Tuple))
+		for i, v := range row.Tuple {
+			cv, err := coerce(v, sch.Columns[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("engine: row %d column %s: %w", ri+1, sch.Columns[i].Name, err)
+			}
+			coerced[i] = cv
+		}
+		coercedRows = append(coercedRows, coerced)
+	}
+	for _, row := range coercedRows {
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("inserted %d rows into %s", len(coercedRows), s.Table)}, nil
+}
+
+// explain plans and optimizes a query without executing it.
+func (db *DB) explain(s *parser.ExplainStmt) (*Result, error) {
+	plan, err := db.pl.Plan(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	root := plan.Root
+	if db.Optimize {
+		root = db.opt.Optimize(root)
+	}
+	return &Result{Message: "plan:\n" + algebra.Format(root), Plan: algebra.Format(root)}, nil
+}
+
+// coerce converts a literal to the declared column kind where lossless.
+func coerce(v types.Value, kind types.Kind) (types.Value, error) {
+	if v.IsNull() || v.Kind() == kind {
+		return v, nil
+	}
+	switch {
+	case kind == types.KindFloat && v.Kind() == types.KindInt:
+		return types.Float(float64(v.AsInt())), nil
+	case kind == types.KindInt && v.Kind() == types.KindFloat:
+		f := v.AsFloat()
+		if f == float64(int64(f)) {
+			return types.Int(int64(f)), nil
+		}
+		return types.Value{}, fmt.Errorf("value %v is not an integer", v)
+	default:
+		return types.Value{}, fmt.Errorf("cannot store %s value in %s column", v.Kind(), kind)
+	}
+}
+
+// --- plug-in bridge (avoids exposing internal/plugin in the public API) ---
+
+type pluginRunner struct {
+	exec   *exec.Executor
+	merged bool
+}
+
+// run defers to internal/plugin through a tiny indirection set in init by
+// the plugin bridge file.
+func (p *pluginRunner) run(plan algebra.Node) (*prel.PRelation, error) {
+	return runPlugin(p.exec, p.merged, plan)
+}
+
+// Aggregates re-exports the aggregate registry for callers configuring
+// queries programmatically.
+func Aggregates() []string { return pref.AggregateNames() }
+
+// Functions exposes the scoring-function registry (for docs and REPL help).
+func Functions() *expr.Registry { return pref.Functions() }

@@ -1,0 +1,14 @@
+package engine
+
+import (
+	"prefdb/internal/algebra"
+	"prefdb/internal/exec"
+	"prefdb/internal/plugin"
+	"prefdb/internal/prel"
+)
+
+// runPlugin dispatches to the plug-in baseline implementation.
+func runPlugin(ex *exec.Executor, merged bool, plan algebra.Node) (*prel.PRelation, error) {
+	r := &plugin.Runner{Exec: ex, Merged: merged}
+	return r.Run(plan)
+}

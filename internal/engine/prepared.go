@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"prefdb/internal/algebra"
+	"prefdb/internal/exec"
+	"prefdb/internal/planner"
+	"prefdb/internal/prel"
+)
+
+// Prepared is a planned and optimized preferential query that can be
+// executed repeatedly without re-parsing, re-planning or re-optimizing.
+// Preparing pays the compilation cost once; Run only executes.
+//
+// A prepared query is bound to the database state at preparation time only
+// loosely: plans reference tables by name, so inserted rows are visible to
+// later runs, but schema changes (new tables/columns) require re-preparing.
+type Prepared struct {
+	db *DB
+	// plan holds the baseline plan (used by the plug-in modes, which by
+	// definition cannot use the preference-aware optimizer).
+	plan *planner.Plan
+	// optimized is the optimizer's output (equal to plan.Root when the
+	// optimizer is disabled at preparation time).
+	optimized algebra.Node
+}
+
+// Prepare parses, plans and (if enabled) optimizes a query for repeated
+// execution.
+func (db *DB) Prepare(sql string) (*Prepared, error) {
+	plan, err := db.pl.PlanQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	optimized := plan.Root
+	if db.Optimize {
+		optimized = db.opt.Optimize(plan.Root)
+	}
+	return &Prepared{db: db, plan: plan, optimized: optimized}, nil
+}
+
+// Run executes the prepared query with the given mode.
+func (p *Prepared) Run(mode Mode) (*Result, error) {
+	ex := exec.New(p.db.cat)
+	ex.Agg = p.plan.Agg
+
+	var rel *prel.PRelation
+	var err error
+	switch mode {
+	case ModePluginNaive, ModePluginMerged:
+		runner := &pluginRunner{exec: ex, merged: mode == ModePluginMerged}
+		rel, err = runner.run(p.plan.Root)
+	default:
+		strategy, sErr := execStrategy(mode)
+		if sErr != nil {
+			return nil, sErr
+		}
+		rel, err = ex.Run(p.optimized, strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed, err := trimResult(rel, p.plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: trimmed, Stats: ex.Stats(), Plan: algebra.Format(p.optimized)}, nil
+}
+
+// Plan returns the optimized plan in explain format.
+func (p *Prepared) Plan() string { return algebra.Format(p.optimized) }

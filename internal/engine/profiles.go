@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"prefdb/internal/parser"
+	"prefdb/internal/profile"
+)
+
+// QueryForUser runs a preferential query enriched with the user's stored
+// preferences: every profile preference whose target relations appear in
+// the query is evaluated after the query's own PREFERRING clauses, the §V
+// model where applications automatically integrate collected preferences.
+func (db *DB) QueryForUser(sql string, store *profile.Store, user string, mode Mode) (*Result, error) {
+	return db.QueryForUserInContext(sql, store, user, nil, mode)
+}
+
+// QueryForUserInContext is QueryForUser with ephemeral contexts active:
+// preferences tagged with one of the contexts join the always-active ones
+// (§II's context-dependent preferences — "I like comedies when I am alone
+// and horror films with friends").
+func (db *DB) QueryForUserInContext(sql string, store *profile.Store, user string, contexts []string, mode Mode) (*Result, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := db.pl.PlanWithPreferences(q, store.PreferencesInContext(user, contexts...))
+	if err != nil {
+		return nil, err
+	}
+	return db.RunPlan(plan, mode)
+}

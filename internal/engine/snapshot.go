@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"io"
+
+	"prefdb/internal/catalog"
+	"prefdb/internal/optimizer"
+	"prefdb/internal/planner"
+	"prefdb/internal/snapshot"
+)
+
+// Save serializes the database (schemas, keys, index definitions, rows) to
+// w; restore it with Load.
+func (db *DB) Save(w io.Writer) error {
+	return snapshot.Save(db.cat, w)
+}
+
+// Load restores a database previously written by Save, rebuilding all
+// indexes and statistics lazily.
+func Load(r io.Reader) (*DB, error) {
+	cat, err := snapshot.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return openWith(cat), nil
+}
+
+func openWith(cat *catalog.Catalog) *DB {
+	return &DB{
+		cat:      cat,
+		pl:       planner.New(cat),
+		opt:      optimizer.New(cat),
+		Mode:     ModeGBU,
+		Optimize: true,
+	}
+}

@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/types"
+)
+
+// Every strategy must surface plan errors instead of panicking or
+// swallowing them.
+func TestStrategiesPropagateErrors(t *testing.T) {
+	badPlans := map[string]algebra.Node{
+		"unknown table": &algebra.Scan{Table: "ghost"},
+		"bad select": &algebra.Select{
+			Cond:  expr.Eq("ghost", types.Int(1)),
+			Input: &algebra.Scan{Table: "movies"},
+		},
+		"bad prefer cond": &algebra.Prefer{
+			P:     pref.Constant("p", "movies", expr.Eq("ghost", types.Int(1)), 1, 0.5),
+			Input: &algebra.Scan{Table: "movies"},
+		},
+		"bad prefer score": &algebra.Prefer{
+			P: pref.Preference{Name: "p", On: []string{"movies"}, Cond: expr.TrueLiteral(),
+				Score: expr.Call{Name: "nosuchfn"}, Conf: 0.5},
+			Input: &algebra.Scan{Table: "movies"},
+		},
+		"invalid preference": &algebra.Prefer{
+			P:     pref.Preference{Name: "p", On: []string{"movies"}, Cond: expr.TrueLiteral(), Score: expr.TrueLiteral(), Conf: 5},
+			Input: &algebra.Scan{Table: "movies"},
+		},
+		"bad join cond": &algebra.Join{
+			Cond:  expr.Bin{Op: expr.OpEq, L: expr.ColRef("movies.ghost"), R: expr.ColRef("directors.d_id")},
+			Left:  &algebra.Scan{Table: "movies"},
+			Right: &algebra.Scan{Table: "directors"},
+		},
+		"incompatible union": &algebra.Set{Op: algebra.SetUnion,
+			Left: &algebra.Scan{Table: "movies"}, Right: &algebra.Scan{Table: "directors"}},
+		"bad projection": &algebra.Project{
+			Cols:  []expr.Col{expr.ColRef("ghost")},
+			Input: &algebra.Scan{Table: "movies"},
+		},
+		"nil node":                  nil,
+		"bad filter under topk":     &algebra.TopK{K: 3, Input: &algebra.Scan{Table: "ghost"}},
+		"bad input under skyline":   &algebra.Skyline{Input: &algebra.Scan{Table: "ghost"}},
+		"bad input under rank":      &algebra.Rank{Input: &algebra.Scan{Table: "ghost"}},
+		"bad input under threshold": &algebra.Threshold{Op: expr.OpGe, Input: &algebra.Scan{Table: "ghost"}},
+	}
+	for name, plan := range badPlans {
+		for _, s := range Strategies() {
+			e := New(movieDB(t))
+			if _, err := e.Run(plan, s); err == nil {
+				t.Errorf("%s under %v: expected error", name, s)
+			}
+		}
+	}
+}
+
+func TestFtPErrorMentionsPreference(t *testing.T) {
+	// FtP evaluates preferences on R_NP; a preference condition that cannot
+	// compile against the non-preference result should name the preference.
+	// (Projection below the prefer drops the attribute the condition needs.)
+	plan := &algebra.Prefer{
+		P: pref.Constant("needsYear", "movies", expr.Cmp("year", expr.OpGe, types.Int(2000)), 1, 0.5),
+		Input: &algebra.Project{
+			Cols:  []expr.Col{expr.ColRef("title")},
+			Input: &algebra.Scan{Table: "movies"},
+		},
+	}
+	e := New(movieDB(t))
+	_, err := e.Run(plan, FtP)
+	if err == nil || !strings.Contains(err.Error(), "needsYear") {
+		t.Errorf("FtP error = %v, want mention of the preference", err)
+	}
+}
+
+func TestThresholdOperatorsCoverage(t *testing.T) {
+	base := &algebra.Prefer{
+		P:     pref.Constant("p", "movies", expr.Cmp("year", expr.OpGe, types.Int(2000)), 0.5, 0.5),
+		Input: &algebra.Scan{Table: "movies"},
+	}
+	// score == 0.5 exactly for the 4 scored movies.
+	cases := []struct {
+		op   expr.Op
+		val  float64
+		want int
+	}{
+		{expr.OpEq, 0.5, 4},
+		{expr.OpNe, 0.5, 0},
+		{expr.OpLt, 0.6, 4},
+		{expr.OpLe, 0.5, 4},
+		{expr.OpGt, 0.5, 0},
+		{expr.OpGe, 0.6, 0},
+	}
+	for _, c := range cases {
+		e := New(movieDB(t))
+		rel, err := e.Run(&algebra.Threshold{By: algebra.ByScore, Op: c.op, Value: c.val, Input: base}, Native)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if rel.Len() != c.want {
+			t.Errorf("score %v %v: %d rows, want %d", c.op, c.val, rel.Len(), c.want)
+		}
+	}
+}
+
+func TestStatsAddAndString(t *testing.T) {
+	a := Stats{RowsScanned: 1, TuplesMaterialized: 2, NativeCalls: 3, IndexProbes: 4, PreferEvals: 5, ScoreRelationRows: 6}
+	b := a
+	a.Add(b)
+	if a.RowsScanned != 2 || a.ScoreRelationRows != 12 {
+		t.Errorf("Add = %+v", a)
+	}
+	if s := a.String(); !strings.Contains(s, "scanned=2") || !strings.Contains(s, "nativeCalls=6") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,795 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/schema"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+// sliceIter streams a materialized row slice.
+type sliceIter struct {
+	rows []prel.Row
+	pos  int
+}
+
+func (s *sliceIter) next() (prel.Row, bool) {
+	if s.pos >= len(s.rows) {
+		return prel.Row{}, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+// filterIter applies a compiled condition.
+type filterIter struct {
+	in   iter
+	cond *expr.Compiled
+}
+
+func (f *filterIter) next() (prel.Row, bool) {
+	for {
+		row, ok := f.in.next()
+		if !ok {
+			return prel.Row{}, false
+		}
+		if f.cond.Truthy(row.Tuple) {
+			return row, true
+		}
+	}
+}
+
+// projectIter narrows tuples to the selected ordinals, preserving ⟨S,C⟩.
+type projectIter struct {
+	in   iter
+	ords []int
+}
+
+func (p *projectIter) next() (prel.Row, bool) {
+	row, ok := p.in.next()
+	if !ok {
+		return prel.Row{}, false
+	}
+	out := make([]types.Value, len(p.ords))
+	for i, o := range p.ords {
+		out[i] = row.Tuple[o]
+	}
+	return prel.Row{Tuple: out, SC: row.SC}, true
+}
+
+// preferIter is the prefer operator λ_{p,F} (§IV-C): for each input tuple
+// satisfying the conditional part, it combines the tuple's current pair
+// with ⟨S(r), C⟩ through the aggregate function; other tuples pass through
+// unchanged. A NULL score (⊥) leaves the tuple's pair unchanged, since
+// ⟨⊥,·⟩ carries no knowledge.
+type preferIter struct {
+	in    iter
+	cond  *expr.Compiled
+	score *expr.Compiled
+	conf  float64
+	agg   pref.Aggregate
+	stats *Stats
+}
+
+func (p *preferIter) next() (prel.Row, bool) {
+	row, ok := p.in.next()
+	if !ok {
+		return prel.Row{}, false
+	}
+	p.stats.PreferEvals++
+	if p.cond.Truthy(row.Tuple) {
+		if v := p.score.Eval(row.Tuple); !v.IsNull() && v.IsNumeric() {
+			s := pref.Clamp01(v.AsFloat())
+			row.SC = p.agg.Combine(row.SC, types.NewSC(s, p.conf))
+		}
+	}
+	return row, true
+}
+
+// thresholdIter filters on the score or confidence dimension. Confidence is
+// defined for every tuple (0 when the pair is ⊥); the score of a ⊥ pair is
+// unknown, so any score comparison rejects the tuple.
+type thresholdIter struct {
+	in    iter
+	by    algebra.RankBy
+	op    expr.Op
+	value float64
+}
+
+func (t *thresholdIter) next() (prel.Row, bool) {
+	for {
+		row, ok := t.in.next()
+		if !ok {
+			return prel.Row{}, false
+		}
+		var v float64
+		if t.by == algebra.ByConf {
+			v = row.SC.Conf
+		} else {
+			if !row.SC.Known {
+				continue
+			}
+			v = row.SC.Score
+		}
+		if cmpFloat(v, t.op, t.value) {
+			return row, true
+		}
+	}
+}
+
+func cmpFloat(v float64, op expr.Op, ref float64) bool {
+	switch op {
+	case expr.OpEq:
+		return v == ref
+	case expr.OpNe:
+		return v != ref
+	case expr.OpLt:
+		return v < ref
+	case expr.OpLe:
+		return v <= ref
+	case expr.OpGt:
+		return v > ref
+	case expr.OpGe:
+		return v >= ref
+	default:
+		return false
+	}
+}
+
+// --- scans and access paths ---
+
+// buildScan compiles a (possibly filtered) base-table access. When filter
+// conjuncts allow, an index access path replaces the sequential scan; the
+// remaining conjuncts become a residual filter.
+func (e *Executor) buildScan(scan *algebra.Scan, conjuncts []expr.Node) (iter, *schema.Schema, error) {
+	t, err := e.Cat.Table(scan.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := t.Schema().Rename(scan.AliasName())
+
+	var residual []expr.Node
+	var base iter
+	for i, c := range conjuncts {
+		if base != nil {
+			residual = append(residual, conjuncts[i:]...)
+			break
+		}
+		if it := e.tryIndexPath(t, s, c); it != nil {
+			base = it
+			continue
+		}
+		residual = append(residual, c)
+	}
+	if base == nil {
+		base = &heapScanIter{heap: t.Heap, stats: &e.stats}
+	}
+	if len(residual) > 0 {
+		cond, err := expr.CompileCondition(expr.AndAll(residual), s, e.Funcs)
+		if err != nil {
+			return nil, nil, err
+		}
+		base = &filterIter{in: base, cond: cond}
+	}
+	return base, s, nil
+}
+
+// tryIndexPath returns an index-backed iterator for a single conjunct of
+// the form col = lit (hash or btree index) or col <cmp> lit / BETWEEN
+// (btree index), or nil when no index applies.
+func (e *Executor) tryIndexPath(t *catalog.Table, s *schema.Schema, c expr.Node) iter {
+	switch n := c.(type) {
+	case expr.Bin:
+		col, lit, op, ok := bindColLit(s, n)
+		if !ok {
+			return nil
+		}
+		name := strings.ToLower(col.Name)
+		if op == expr.OpEq {
+			if ix, ok := t.HashIndexOn(name); ok {
+				e.stats.IndexProbes++
+				return &rowIDIter{heap: t.Heap, ids: ix.Lookup([]types.Value{lit}), stats: &e.stats}
+			}
+			if ix, ok := t.BTreeIndexOn(name); ok {
+				e.stats.IndexProbes++
+				return &rowIDIter{heap: t.Heap, ids: ix.Lookup(lit), stats: &e.stats}
+			}
+			return nil
+		}
+		ix, ok := t.BTreeIndexOn(name)
+		if !ok {
+			return nil
+		}
+		var lo, hi types.Value
+		loIncl, hiIncl := true, true
+		switch op {
+		case expr.OpLt:
+			hi, hiIncl = lit, false
+		case expr.OpLe:
+			hi = lit
+		case expr.OpGt:
+			lo, loIncl = lit, false
+		case expr.OpGe:
+			lo = lit
+		default:
+			return nil
+		}
+		e.stats.IndexProbes++
+		return e.btreeRangeIter(t, ix, lo, hi, loIncl, hiIncl)
+
+	case expr.Between:
+		col, okC := n.X.(expr.Col)
+		loLit, okLo := n.Lo.(expr.Lit)
+		hiLit, okHi := n.Hi.(expr.Lit)
+		if !okC || !okLo || !okHi {
+			return nil
+		}
+		if _, err := s.IndexOf(col.Table, col.Name); err != nil {
+			return nil
+		}
+		ix, ok := t.BTreeIndexOn(strings.ToLower(col.Name))
+		if !ok {
+			return nil
+		}
+		e.stats.IndexProbes++
+		return e.btreeRangeIter(t, ix, loLit.Val, hiLit.Val, true, true)
+	}
+	return nil
+}
+
+func (e *Executor) btreeRangeIter(t *catalog.Table, ix *storage.BTreeIndex, lo, hi types.Value, loIncl, hiIncl bool) iter {
+	var ids []storage.RowID
+	ix.Range(lo, hi, loIncl, hiIncl, func(id storage.RowID) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return &rowIDIter{heap: t.Heap, ids: ids, stats: &e.stats}
+}
+
+// bindColLit normalizes a comparison to (column-of-s, literal, op).
+func bindColLit(s *schema.Schema, n expr.Bin) (expr.Col, types.Value, expr.Op, bool) {
+	if !n.Op.IsComparison() {
+		return expr.Col{}, types.Value{}, n.Op, false
+	}
+	if col, ok := n.L.(expr.Col); ok {
+		if lit, ok2 := n.R.(expr.Lit); ok2 {
+			if _, err := s.IndexOf(col.Table, col.Name); err == nil {
+				return col, lit.Val, n.Op, true
+			}
+		}
+	}
+	if col, ok := n.R.(expr.Col); ok {
+		if lit, ok2 := n.L.(expr.Lit); ok2 {
+			if _, err := s.IndexOf(col.Table, col.Name); err == nil {
+				return col, lit.Val, flipCmp(n.Op), true
+			}
+		}
+	}
+	return expr.Col{}, types.Value{}, n.Op, false
+}
+
+func flipCmp(op expr.Op) expr.Op {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	default:
+		return op
+	}
+}
+
+// heapScanIter streams every live tuple of a heap with the default ⟨⊥,0⟩.
+type heapScanIter struct {
+	heap  *storage.Heap
+	stats *Stats
+
+	inited bool
+	rows   []prel.Row
+	pos    int
+}
+
+func (h *heapScanIter) next() (prel.Row, bool) {
+	if !h.inited {
+		// Snapshot RowIDs lazily into a cursor; heaps are append-only during
+		// query execution so a direct page walk is safe and allocation-free
+		// per row.
+		h.rows = make([]prel.Row, 0, h.heap.Len())
+		h.heap.Scan(func(_ storage.RowID, tuple []types.Value) bool {
+			h.rows = append(h.rows, prel.Row{Tuple: tuple})
+			return true
+		})
+		h.stats.RowsScanned += len(h.rows)
+		h.inited = true
+	}
+	if h.pos >= len(h.rows) {
+		return prel.Row{}, false
+	}
+	r := h.rows[h.pos]
+	h.pos++
+	return r, true
+}
+
+// rowIDIter fetches specific rows by RowID (index access path).
+type rowIDIter struct {
+	heap  *storage.Heap
+	ids   []storage.RowID
+	stats *Stats
+	pos   int
+}
+
+func (r *rowIDIter) next() (prel.Row, bool) {
+	for r.pos < len(r.ids) {
+		id := r.ids[r.pos]
+		r.pos++
+		tuple, ok := r.heap.Get(id)
+		if !ok {
+			continue
+		}
+		r.stats.RowsScanned++
+		return prel.Row{Tuple: tuple}, true
+	}
+	return prel.Row{}, false
+}
+
+// --- joins ---
+
+// buildJoin compiles the extended inner join ⋈_{φ,F}. Equi-conjuncts over
+// opposite sides select a hash join; other conditions run as residual
+// filters, falling back to a block nested-loop join when no equi-conjunct
+// exists.
+func (e *Executor) buildJoin(j *algebra.Join) (iter, *schema.Schema, error) {
+	lIt, lS, err := e.build(j.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rIt, rS, err := e.build(j.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := lS.Concat(rS)
+
+	eqL, eqR, residual := splitEquiJoin(j.Cond, lS, rS)
+	var base iter
+	if len(eqL) > 0 {
+		base = newHashJoinIter(lIt, rIt, lS.Len(), eqL, eqR, e.Agg, &e.stats)
+	} else {
+		base = newNLJoinIter(lIt, rIt, lS.Len(), e.Agg, &e.stats)
+	}
+	if residual != nil {
+		cond, err := expr.CompileCondition(residual, out, e.Funcs)
+		if err != nil {
+			return nil, nil, err
+		}
+		base = &filterIter{in: base, cond: cond}
+	}
+	return base, out, nil
+}
+
+// splitEquiJoin partitions a join condition into equi-join column pairs
+// (left ordinal, right ordinal) and a residual condition.
+func splitEquiJoin(cond expr.Node, lS, rS *schema.Schema) (eqL, eqR []int, residual expr.Node) {
+	var rest []expr.Node
+	for _, c := range expr.Conjuncts(cond) {
+		b, ok := c.(expr.Bin)
+		if !ok || b.Op != expr.OpEq {
+			rest = append(rest, c)
+			continue
+		}
+		lc, lok := b.L.(expr.Col)
+		rc, rok := b.R.(expr.Col)
+		if !lok || !rok {
+			rest = append(rest, c)
+			continue
+		}
+		if li, err := lS.IndexOf(lc.Table, lc.Name); err == nil {
+			if ri, err2 := rS.IndexOf(rc.Table, rc.Name); err2 == nil {
+				eqL, eqR = append(eqL, li), append(eqR, ri)
+				continue
+			}
+		}
+		if li, err := lS.IndexOf(rc.Table, rc.Name); err == nil {
+			if ri, err2 := rS.IndexOf(lc.Table, lc.Name); err2 == nil {
+				eqL, eqR = append(eqL, li), append(eqR, ri)
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	return eqL, eqR, expr.AndAll(rest)
+}
+
+// hashJoinIter builds a hash table on the left input and probes it with the
+// right input, combining score-confidence pairs via F.
+type hashJoinIter struct {
+	left, right iter
+	lWidth      int
+	eqL, eqR    []int
+	agg         pref.Aggregate
+	stats       *Stats
+
+	built   bool
+	table   map[uint64][]prel.Row
+	pending []prel.Row
+	pos     int
+}
+
+func newHashJoinIter(l, r iter, lWidth int, eqL, eqR []int, agg pref.Aggregate, stats *Stats) *hashJoinIter {
+	return &hashJoinIter{left: l, right: r, lWidth: lWidth, eqL: eqL, eqR: eqR, agg: agg, stats: stats}
+}
+
+func (h *hashJoinIter) next() (prel.Row, bool) {
+	if !h.built {
+		h.table = map[uint64][]prel.Row{}
+		for {
+			row, ok := h.left.next()
+			if !ok {
+				break
+			}
+			key := hashCols(row.Tuple, h.eqL)
+			h.table[key] = append(h.table[key], row)
+		}
+		h.built = true
+	}
+	for {
+		if h.pos < len(h.pending) {
+			r := h.pending[h.pos]
+			h.pos++
+			return r, true
+		}
+		rRow, ok := h.right.next()
+		if !ok {
+			return prel.Row{}, false
+		}
+		key := hashCols(rRow.Tuple, h.eqR)
+		candidates := h.table[key]
+		if len(candidates) == 0 {
+			continue
+		}
+		h.pending = h.pending[:0]
+		h.pos = 0
+		for _, lRow := range candidates {
+			if !equalOn(lRow.Tuple, rRow.Tuple, h.eqL, h.eqR) {
+				continue
+			}
+			h.pending = append(h.pending, combineRows(lRow, rRow, h.agg))
+		}
+	}
+}
+
+func hashCols(tuple []types.Value, cols []int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range cols {
+		h ^= tuple[c].Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalOn(l, r []types.Value, eqL, eqR []int) bool {
+	for i := range eqL {
+		if !l[eqL[i]].Equal(r[eqR[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// combineRows concatenates tuples and combines their pairs through F, the
+// extended join semantics of §IV-B.
+func combineRows(l, r prel.Row, agg pref.Aggregate) prel.Row {
+	tuple := make([]types.Value, 0, len(l.Tuple)+len(r.Tuple))
+	tuple = append(tuple, l.Tuple...)
+	tuple = append(tuple, r.Tuple...)
+	return prel.Row{Tuple: tuple, SC: agg.Combine(l.SC, r.SC)}
+}
+
+// nlJoinIter is a nested-loop cross join (residual conditions filter above).
+type nlJoinIter struct {
+	left, right iter
+	lWidth      int
+	agg         pref.Aggregate
+	stats       *Stats
+
+	built bool
+	rRows []prel.Row
+	lRow  prel.Row
+	lOK   bool
+	rPos  int
+}
+
+func newNLJoinIter(l, r iter, lWidth int, agg pref.Aggregate, stats *Stats) *nlJoinIter {
+	return &nlJoinIter{left: l, right: r, lWidth: lWidth, agg: agg, stats: stats}
+}
+
+func (n *nlJoinIter) next() (prel.Row, bool) {
+	if !n.built {
+		for {
+			row, ok := n.right.next()
+			if !ok {
+				break
+			}
+			n.rRows = append(n.rRows, row)
+		}
+		n.lRow, n.lOK = n.left.next()
+		n.built = true
+	}
+	for {
+		if !n.lOK {
+			return prel.Row{}, false
+		}
+		if n.rPos < len(n.rRows) {
+			r := n.rRows[n.rPos]
+			n.rPos++
+			return combineRows(n.lRow, r, n.agg), true
+		}
+		n.lRow, n.lOK = n.left.next()
+		n.rPos = 0
+	}
+}
+
+// --- set operations ---
+
+// buildSet compiles ∪_F, ∩_F and −. All three materialize both inputs and
+// operate on tuple fingerprints; duplicate tuples within an input are
+// combined via F first (p-relations are sets of tuples).
+func (e *Executor) buildSet(s *algebra.Set) (iter, *schema.Schema, error) {
+	lIt, lS, err := e.build(s.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rIt, rS, err := e.build(s.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !lS.EqualLayout(rS) {
+		return nil, nil, fmt.Errorf("exec: %s inputs are not union-compatible: %s vs %s", s.Op, lS, rS)
+	}
+	lRows, lKeys, lIndex := dedupByTuple(drainIter(lIt), e.Agg)
+	rRows, rKeys, _ := dedupByTuple(drainIter(rIt), e.Agg)
+
+	var out []prel.Row
+	switch s.Op {
+	case algebra.SetUnion:
+		out = append(out, lRows...)
+		for i, row := range rRows {
+			if li, dup := lIndex[rKeys[i]]; dup {
+				out[li].SC = e.Agg.Combine(out[li].SC, row.SC)
+			} else {
+				out = append(out, row)
+			}
+		}
+	case algebra.SetIntersect:
+		for i, row := range rRows {
+			if li, hit := lIndex[rKeys[i]]; hit {
+				out = append(out, prel.Row{Tuple: lRows[li].Tuple, SC: e.Agg.Combine(lRows[li].SC, row.SC)})
+			}
+		}
+	case algebra.SetDiff:
+		rSet := map[string]bool{}
+		for _, k := range rKeys {
+			rSet[k] = true
+		}
+		for i, row := range lRows {
+			if !rSet[lKeys[i]] {
+				out = append(out, row)
+			}
+		}
+	}
+	return &sliceIter{rows: out}, lS, nil
+}
+
+func drainIter(it iter) []prel.Row {
+	var out []prel.Row
+	for {
+		row, ok := it.next()
+		if !ok {
+			return out
+		}
+		out = append(out, row)
+	}
+}
+
+// dedupByTuple collapses duplicate tuples (combining pairs via F, since a
+// p-relation is a set of tuples) and returns the surviving rows, their
+// fingerprints (aligned), and a fingerprint → row-index map.
+func dedupByTuple(rows []prel.Row, agg pref.Aggregate) ([]prel.Row, []string, map[string]int) {
+	out := make([]prel.Row, 0, len(rows))
+	index := make(map[string]int, len(rows))
+	keys := make([]string, 0, len(rows))
+	for _, row := range rows {
+		k := prel.Fingerprint(row.Tuple)
+		if i, dup := index[k]; dup {
+			out[i].SC = agg.Combine(out[i].SC, row.SC)
+			continue
+		}
+		index[k] = len(out)
+		out = append(out, row)
+		keys = append(keys, k)
+	}
+	return out, keys, index
+}
+
+// skyline keeps rows not dominated in the (score, conf) plane, via a sort
+// and sweep: order by score desc then conf desc; a row survives iff its
+// confidence exceeds every strictly-better-scored row's confidence and it
+// is not dominated within its own score group. Rows with ⊥ pairs are
+// dominated by any known row.
+func skyline(rows []prel.Row) []prel.Row {
+	known := make([]prel.Row, 0, len(rows))
+	var unknown []prel.Row
+	for _, r := range rows {
+		if r.SC.Known {
+			known = append(known, r)
+		} else {
+			unknown = append(unknown, r)
+		}
+	}
+	if len(known) == 0 {
+		return unknown // nothing dominates anything
+	}
+	tmp := prel.PRelation{Rows: known}
+	tmp.SortByScore()
+	var out []prel.Row
+	bestConfAbove := -1.0 // max conf among strictly higher scores
+	i := 0
+	for i < len(tmp.Rows) {
+		// Process one equal-score group.
+		j := i
+		groupMax := -1.0
+		for j < len(tmp.Rows) && tmp.Rows[j].SC.Score == tmp.Rows[i].SC.Score {
+			if tmp.Rows[j].SC.Conf > groupMax {
+				groupMax = tmp.Rows[j].SC.Conf
+			}
+			j++
+		}
+		if groupMax > bestConfAbove {
+			for k := i; k < j; k++ {
+				if tmp.Rows[k].SC.Conf == groupMax {
+					out = append(out, tmp.Rows[k])
+				}
+			}
+		}
+		if groupMax > bestConfAbove {
+			bestConfAbove = groupMax
+		}
+		i = j
+	}
+	return out
+}
+
+// attrSkyline computes the attribute skyline of Börzsönyi et al. over the
+// listed numeric dimensions, using their block-nested-loops algorithm: a
+// window of mutually incomparable tuples is maintained; each candidate is
+// dropped if dominated by a window tuple, replaces any window tuples it
+// dominates, and joins the window otherwise. NULL dimension values rank
+// worse than any number.
+func attrSkyline(rel *prel.PRelation, dims []algebra.SkyDim) ([]prel.Row, error) {
+	ords := make([]int, len(dims))
+	maxes := make([]bool, len(dims))
+	for i, d := range dims {
+		idx, err := rel.Schema.IndexOf(d.Col.Table, d.Col.Name)
+		if err != nil {
+			return nil, err
+		}
+		ords[i] = idx
+		maxes[i] = d.Max
+	}
+	// dimVal extracts a "bigger is better" coordinate.
+	dimVal := func(row prel.Row, i int) (float64, bool) {
+		v := row.Tuple[ords[i]]
+		if v.IsNull() || !v.IsNumeric() {
+			return 0, false // worst
+		}
+		f := v.AsFloat()
+		if !maxes[i] {
+			f = -f
+		}
+		return f, true
+	}
+	// dominates reports whether a is at least as good as b in every
+	// dimension and strictly better in one.
+	dominates := func(a, b prel.Row) bool {
+		strict := false
+		for i := range ords {
+			av, aok := dimVal(a, i)
+			bv, bok := dimVal(b, i)
+			switch {
+			case !aok && !bok:
+				// equal (both unknown)
+			case !aok:
+				return false // a worse in dim i
+			case !bok:
+				strict = true
+			case av < bv:
+				return false
+			case av > bv:
+				strict = true
+			}
+		}
+		return strict
+	}
+	var window []prel.Row
+candidates:
+	for _, cand := range rel.Rows {
+		kept := window[:0]
+		for _, w := range window {
+			if dominates(w, cand) {
+				continue candidates // window survives untouched
+			}
+			if !dominates(cand, w) {
+				kept = append(kept, w)
+			}
+		}
+		window = append(kept, cand)
+	}
+	return window, nil
+}
+
+// limitIter skips offset rows then yields at most n.
+type limitIter struct {
+	in      iter
+	n       int
+	offset  int
+	skipped int
+	yielded int
+}
+
+func (l *limitIter) next() (prel.Row, bool) {
+	for l.skipped < l.offset {
+		if _, ok := l.in.next(); !ok {
+			return prel.Row{}, false
+		}
+		l.skipped++
+	}
+	if l.yielded >= l.n {
+		return prel.Row{}, false
+	}
+	row, ok := l.in.next()
+	if !ok {
+		return prel.Row{}, false
+	}
+	l.yielded++
+	return row, true
+}
+
+// orderRows stably sorts a relation by the attribute keys (NULLs first on
+// ascending keys, mirroring the total order of types.Compare).
+func orderRows(rel *prel.PRelation, keys []algebra.OrderKey) error {
+	ords := make([]int, len(keys))
+	for i, k := range keys {
+		idx, err := rel.Schema.IndexOf(k.Col.Table, k.Col.Name)
+		if err != nil {
+			return err
+		}
+		ords[i] = idx
+	}
+	sort.SliceStable(rel.Rows, func(i, j int) bool {
+		a, b := rel.Rows[i], rel.Rows[j]
+		for d, o := range ords {
+			c, _ := types.Compare(a.Tuple[o], b.Tuple[o])
+			if c == 0 {
+				continue
+			}
+			if keys[d].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}

@@ -1,0 +1,432 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// Compiled is an expression bound to a concrete schema, ready to evaluate
+// against tuples laid out by that schema.
+//
+// Evaluation follows SQL three-valued logic: comparisons involving NULL (or
+// incomparable kinds) yield NULL, AND/OR propagate unknowns, and a WHERE
+// condition accepts a tuple only when it evaluates to TRUE.
+type Compiled struct {
+	eval func(row []types.Value) types.Value
+	kind types.Kind
+	cols []int
+	src  string
+}
+
+// Eval evaluates the expression over a tuple.
+func (c *Compiled) Eval(row []types.Value) types.Value { return c.eval(row) }
+
+// Kind returns the static result kind.
+func (c *Compiled) Kind() types.Kind { return c.kind }
+
+// Columns returns the bound column ordinals the expression reads.
+func (c *Compiled) Columns() []int { return c.cols }
+
+// String returns the source form of the compiled expression.
+func (c *Compiled) String() string { return c.src }
+
+// Truthy applies the expression as a condition: only TRUE accepts.
+func (c *Compiled) Truthy(row []types.Value) bool {
+	v := c.eval(row)
+	return v.Kind() == types.KindBool && v.AsBool()
+}
+
+// Compile binds n to s, resolving columns and functions and type-checking
+// operator applications.
+func Compile(n Node, s *schema.Schema, funcs *Registry) (*Compiled, error) {
+	c := &compiler{schema: s, funcs: funcs}
+	out, err := c.compile(n)
+	if err != nil {
+		return nil, err
+	}
+	out.src = n.String()
+	out.cols = c.cols
+	return out, nil
+}
+
+// CompileCondition compiles n and verifies it yields a boolean.
+func CompileCondition(n Node, s *schema.Schema, funcs *Registry) (*Compiled, error) {
+	out, err := Compile(n, s, funcs)
+	if err != nil {
+		return nil, err
+	}
+	if out.kind != types.KindBool && out.kind != types.KindNull {
+		return nil, fmt.Errorf("expr: condition %s has non-boolean type %s", n, out.kind)
+	}
+	return out, nil
+}
+
+type compiler struct {
+	schema *schema.Schema
+	funcs  *Registry
+	cols   []int
+}
+
+func (c *compiler) compile(n Node) (*Compiled, error) {
+	switch x := n.(type) {
+	case Col:
+		idx, err := c.schema.IndexOf(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		c.cols = append(c.cols, idx)
+		kind := c.schema.Columns[idx].Kind
+		return &Compiled{kind: kind, eval: func(row []types.Value) types.Value { return row[idx] }}, nil
+
+	case Lit:
+		v := x.Val
+		return &Compiled{kind: v.Kind(), eval: func([]types.Value) types.Value { return v }}, nil
+
+	case Bin:
+		return c.compileBin(x)
+
+	case Un:
+		return c.compileUn(x)
+
+	case Call:
+		return c.compileCall(x)
+
+	case Between:
+		// Desugar: lo <= x AND x <= hi.
+		return c.compile(Bin{Op: OpAnd,
+			L: Bin{Op: OpLe, L: x.Lo, R: x.X},
+			R: Bin{Op: OpLe, L: x.X, R: x.Hi},
+		})
+
+	case In:
+		return c.compileIn(x)
+
+	case Like:
+		return c.compileLike(x)
+
+	case IsNull:
+		inner, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		neg := x.Negate
+		return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+			isNull := inner.eval(row).IsNull()
+			return types.Bool(isNull != neg)
+		}}, nil
+
+	case nil:
+		return nil, fmt.Errorf("expr: cannot compile nil expression")
+
+	default:
+		return nil, fmt.Errorf("expr: unknown node type %T", n)
+	}
+}
+
+func (c *compiler) compileBin(x Bin) (*Compiled, error) {
+	l, err := c.compile(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compile(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case x.Op.IsComparison():
+		op := x.Op
+		return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+			lv, rv := l.eval(row), r.eval(row)
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null()
+			}
+			cmp, ok := types.Compare(lv, rv)
+			if !ok {
+				return types.Null()
+			}
+			switch op {
+			case OpEq:
+				return types.Bool(cmp == 0)
+			case OpNe:
+				return types.Bool(cmp != 0)
+			case OpLt:
+				return types.Bool(cmp < 0)
+			case OpLe:
+				return types.Bool(cmp <= 0)
+			case OpGt:
+				return types.Bool(cmp > 0)
+			default:
+				return types.Bool(cmp >= 0)
+			}
+		}}, nil
+
+	case x.Op == OpAnd:
+		return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+			lv := l.eval(row)
+			if lv.Kind() == types.KindBool && !lv.AsBool() {
+				return types.Bool(false)
+			}
+			rv := r.eval(row)
+			if rv.Kind() == types.KindBool && !rv.AsBool() {
+				return types.Bool(false)
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null()
+			}
+			return types.Bool(lv.AsBool() && rv.AsBool())
+		}}, nil
+
+	case x.Op == OpOr:
+		return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+			lv := l.eval(row)
+			if lv.Kind() == types.KindBool && lv.AsBool() {
+				return types.Bool(true)
+			}
+			rv := r.eval(row)
+			if rv.Kind() == types.KindBool && rv.AsBool() {
+				return types.Bool(true)
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null()
+			}
+			return types.Bool(false)
+		}}, nil
+
+	case x.Op == OpAdd || x.Op == OpSub || x.Op == OpMul || x.Op == OpDiv || x.Op == OpMod:
+		if err := wantNumeric(x.Op, l.kind, r.kind); err != nil {
+			return nil, err
+		}
+		op := x.Op
+		kind := types.KindFloat
+		if l.kind == types.KindInt && r.kind == types.KindInt && op != OpDiv {
+			kind = types.KindInt
+		}
+		return &Compiled{kind: kind, eval: func(row []types.Value) types.Value {
+			lv, rv := l.eval(row), r.eval(row)
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null()
+			}
+			if kind == types.KindInt {
+				a, b := lv.AsInt(), rv.AsInt()
+				switch op {
+				case OpAdd:
+					return types.Int(a + b)
+				case OpSub:
+					return types.Int(a - b)
+				case OpMul:
+					return types.Int(a * b)
+				default: // OpMod
+					if b == 0 {
+						return types.Null()
+					}
+					return types.Int(a % b)
+				}
+			}
+			a, b := lv.AsFloat(), rv.AsFloat()
+			switch op {
+			case OpAdd:
+				return types.Float(a + b)
+			case OpSub:
+				return types.Float(a - b)
+			case OpMul:
+				return types.Float(a * b)
+			case OpDiv:
+				if b == 0 {
+					return types.Null()
+				}
+				return types.Float(a / b)
+			default: // OpMod over floats: undefined, NULL
+				return types.Null()
+			}
+		}}, nil
+
+	default:
+		return nil, fmt.Errorf("expr: unsupported binary operator %s", x.Op)
+	}
+}
+
+func wantNumeric(op Op, kinds ...types.Kind) error {
+	for _, k := range kinds {
+		if k != types.KindInt && k != types.KindFloat && k != types.KindNull {
+			return fmt.Errorf("expr: operator %s requires numeric operands, got %s", op, k)
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileUn(x Un) (*Compiled, error) {
+	inner, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case OpNot:
+		return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+			v := inner.eval(row)
+			if v.IsNull() {
+				return types.Null()
+			}
+			return types.Bool(!v.AsBool())
+		}}, nil
+	case OpNeg:
+		if err := wantNumeric(OpNeg, inner.kind); err != nil {
+			return nil, err
+		}
+		kind := inner.kind
+		return &Compiled{kind: kind, eval: func(row []types.Value) types.Value {
+			v := inner.eval(row)
+			if v.IsNull() {
+				return types.Null()
+			}
+			if v.Kind() == types.KindInt {
+				return types.Int(-v.AsInt())
+			}
+			return types.Float(-v.AsFloat())
+		}}, nil
+	default:
+		return nil, fmt.Errorf("expr: unsupported unary operator %s", x.Op)
+	}
+}
+
+func (c *compiler) compileCall(x Call) (*Compiled, error) {
+	f, ok := c.funcs.Lookup(x.Name)
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown function %q (known: %s)", x.Name, strings.Join(c.funcs.Names(), ", "))
+	}
+	if len(x.Args) < f.MinArgs || (f.MaxArgs >= 0 && len(x.Args) > f.MaxArgs) {
+		return nil, fmt.Errorf("expr: function %q called with %d args, want %d..%d", x.Name, len(x.Args), f.MinArgs, f.MaxArgs)
+	}
+	args := make([]*Compiled, len(x.Args))
+	for i, a := range x.Args {
+		ca, err := c.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ca
+	}
+	fn := f.Eval
+	return &Compiled{kind: f.Kind, eval: func(row []types.Value) types.Value {
+		vals := make([]types.Value, len(args))
+		for i, a := range args {
+			vals[i] = a.eval(row)
+		}
+		return fn(vals)
+	}}, nil
+}
+
+func (c *compiler) compileIn(x In) (*Compiled, error) {
+	inner, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]*Compiled, len(x.List))
+	allLit := true
+	for i, a := range x.List {
+		ca, err := c.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = ca
+		if _, isLit := a.(Lit); !isLit {
+			allLit = false
+		}
+	}
+	if allLit {
+		// Fast path: hash set of literal values. A NULL literal in the list
+		// makes any non-match unknown (SQL three-valued IN).
+		set := make(map[uint64][]types.Value, len(items))
+		hasNull := false
+		for _, it := range items {
+			v := it.eval(nil)
+			if v.IsNull() {
+				hasNull = true
+				continue
+			}
+			set[v.Hash()] = append(set[v.Hash()], v)
+		}
+		return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+			v := inner.eval(row)
+			if v.IsNull() {
+				return types.Null()
+			}
+			for _, cand := range set[v.Hash()] {
+				if cand.Equal(v) {
+					return types.Bool(true)
+				}
+			}
+			if hasNull {
+				return types.Null()
+			}
+			return types.Bool(false)
+		}}, nil
+	}
+	return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+		v := inner.eval(row)
+		if v.IsNull() {
+			return types.Null()
+		}
+		sawNull := false
+		for _, it := range items {
+			iv := it.eval(row)
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if iv.Equal(v) {
+				return types.Bool(true)
+			}
+		}
+		if sawNull {
+			return types.Null()
+		}
+		return types.Bool(false)
+	}}, nil
+}
+
+func (c *compiler) compileLike(x Like) (*Compiled, error) {
+	inner, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	if inner.kind != types.KindString && inner.kind != types.KindNull {
+		return nil, fmt.Errorf("expr: LIKE requires a string operand, got %s", inner.kind)
+	}
+	pat := x.Pattern
+	return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+		v := inner.eval(row)
+		if v.IsNull() {
+			return types.Null()
+		}
+		return types.Bool(likeMatch(v.AsString(), pat))
+	}}, nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single rune),
+// case-sensitively, via iterative backtracking.
+func likeMatch(s, pat string) bool {
+	sr, pr := []rune(s), []rune(pat)
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(sr) {
+		switch {
+		case pi < len(pr) && (pr[pi] == '_' || pr[pi] == sr[si]):
+			si++
+			pi++
+		case pi < len(pr) && pr[pi] == '%':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			mark++
+			si, pi = mark, star+1
+		default:
+			return false
+		}
+	}
+	for pi < len(pr) && pr[pi] == '%' {
+		pi++
+	}
+	return pi == len(pr)
+}

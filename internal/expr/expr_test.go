@@ -1,0 +1,482 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Table: "movies", Name: "m_id", Kind: types.KindInt},
+		schema.Column{Table: "movies", Name: "title", Kind: types.KindString},
+		schema.Column{Table: "movies", Name: "year", Kind: types.KindInt},
+		schema.Column{Table: "movies", Name: "rating", Kind: types.KindFloat},
+		schema.Column{Table: "movies", Name: "hit", Kind: types.KindBool},
+	)
+}
+
+func row(id int64, title string, year int64, rating float64, hit bool) []types.Value {
+	return []types.Value{types.Int(id), types.Str(title), types.Int(year), types.Float(rating), types.Bool(hit)}
+}
+
+func compile(t *testing.T, n Node) *Compiled {
+	t.Helper()
+	c, err := Compile(n, testSchema(), NewRegistry())
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", n, err)
+	}
+	return c
+}
+
+func TestColAndLit(t *testing.T) {
+	r := row(1, "Gran Torino", 2008, 8.2, true)
+	if got := compile(t, ColRef("title")).Eval(r); got.AsString() != "Gran Torino" {
+		t.Errorf("col eval = %v", got)
+	}
+	if got := compile(t, Lit{types.Int(5)}).Eval(r); got.AsInt() != 5 {
+		t.Errorf("lit eval = %v", got)
+	}
+	if got := compile(t, ColRef("movies.year")).Eval(r); got.AsInt() != 2008 {
+		t.Errorf("qualified col = %v", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	r := row(1, "abc", 2008, 8.2, true)
+	cases := []struct {
+		n    Node
+		want bool
+	}{
+		{Eq("year", types.Int(2008)), true},
+		{Eq("year", types.Int(2009)), false},
+		{Cmp("year", OpNe, types.Int(2009)), true},
+		{Cmp("year", OpLt, types.Int(2009)), true},
+		{Cmp("year", OpLe, types.Int(2008)), true},
+		{Cmp("year", OpGt, types.Int(2007)), true},
+		{Cmp("year", OpGe, types.Int(2008)), true},
+		{Cmp("rating", OpGt, types.Float(8.0)), true},
+		{Cmp("rating", OpGt, types.Int(9)), false},
+		{Eq("title", types.Str("abc")), true},
+	}
+	for _, c := range cases {
+		got := compile(t, c.n).Eval(r)
+		if got.Kind() != types.KindBool || got.AsBool() != c.want {
+			t.Errorf("%s = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	s := testSchema()
+	r := []types.Value{types.Int(1), types.Null(), types.Null(), types.Float(5), types.Bool(true)}
+	reg := NewRegistry()
+	// NULL = NULL is NULL, not true.
+	c, err := CompileCondition(Eq("title", types.Str("x")), s, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(r); !got.IsNull() {
+		t.Errorf("NULL comparison = %v, want NULL", got)
+	}
+	if c.Truthy(r) {
+		t.Error("NULL condition must not accept")
+	}
+	// FALSE AND NULL = FALSE (short circuit).
+	and := Bin{Op: OpAnd, L: Eq("m_id", types.Int(99)), R: Eq("title", types.Str("x"))}
+	if got := compile(t, and).Eval(r); got.IsNull() || got.AsBool() {
+		t.Errorf("FALSE AND NULL = %v, want false", got)
+	}
+	// TRUE AND NULL = NULL.
+	and2 := Bin{Op: OpAnd, L: Eq("m_id", types.Int(1)), R: Eq("title", types.Str("x"))}
+	if got := compile(t, and2).Eval(r); !got.IsNull() {
+		t.Errorf("TRUE AND NULL = %v, want NULL", got)
+	}
+	// TRUE OR NULL = TRUE.
+	or := Bin{Op: OpOr, L: Eq("m_id", types.Int(1)), R: Eq("title", types.Str("x"))}
+	if got := compile(t, or).Eval(r); got.IsNull() || !got.AsBool() {
+		t.Errorf("TRUE OR NULL = %v, want true", got)
+	}
+	// FALSE OR NULL = NULL.
+	or2 := Bin{Op: OpOr, L: Eq("m_id", types.Int(99)), R: Eq("title", types.Str("x"))}
+	if got := compile(t, or2).Eval(r); !got.IsNull() {
+		t.Errorf("FALSE OR NULL = %v, want NULL", got)
+	}
+	// NOT NULL = NULL.
+	not := Un{Op: OpNot, X: Eq("title", types.Str("x"))}
+	if got := compile(t, not).Eval(r); !got.IsNull() {
+		t.Errorf("NOT NULL = %v, want NULL", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	r := row(1, "x", 10, 2.5, false)
+	cases := []struct {
+		n    Node
+		want types.Value
+	}{
+		{Bin{OpAdd, ColRef("year"), Lit{types.Int(5)}}, types.Int(15)},
+		{Bin{OpSub, ColRef("year"), Lit{types.Int(3)}}, types.Int(7)},
+		{Bin{OpMul, ColRef("year"), Lit{types.Int(2)}}, types.Int(20)},
+		{Bin{OpDiv, ColRef("year"), Lit{types.Int(4)}}, types.Float(2.5)},
+		{Bin{OpMod, ColRef("year"), Lit{types.Int(3)}}, types.Int(1)},
+		{Bin{OpAdd, ColRef("rating"), Lit{types.Float(0.5)}}, types.Float(3.0)},
+		{Bin{OpDiv, ColRef("year"), Lit{types.Int(0)}}, types.Null()},
+		{Bin{OpMod, ColRef("year"), Lit{types.Int(0)}}, types.Null()},
+		{Un{OpNeg, ColRef("year")}, types.Int(-10)},
+		{Un{OpNeg, ColRef("rating")}, types.Float(-2.5)},
+	}
+	for _, c := range cases {
+		got := compile(t, c.n).Eval(r)
+		if !got.Equal(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	s := testSchema()
+	reg := NewRegistry()
+	bad := []Node{
+		Bin{OpAdd, ColRef("title"), Lit{types.Int(1)}},
+		Un{OpNeg, ColRef("title")},
+		Like{X: ColRef("year"), Pattern: "%x%"},
+		ColRef("missing"),
+		Call{Name: "nosuchfunc"},
+		Call{Name: "abs", Args: []Node{ColRef("year"), ColRef("year")}},
+	}
+	for _, n := range bad {
+		if _, err := Compile(n, s, reg); err == nil {
+			t.Errorf("Compile(%s): expected error", n)
+		}
+	}
+	if _, err := CompileCondition(Bin{OpAdd, ColRef("year"), Lit{types.Int(1)}}, s, reg); err == nil {
+		t.Error("CompileCondition should reject numeric expressions")
+	}
+}
+
+func TestBetweenInLikeIsNull(t *testing.T) {
+	r := row(1, "Million Dollar Baby", 2004, 8.1, true)
+	cases := []struct {
+		n    Node
+		want bool
+	}{
+		{Between{ColRef("year"), Lit{types.Int(2000)}, Lit{types.Int(2010)}}, true},
+		{Between{ColRef("year"), Lit{types.Int(2005)}, Lit{types.Int(2010)}}, false},
+		{In{ColRef("year"), []Node{Lit{types.Int(2003)}, Lit{types.Int(2004)}}}, true},
+		{In{ColRef("year"), []Node{Lit{types.Int(1999)}}}, false},
+		{Like{ColRef("title"), "Million%"}, true},
+		{Like{ColRef("title"), "%Dollar%"}, true},
+		{Like{ColRef("title"), "M_llion%"}, true},
+		{Like{ColRef("title"), "Dollar"}, false},
+		{Like{ColRef("title"), "%baby"}, false}, // case-sensitive
+		{IsNull{X: ColRef("title")}, false},
+		{IsNull{X: ColRef("title"), Negate: true}, true},
+	}
+	for _, c := range cases {
+		got := compile(t, c.n).Eval(r)
+		if got.Kind() != types.KindBool || got.AsBool() != c.want {
+			t.Errorf("%s = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestInWithNulls(t *testing.T) {
+	s := testSchema()
+	r := []types.Value{types.Int(1), types.Null(), types.Int(2004), types.Float(1), types.Bool(true)}
+	// NULL IN (...) is NULL.
+	c := compile(t, In{ColRef("title"), []Node{Lit{types.Str("x")}}})
+	if got := c.Eval(r); !got.IsNull() {
+		t.Errorf("NULL IN list = %v", got)
+	}
+	_ = s
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"aXbYc", "a%b%c", true},
+		{"mississippi", "%iss%pi", true},
+		{"mississippi", "%iss%pix", false},
+		{"日本語", "日_語", true},
+		{"日本語", "%語", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	r := row(1, "Abc", 2008, -2.5, true)
+	cases := []struct {
+		n    Node
+		want types.Value
+	}{
+		{Call{"abs", []Node{ColRef("rating")}}, types.Float(2.5)},
+		{Call{"min", []Node{Lit{types.Int(3)}, Lit{types.Int(1)}, Lit{types.Int(2)}}}, types.Float(1)},
+		{Call{"max", []Node{Lit{types.Int(3)}, ColRef("year")}}, types.Float(2008)},
+		{Call{"round", []Node{Lit{types.Float(2.6)}}}, types.Float(3)},
+		{Call{"length", []Node{ColRef("title")}}, types.Int(3)},
+		{Call{"lower", []Node{ColRef("title")}}, types.Str("abc")},
+		{Call{"upper", []Node{ColRef("title")}}, types.Str("ABC")},
+	}
+	for _, c := range cases {
+		got := compile(t, c.n).Eval(r)
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Lookup("ABS"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if err := r.Register(&Func{Name: "abs"}); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := r.Register(&Func{Name: ""}); err == nil {
+		t.Error("empty name should fail")
+	}
+	c := r.Clone()
+	if err := c.Register(&Func{Name: "custom", Kind: types.KindInt, Eval: func([]types.Value) types.Value { return types.Int(1) }}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("custom"); ok {
+		t.Error("clone registration leaked into original")
+	}
+}
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	a := Eq("year", types.Int(1))
+	b := Eq("m_id", types.Int(2))
+	c := Eq("title", types.Str("x"))
+	tree := Bin{OpAnd, a, Bin{OpAnd, b, c}}
+	parts := Conjuncts(tree)
+	if len(parts) != 3 {
+		t.Fatalf("Conjuncts = %d parts", len(parts))
+	}
+	back := AndAll(parts)
+	if !Equal(back, tree) {
+		t.Errorf("AndAll(Conjuncts(x)) = %s, want %s", back, tree)
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+	if got := AndAll([]Node{a}); !Equal(got, a) {
+		t.Errorf("AndAll single = %s", got)
+	}
+}
+
+func TestColumnsOfAndTables(t *testing.T) {
+	n := Bin{OpAnd,
+		Eq("movies.year", types.Int(1)),
+		Bin{OpGt, ColRef("ratings.votes"), ColRef("movies.m_id")},
+	}
+	cols := ColumnsOf(n)
+	if len(cols) != 3 {
+		t.Fatalf("ColumnsOf = %v", cols)
+	}
+	tabs := Tables(n)
+	if !tabs["movies"] || !tabs["ratings"] || len(tabs) != 2 {
+		t.Errorf("Tables = %v", tabs)
+	}
+	if !RefersOnly(n, map[string]bool{"movies": true, "ratings": true}) {
+		t.Error("RefersOnly full set should hold")
+	}
+	if RefersOnly(n, map[string]bool{"movies": true}) {
+		t.Error("RefersOnly partial set should fail")
+	}
+	if RefersOnly(Eq("year", types.Int(1)), map[string]bool{"movies": true}) {
+		t.Error("unqualified refs must not count as covered")
+	}
+}
+
+func TestTruthyProperty(t *testing.T) {
+	// Property: for random years, (year >= lo) agrees with direct comparison.
+	s := testSchema()
+	reg := NewRegistry()
+	f := func(year int32, lo int32) bool {
+		c, err := CompileCondition(Cmp("year", OpGe, types.Int(int64(lo))), s, reg)
+		if err != nil {
+			return false
+		}
+		r := row(1, "t", int64(year), 0, false)
+		return c.Truthy(r) == (year >= lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	n := Bin{OpAnd,
+		Eq("genre", types.Str("Comedy")),
+		Un{OpNot, IsNull{X: ColRef("year"), Negate: true}},
+	}
+	want := "((genre = 'Comedy') AND (NOT (year IS NOT NULL)))"
+	if got := n.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got := (Between{ColRef("x"), Lit{types.Int(1)}, Lit{types.Int(2)}}).String(); got != "(x BETWEEN 1 AND 2)" {
+		t.Errorf("between = %q", got)
+	}
+	if got := (In{ColRef("x"), []Node{Lit{types.Int(1)}}}).String(); got != "(x IN (1))" {
+		t.Errorf("in = %q", got)
+	}
+	if got := (Call{"f", []Node{ColRef("x"), Lit{types.Int(2)}}}).String(); got != "f(x, 2)" {
+		t.Errorf("call = %q", got)
+	}
+}
+
+func TestCompiledMetadata(t *testing.T) {
+	c := compile(t, Bin{OpGt, ColRef("rating"), ColRef("year")})
+	if len(c.Columns()) != 2 {
+		t.Errorf("Columns = %v", c.Columns())
+	}
+	if c.Kind() != types.KindBool {
+		t.Errorf("Kind = %v", c.Kind())
+	}
+	if c.String() == "" {
+		t.Error("String should carry source")
+	}
+}
+
+func TestWalkCoversAllNodes(t *testing.T) {
+	// Walk must visit every child of every composite node type.
+	n := Bin{OpOr,
+		Between{ColRef("a"), Lit{types.Int(1)}, Lit{types.Int(2)}},
+		Bin{OpAnd,
+			In{ColRef("b"), []Node{Lit{types.Int(3)}, ColRef("c")}},
+			Bin{OpAnd,
+				Like{ColRef("d"), "x%"},
+				Bin{OpAnd,
+					IsNull{X: ColRef("e")},
+					Un{OpNot, Call{"f", []Node{ColRef("g"), TrueLiteral()}}},
+				},
+			},
+		},
+	}
+	var cols []string
+	Walk(n, func(x Node) bool {
+		if c, ok := x.(Col); ok {
+			cols = append(cols, c.Name)
+		}
+		return true
+	})
+	want := []string{"a", "b", "c", "d", "e", "g"}
+	if len(cols) != len(want) {
+		t.Fatalf("visited cols = %v, want %v", cols, want)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("visited cols = %v, want %v", cols, want)
+		}
+	}
+	// Early stop inside each composite type.
+	for _, sub := range []Node{
+		Between{ColRef("x"), ColRef("y"), ColRef("z")},
+		In{ColRef("x"), []Node{ColRef("y")}},
+		Like{ColRef("x"), "p"},
+		IsNull{X: ColRef("x")},
+		Call{"f", []Node{ColRef("x"), ColRef("y")}},
+		Un{OpNeg, ColRef("x")},
+	} {
+		count := 0
+		Walk(sub, func(Node) bool {
+			count++
+			return count < 2 // stop right after the first child
+		})
+		if count != 2 {
+			t.Errorf("%T early stop visited %d nodes", sub, count)
+		}
+	}
+	// TrueLiteral is the σ_true building block.
+	if TrueLiteral().String() != "true" {
+		t.Errorf("TrueLiteral = %s", TrueLiteral())
+	}
+}
+
+func TestEqualNilHandling(t *testing.T) {
+	a := ColRef("x")
+	if !Equal(nil, nil) {
+		t.Error("nil == nil")
+	}
+	if Equal(a, nil) || Equal(nil, a) {
+		t.Error("nil != non-nil")
+	}
+	if !Equal(a, ColRef("x")) {
+		t.Error("structural equality failed")
+	}
+}
+
+func TestInWithNonLiteralList(t *testing.T) {
+	// Column-valued IN lists take the slow path.
+	r := row(5, "x", 5, 5, true)
+	c := compile(t, In{ColRef("m_id"), []Node{ColRef("year"), Lit{types.Int(9)}}})
+	if got := c.Eval(r); !got.AsBool() {
+		t.Errorf("5 IN (year=5, 9) = %v", got)
+	}
+	r2 := row(4, "x", 5, 5, true)
+	if got := c.Eval(r2); got.AsBool() {
+		t.Errorf("4 IN (5, 9) = %v", got)
+	}
+	// NULL in the list makes a non-match unknown.
+	s := testSchema()
+	reg := NewRegistry()
+	cn, err := Compile(In{ColRef("m_id"), []Node{Lit{types.Null()}, Lit{types.Int(9)}}}, s, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cn.Eval(r2); !got.IsNull() {
+		t.Errorf("4 IN (NULL, 9) = %v, want NULL", got)
+	}
+	if got := cn.Eval(row(9, "x", 1, 1, true)); !got.AsBool() {
+		t.Errorf("9 IN (NULL, 9) = %v, want true", got)
+	}
+}
+
+func TestBuiltinCoalesceMinMaxNulls(t *testing.T) {
+	r := []types.Value{types.Null(), types.Str("t"), types.Int(7), types.Float(2), types.Bool(true)}
+	c := compile(t, Call{"coalesce", []Node{ColRef("m_id"), ColRef("year")}})
+	if got := c.Eval(r); got.AsInt() != 7 {
+		t.Errorf("coalesce = %v", got)
+	}
+	cAllNull := compile(t, Call{"coalesce", []Node{ColRef("m_id"), ColRef("m_id")}})
+	if got := cAllNull.Eval(r); !got.IsNull() {
+		t.Errorf("coalesce(all null) = %v", got)
+	}
+	// min/max with a NULL argument yields NULL.
+	cm := compile(t, Call{"min", []Node{ColRef("m_id"), ColRef("year")}})
+	if got := cm.Eval(r); !got.IsNull() {
+		t.Errorf("min(NULL, 7) = %v", got)
+	}
+	// NULL-propagating unary builtins.
+	for _, name := range []string{"abs", "round", "length", "lower", "upper"} {
+		col := "m_id"
+		if name == "length" || name == "lower" || name == "upper" {
+			col = "title"
+		}
+		cn := compile(t, Call{name, []Node{ColRef(col)}})
+		nullRow := []types.Value{types.Null(), types.Null(), types.Null(), types.Null(), types.Null()}
+		if got := cn.Eval(nullRow); !got.IsNull() {
+			t.Errorf("%s(NULL) = %v", name, got)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"prefdb/internal/types"
+)
+
+// Func is a registered scalar function callable from expressions.
+type Func struct {
+	// Name is the lookup key (case-insensitive).
+	Name string
+	// MinArgs/MaxArgs bound the arity; MaxArgs < 0 means variadic.
+	MinArgs, MaxArgs int
+	// Kind is the static result kind.
+	Kind types.Kind
+	// Eval computes the result; args are already evaluated. NULL inputs
+	// should normally yield NULL.
+	Eval func(args []types.Value) types.Value
+}
+
+// Registry maps function names to implementations. The zero Registry is
+// empty; use NewRegistry for the standard builtins.
+type Registry struct {
+	funcs map[string]*Func
+}
+
+// NewRegistry returns a registry preloaded with the standard scalar builtins
+// (abs, min, max, round, length, lower, upper, coalesce).
+func NewRegistry() *Registry {
+	r := &Registry{funcs: map[string]*Func{}}
+	r.MustRegister(&Func{Name: "abs", MinArgs: 1, MaxArgs: 1, Kind: types.KindFloat, Eval: func(a []types.Value) types.Value {
+		if a[0].IsNull() {
+			return types.Null()
+		}
+		return types.Float(math.Abs(a[0].AsFloat()))
+	}})
+	r.MustRegister(&Func{Name: "min", MinArgs: 1, MaxArgs: -1, Kind: types.KindFloat, Eval: foldFloat(math.Min)})
+	r.MustRegister(&Func{Name: "max", MinArgs: 1, MaxArgs: -1, Kind: types.KindFloat, Eval: foldFloat(math.Max)})
+	r.MustRegister(&Func{Name: "round", MinArgs: 1, MaxArgs: 1, Kind: types.KindFloat, Eval: func(a []types.Value) types.Value {
+		if a[0].IsNull() {
+			return types.Null()
+		}
+		return types.Float(math.Round(a[0].AsFloat()))
+	}})
+	r.MustRegister(&Func{Name: "length", MinArgs: 1, MaxArgs: 1, Kind: types.KindInt, Eval: func(a []types.Value) types.Value {
+		if a[0].IsNull() {
+			return types.Null()
+		}
+		return types.Int(int64(len(a[0].AsString())))
+	}})
+	r.MustRegister(&Func{Name: "lower", MinArgs: 1, MaxArgs: 1, Kind: types.KindString, Eval: func(a []types.Value) types.Value {
+		if a[0].IsNull() {
+			return types.Null()
+		}
+		return types.Str(strings.ToLower(a[0].AsString()))
+	}})
+	r.MustRegister(&Func{Name: "upper", MinArgs: 1, MaxArgs: 1, Kind: types.KindString, Eval: func(a []types.Value) types.Value {
+		if a[0].IsNull() {
+			return types.Null()
+		}
+		return types.Str(strings.ToUpper(a[0].AsString()))
+	}})
+	r.MustRegister(&Func{Name: "coalesce", MinArgs: 1, MaxArgs: -1, Kind: types.KindFloat, Eval: func(a []types.Value) types.Value {
+		for _, v := range a {
+			if !v.IsNull() {
+				return v
+			}
+		}
+		return types.Null()
+	}})
+	return r
+}
+
+func foldFloat(f func(a, b float64) float64) func([]types.Value) types.Value {
+	return func(args []types.Value) types.Value {
+		acc := math.NaN()
+		first := true
+		for _, v := range args {
+			if v.IsNull() {
+				return types.Null()
+			}
+			if first {
+				acc = v.AsFloat()
+				first = false
+			} else {
+				acc = f(acc, v.AsFloat())
+			}
+		}
+		return types.Float(acc)
+	}
+}
+
+// Register adds a function; it fails if the name is taken or invalid.
+func (r *Registry) Register(f *Func) error {
+	if r.funcs == nil {
+		r.funcs = map[string]*Func{}
+	}
+	key := strings.ToLower(f.Name)
+	if key == "" {
+		return fmt.Errorf("expr: function name must not be empty")
+	}
+	if _, dup := r.funcs[key]; dup {
+		return fmt.Errorf("expr: function %q already registered", f.Name)
+	}
+	r.funcs[key] = f
+	return nil
+}
+
+// MustRegister is Register, panicking on error (for builtins).
+func (r *Registry) MustRegister(f *Func) {
+	if err := r.Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a function by name (case-insensitive).
+func (r *Registry) Lookup(name string) (*Func, bool) {
+	if r == nil || r.funcs == nil {
+		return nil, false
+	}
+	f, ok := r.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// Names returns the sorted registered names (for error messages and docs).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.funcs))
+	for k := range r.funcs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a shallow copy that can be extended without affecting r.
+func (r *Registry) Clone() *Registry {
+	out := &Registry{funcs: make(map[string]*Func, len(r.funcs))}
+	for k, v := range r.funcs {
+		out.funcs[k] = v
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package optimizer
+
+import (
+	"testing"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+func TestEstimateRows(t *testing.T) {
+	o := New(testDB(t))
+	movies := &algebra.Scan{Table: "movies"}       // 120 rows
+	directors := &algebra.Scan{Table: "directors"} // 10 rows
+	if got := o.EstimateRows(movies); got != 120 {
+		t.Errorf("scan estimate = %v", got)
+	}
+	if got := o.EstimateRows(&algebra.Scan{Table: "ghost"}); got != 1000 {
+		t.Errorf("unknown table fallback = %v", got)
+	}
+	// Selection scales by estimated selectivity.
+	sel := &algebra.Select{Cond: expr.Eq("genre", types.Str("Comedy")), Input: &algebra.Scan{Table: "genres"}}
+	if got := o.EstimateRows(sel); got <= 0 || got >= 120 {
+		t.Errorf("select estimate = %v", got)
+	}
+	// Equi-join ≈ larger input; cross join = product.
+	j := &algebra.Join{Cond: expr.Bin{Op: expr.OpEq, L: expr.ColRef("movies.d_id"), R: expr.ColRef("directors.d_id")},
+		Left: movies, Right: directors}
+	if got := o.EstimateRows(j); got != 120 {
+		t.Errorf("equi-join estimate = %v", got)
+	}
+	cross := &algebra.Join{Left: movies, Right: directors}
+	if got := o.EstimateRows(cross); got != 1200 {
+		t.Errorf("cross join estimate = %v", got)
+	}
+	// Set ops.
+	u := &algebra.Set{Op: algebra.SetUnion, Left: movies, Right: movies}
+	if got := o.EstimateRows(u); got != 240 {
+		t.Errorf("union estimate = %v", got)
+	}
+	inter := &algebra.Set{Op: algebra.SetIntersect, Left: movies, Right: directors}
+	if got := o.EstimateRows(inter); got != 10 {
+		t.Errorf("intersect estimate = %v", got)
+	}
+	diff := &algebra.Set{Op: algebra.SetDiff, Left: movies, Right: directors}
+	if got := o.EstimateRows(diff); got != 120 {
+		t.Errorf("diff estimate = %v", got)
+	}
+	// Prefer and Rank pass through; TopK caps; Threshold/Skyline shrink.
+	p := pref.Constant("p", "movies", expr.TrueLiteral(), 1, 0.5)
+	if got := o.EstimateRows(&algebra.Prefer{P: p, Input: movies}); got != 120 {
+		t.Errorf("prefer estimate = %v", got)
+	}
+	if got := o.EstimateRows(&algebra.TopK{K: 10, Input: movies}); got != 10 {
+		t.Errorf("topk estimate = %v", got)
+	}
+	if got := o.EstimateRows(&algebra.TopK{K: 500, Input: directors}); got != 10 {
+		t.Errorf("topk above input = %v", got)
+	}
+	if got := o.EstimateRows(&algebra.Skyline{Input: movies}); got != 40 {
+		t.Errorf("skyline estimate = %v", got)
+	}
+	// Values carries its own cardinality.
+	rel := prel.New(schema.New(schema.Column{Name: "x", Kind: types.KindInt}))
+	rel.Append(prel.Row{Tuple: []types.Value{types.Int(1)}})
+	if got := o.EstimateRows(&algebra.Values{Rel: rel}); got != 1 {
+		t.Errorf("values estimate = %v", got)
+	}
+	// Projection passes through.
+	if got := o.EstimateRows(&algebra.Project{Cols: []expr.Col{expr.ColRef("m_id")}, Input: movies}); got != 120 {
+		t.Errorf("project estimate = %v", got)
+	}
+}
+
+func TestRestoreColumnOrderBailsOnUnresolvable(t *testing.T) {
+	o := New(testDB(t))
+	// A three-way join over unknown tables: reorderJoins leaves it alone
+	// because schemas cannot be resolved.
+	bad := &algebra.Join{
+		Cond: expr.Bin{Op: expr.OpEq, L: expr.ColRef("a.x"), R: expr.ColRef("b.x")},
+		Left: &algebra.Join{
+			Cond: expr.Bin{Op: expr.OpEq, L: expr.ColRef("a.x"), R: expr.ColRef("c.x")},
+			Left: &algebra.Scan{Table: "nosuch1", Alias: "a"}, Right: &algebra.Scan{Table: "nosuch2", Alias: "c"},
+		},
+		Right: &algebra.Scan{Table: "nosuch3", Alias: "b"},
+	}
+	opt := o.Optimize(bad)
+	if opt == nil {
+		t.Fatal("nil plan")
+	}
+}
+
+func TestOptimizerAblationToggles(t *testing.T) {
+	o := New(testDB(t))
+	p := pref.Constant("pg", "genres", expr.Eq("genre", types.Str("Comedy")), 1, 0.8)
+	plan := &algebra.Select{
+		Cond: expr.Cmp("movies.year", expr.OpGe, types.Int(2010)),
+		Input: &algebra.Prefer{P: p,
+			Input: joinOn(&algebra.Scan{Table: "movies"}, &algebra.Scan{Table: "genres"}, "movies.m_id", "genres.m_id")},
+	}
+	o.DisableSelectPushdown = true
+	o.DisablePreferPushdown = true
+	o.DisablePreferReorder = true
+	o.DisableJoinReorder = true
+	o.DisableProjectionPushdown = true
+	opt := o.Optimize(plan)
+	if !algebra.Equal(opt, plan) {
+		t.Errorf("fully disabled optimizer changed the plan:\n%s\nvs\n%s",
+			algebra.Format(opt), algebra.Format(plan))
+	}
+}

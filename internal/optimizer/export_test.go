@@ -1,0 +1,6 @@
+package optimizer
+
+import "prefdb/internal/algebra"
+
+// EstimateRows exposes cardinality estimation to tests.
+func (o *Optimizer) EstimateRows(n algebra.Node) float64 { return o.estimateRows(n) }

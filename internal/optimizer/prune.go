@@ -1,0 +1,139 @@
+package optimizer
+
+import (
+	"strings"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/expr"
+)
+
+// pruneColumns implements heuristic 2 (projection pushdown): it inserts a
+// narrow projection directly above each base-table scan, keeping only the
+// columns referenced anywhere above — by conditions, join predicates,
+// preference parts, or the final projection. Scans feeding set operations
+// are left untouched (both inputs must keep identical layouts), and plans
+// without a final projection (SELECT *) are not pruned.
+func (o *Optimizer) pruneColumns(plan algebra.Node) algebra.Node {
+	if !hasRootProjection(plan) {
+		return plan
+	}
+	needed := collectNeededColumns(plan)
+	protected := scansUnderSetOps(plan)
+	return algebra.Transform(plan, func(n algebra.Node) algebra.Node {
+		scan, ok := n.(*algebra.Scan)
+		if !ok || protected[scan] {
+			return n
+		}
+		cols := needed[scan.AliasName()]
+		if len(cols) == 0 {
+			return n // nothing referenced (or only via unqualified names)
+		}
+		t, err := o.Cat.Table(scan.Table)
+		if err != nil {
+			return n
+		}
+		if len(cols) >= t.Schema().Len() {
+			return n // no narrowing possible
+		}
+		// Verify every column exists; bail out otherwise.
+		ordered := make([]expr.Col, 0, len(cols))
+		for _, c := range t.Schema().Columns {
+			name := strings.ToLower(c.Name)
+			if cols[name] {
+				ordered = append(ordered, expr.Col{Table: scan.AliasName(), Name: name})
+			}
+		}
+		if len(ordered) == 0 || len(ordered) >= t.Schema().Len() {
+			return n
+		}
+		return &algebra.Project{Cols: ordered, Input: scan}
+	})
+}
+
+func hasRootProjection(plan algebra.Node) bool {
+	n := plan
+	for {
+		switch x := n.(type) {
+		case *algebra.TopK, *algebra.Threshold, *algebra.Skyline,
+			*algebra.Rank, *algebra.OrderBy, *algebra.Limit:
+			n = x.Children()[0]
+		case *algebra.Project:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// collectNeededColumns gathers, per table alias, the set of column names
+// referenced anywhere in the plan. Unqualified references are recorded
+// under every alias (conservative).
+func collectNeededColumns(plan algebra.Node) map[string]map[string]bool {
+	needed := map[string]map[string]bool{}
+	aliases := algebra.BaseRelations(plan)
+	record := func(c expr.Col) {
+		name := strings.ToLower(c.Name)
+		if c.Table != "" {
+			alias := strings.ToLower(c.Table)
+			if needed[alias] == nil {
+				needed[alias] = map[string]bool{}
+			}
+			needed[alias][name] = true
+			return
+		}
+		for a := range aliases {
+			if needed[a] == nil {
+				needed[a] = map[string]bool{}
+			}
+			needed[a][name] = true
+		}
+	}
+	recordExpr := func(n expr.Node) {
+		for _, c := range expr.ColumnsOf(n) {
+			record(c)
+		}
+	}
+	algebra.Walk(plan, func(n algebra.Node) bool {
+		switch x := n.(type) {
+		case *algebra.Select:
+			recordExpr(x.Cond)
+		case *algebra.Join:
+			recordExpr(x.Cond)
+		case *algebra.Project:
+			for _, c := range x.Cols {
+				record(c)
+			}
+		case *algebra.Prefer:
+			recordExpr(x.P.Cond)
+			recordExpr(x.P.Score)
+		case *algebra.OrderBy:
+			for _, k := range x.Keys {
+				record(k.Col)
+			}
+		case *algebra.Skyline:
+			for _, d := range x.Dims {
+				record(d.Col)
+			}
+		}
+		return true
+	})
+	return needed
+}
+
+// scansUnderSetOps returns the scan nodes beneath any set operation.
+func scansUnderSetOps(plan algebra.Node) map[*algebra.Scan]bool {
+	out := map[*algebra.Scan]bool{}
+	algebra.Walk(plan, func(n algebra.Node) bool {
+		if s, ok := n.(*algebra.Set); ok {
+			algebra.Walk(s, func(m algebra.Node) bool {
+				if sc, ok := m.(*algebra.Scan); ok {
+					out[sc] = true
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return out
+}

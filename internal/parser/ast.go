@@ -1,0 +1,193 @@
+package parser
+
+import (
+	"prefdb/internal/expr"
+	"prefdb/internal/types"
+)
+
+// Stmt is any parsed statement.
+type Stmt interface{ stmt() }
+
+// SelectStmt is a preferential query:
+//
+//	SELECT cols FROM tables [WHERE cond]
+//	[PREFERRING pref, ...] [USING agg] [filter clause]
+type SelectStmt struct {
+	// Star selects all columns.
+	Star bool
+	// Cols are the projected columns when Star is false.
+	Cols []expr.Col
+	// From lists the base relations with optional aliases.
+	From []TableRef
+	// Joins are explicit JOIN ... ON clauses applied left to right after
+	// the first From entry.
+	Joins []JoinClause
+	// Where is the boolean filter, or nil.
+	Where expr.Node
+	// Preferring lists the preference triples, in query order.
+	Preferring []PrefClause
+	// Using names the aggregate function ("sum" when empty).
+	Using string
+	// Filter selects preferred tuples after evaluation, or nil for none.
+	// For compound queries it applies to the whole set-operation result.
+	Filter *FilterClause
+	// SetOps chains further query cores onto this one with set operations
+	// (UNION / INTERSECT / EXCEPT), applied left to right. Only the
+	// outermost statement carries SetOps, Using and Filter.
+	SetOps []SetOpClause
+	// OrderBy sorts the final result by attribute columns (after
+	// preference filtering); nil for no ordering.
+	OrderBy []OrderKeyClause
+	// Limit caps the final result; nil for no limit.
+	Limit *LimitClause
+}
+
+// OrderKeyClause is one ORDER BY key.
+type OrderKeyClause struct {
+	Col  expr.Col
+	Desc bool
+}
+
+// LimitClause is LIMIT n [OFFSET m].
+type LimitClause struct {
+	N      int
+	Offset int
+}
+
+// SetOpClause is one UNION/INTERSECT/EXCEPT arm of a compound query.
+type SetOpClause struct {
+	// Op is "union", "intersect" or "except".
+	Op string
+	// Query is the right-hand query core (no Using/Filter/SetOps of its
+	// own).
+	Query *SelectStmt
+}
+
+// TableRef is a table name with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// AliasName returns the effective alias.
+func (t TableRef) AliasName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is JOIN table [AS alias] ON cond.
+type JoinClause struct {
+	Table TableRef
+	On    expr.Node
+}
+
+// PrefClause is one PREFERRING item:
+//
+//	cond SCORE expr CONF num ON relation[, ...] [AS name]
+type PrefClause struct {
+	Name  string
+	Cond  expr.Node
+	Score expr.Node
+	Conf  float64
+	// On lists the target relations (aliases); one entry for
+	// single-relation preferences.
+	On []string
+}
+
+// FilterKind enumerates the filtering clauses.
+type FilterKind uint8
+
+const (
+	// FilterTop is TOP k BY score|conf.
+	FilterTop FilterKind = iota
+	// FilterThreshold is THRESHOLD score|conf <cmp> num.
+	FilterThreshold
+	// FilterSkyline is SKYLINE.
+	FilterSkyline
+	// FilterRank is RANK [BY score|conf].
+	FilterRank
+)
+
+// SkyDimClause is one dimension of SKYLINE OF: a column and direction.
+type SkyDimClause struct {
+	Col expr.Col
+	Max bool
+}
+
+// FilterClause captures the post-evaluation tuple filtering.
+type FilterClause struct {
+	Kind FilterKind
+	// K is the limit for FilterTop.
+	K int
+	// ByConf selects the confidence dimension (default is score).
+	ByConf bool
+	// Op and Value parameterize FilterThreshold.
+	Op    expr.Op
+	Value float64
+	// Dims parameterize FilterSkyline: SKYLINE OF col MAX|MIN, ...
+	// (empty = the (score, conf) skyline).
+	Dims []SkyDimClause
+}
+
+// CreateTableStmt is CREATE TABLE name (col TYPE, ..., PRIMARY KEY (cols)).
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+	Key     []string
+}
+
+// ColumnDef is one column definition.
+type ColumnDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// CreateIndexStmt is CREATE [HASH|BTREE] INDEX ON table (col).
+type CreateIndexStmt struct {
+	Table string
+	Col   string
+	// BTree selects the ordered index; default is hash.
+	BTree bool
+}
+
+// InsertStmt is INSERT INTO name VALUES (v, ...), (v, ...) or
+// INSERT INTO name SELECT ... (exactly one of Rows and Query is set).
+type InsertStmt struct {
+	Table string
+	Rows  [][]types.Value
+	Query *SelectStmt
+}
+
+// ExplainStmt is EXPLAIN SELECT ...: plan the query, do not execute it.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
+// DeleteStmt is DELETE FROM name [WHERE cond].
+type DeleteStmt struct {
+	Table string
+	Where expr.Node
+}
+
+// UpdateStmt is UPDATE name SET col = expr [, ...] [WHERE cond].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where expr.Node
+}
+
+// Assignment is one SET column = expression pair.
+type Assignment struct {
+	Col  string
+	Expr expr.Node
+}
+
+func (*SelectStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}

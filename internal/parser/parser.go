@@ -1,0 +1,1069 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"prefdb/internal/expr"
+	"prefdb/internal/types"
+)
+
+// Parse parses one statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseQuery parses a SELECT statement.
+func ParseQuery(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("parser: expected a SELECT statement, got %T", stmt)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+// acceptKw consumes an identifier keyword (case-insensitive).
+func (p *parser) acceptKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// accept consumes a symbol token.
+func (p *parser) accept(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("parser: expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return fmt.Errorf("parser: expected %q, got %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("parser: expected identifier, got %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+var reservedAfterTable = map[string]bool{
+	"join": true, "on": true, "where": true, "preferring": true,
+	"using": true, "top": true, "threshold": true, "skyline": true,
+	"rank": true, "as": true, "and": true, "or": true, "inner": true,
+	"union": true, "intersect": true, "except": true, "minus": true,
+	"order": true, "limit": true, "offset": true,
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.acceptKw("select"):
+		return p.parseCompoundSelect()
+	case p.acceptKw("create"):
+		return p.parseCreate()
+	case p.acceptKw("insert"):
+		return p.parseInsert()
+	case p.acceptKw("delete"):
+		return p.parseDelete()
+	case p.acceptKw("update"):
+		return p.parseUpdate()
+	case p.acceptKw("explain"):
+		if err := p.expectKw("select"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseCompoundSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: q}, nil
+	default:
+		return nil, fmt.Errorf("parser: expected SELECT, CREATE, INSERT, UPDATE or DELETE, got %s", p.peek())
+	}
+}
+
+// parseCompoundSelect parses a query core plus any UNION/INTERSECT/EXCEPT
+// arms, then the trailing USING and filtering clauses which apply to the
+// whole compound.
+func (p *parser) parseCompoundSelect() (*SelectStmt, error) {
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptKw("union"):
+			op = "union"
+		case p.acceptKw("intersect"):
+			op = "intersect"
+		case p.acceptKw("except"), p.acceptKw("minus"):
+			op = "except"
+		default:
+			op = ""
+		}
+		if op == "" {
+			break
+		}
+		if err := p.expectKw("select"); err != nil {
+			return nil, err
+		}
+		arm, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		q.SetOps = append(q.SetOps, SetOpClause{Op: op, Query: arm})
+	}
+	// USING and the filtering clause apply to the whole (possibly compound)
+	// query and therefore parse after the last arm.
+	if p.acceptKw("using") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.Using = strings.ToLower(name)
+	}
+	f, err := p.parseFilterClause()
+	if err != nil {
+		return nil, err
+	}
+	q.Filter = f
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKeyClause{Col: col}
+			if p.acceptKw("desc") {
+				key.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("parser: expected a number after LIMIT, got %s", t)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("parser: LIMIT requires a non-negative integer, got %q", t.text)
+		}
+		lc := &LimitClause{N: n}
+		if p.acceptKw("offset") {
+			t := p.peek()
+			if t.kind != tokNumber {
+				return nil, fmt.Errorf("parser: expected a number after OFFSET, got %s", t)
+			}
+			p.pos++
+			m, err := strconv.Atoi(t.text)
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("parser: OFFSET requires a non-negative integer, got %q", t.text)
+			}
+			lc.Offset = m
+		}
+		q.Limit = lc
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	q := &SelectStmt{}
+	// Projection list.
+	if p.accept("*") {
+		q.Star = true
+	} else {
+		for {
+			ref, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			q.Cols = append(q.Cols, ref)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	first, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	q.From = append(q.From, first)
+	for {
+		if p.accept(",") {
+			t, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			q.From = append(q.From, t)
+			continue
+		}
+		if p.acceptKw("inner") {
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKw("join") {
+			break
+		}
+		t, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Joins = append(q.Joins, JoinClause{Table: t, On: cond})
+	}
+	if p.acceptKw("where") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = cond
+	}
+	if p.acceptKw("preferring") {
+		for {
+			pc, err := p.parsePrefClause()
+			if err != nil {
+				return nil, err
+			}
+			if pc.Name == "" {
+				pc.Name = fmt.Sprintf("p%d", len(q.Preferring)+1)
+			}
+			q.Preferring = append(q.Preferring, pc)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+// parsePrefClause parses: cond SCORE expr CONF num ON rel[, within parens
+// for multi-relational] [AS name]. The name stays empty unless AS is given;
+// callers assign positional defaults.
+func (p *parser) parsePrefClause() (PrefClause, error) {
+	pc := PrefClause{}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return pc, err
+	}
+	pc.Cond = cond
+	if err := p.expectKw("score"); err != nil {
+		return pc, err
+	}
+	score, err := p.parseExpr()
+	if err != nil {
+		return pc, err
+	}
+	pc.Score = score
+	if err := p.expectKw("conf"); err != nil {
+		return pc, err
+	}
+	conf, err := p.number()
+	if err != nil {
+		return pc, err
+	}
+	pc.Conf = conf
+	if err := p.expectKw("on"); err != nil {
+		return pc, err
+	}
+	if p.accept("(") {
+		for {
+			rel, err := p.ident()
+			if err != nil {
+				return pc, err
+			}
+			pc.On = append(pc.On, strings.ToLower(rel))
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return pc, err
+		}
+	} else {
+		rel, err := p.ident()
+		if err != nil {
+			return pc, err
+		}
+		pc.On = append(pc.On, strings.ToLower(rel))
+	}
+	if p.acceptKw("as") {
+		name, err := p.ident()
+		if err != nil {
+			return pc, err
+		}
+		pc.Name = name
+	}
+	return pc, nil
+}
+
+func (p *parser) parseFilterClause() (*FilterClause, error) {
+	switch {
+	case p.acceptKw("top"):
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("parser: expected a number after TOP, got %s", t)
+		}
+		p.pos++
+		k, err := strconv.Atoi(t.text)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("parser: TOP requires a positive integer, got %q", t.text)
+		}
+		f := &FilterClause{Kind: FilterTop, K: k}
+		if p.acceptKw("by") {
+			byConf, err := p.rankDim()
+			if err != nil {
+				return nil, err
+			}
+			f.ByConf = byConf
+		}
+		return f, nil
+	case p.acceptKw("threshold"):
+		byConf, err := p.rankDim()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.cmpOp()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return &FilterClause{Kind: FilterThreshold, ByConf: byConf, Op: op, Value: v}, nil
+	case p.acceptKw("skyline"):
+		f := &FilterClause{Kind: FilterSkyline}
+		if p.acceptKw("of") {
+			for {
+				col, err := p.colRef()
+				if err != nil {
+					return nil, err
+				}
+				var max bool
+				switch {
+				case p.acceptKw("max"):
+					max = true
+				case p.acceptKw("min"):
+					max = false
+				default:
+					return nil, fmt.Errorf("parser: expected MAX or MIN after skyline dimension, got %s", p.peek())
+				}
+				f.Dims = append(f.Dims, SkyDimClause{Col: col, Max: max})
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		return f, nil
+	case p.acceptKw("rank"):
+		f := &FilterClause{Kind: FilterRank}
+		if p.acceptKw("by") {
+			byConf, err := p.rankDim()
+			if err != nil {
+				return nil, err
+			}
+			f.ByConf = byConf
+		}
+		return f, nil
+	default:
+		return nil, nil
+	}
+}
+
+func (p *parser) rankDim() (bool, error) {
+	switch {
+	case p.acceptKw("score"):
+		return false, nil
+	case p.acceptKw("conf"), p.acceptKw("confidence"):
+		return true, nil
+	default:
+		return false, fmt.Errorf("parser: expected SCORE or CONF, got %s", p.peek())
+	}
+}
+
+func (p *parser) cmpOp() (expr.Op, error) {
+	for _, c := range []struct {
+		sym string
+		op  expr.Op
+	}{
+		{"<=", expr.OpLe}, {">=", expr.OpGe}, {"<>", expr.OpNe}, {"!=", expr.OpNe},
+		{"=", expr.OpEq}, {"<", expr.OpLt}, {">", expr.OpGt},
+	} {
+		if p.accept(c.sym) {
+			return c.op, nil
+		}
+	}
+	return 0, fmt.Errorf("parser: expected a comparison operator, got %s", p.peek())
+}
+
+func (p *parser) number() (float64, error) {
+	neg := p.accept("-")
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("parser: expected a number, got %s", t)
+	}
+	p.pos++
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parser: invalid number %q", t.text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	if reservedAfterTable[strings.ToLower(name)] {
+		return TableRef{}, fmt.Errorf("parser: expected a table name, got keyword %q", name)
+	}
+	ref := TableRef{Table: strings.ToLower(name)}
+	if p.acceptKw("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = strings.ToLower(alias)
+		return ref, nil
+	}
+	// Bare alias: an identifier that is not a clause keyword.
+	t := p.peek()
+	if t.kind == tokIdent && !reservedAfterTable[strings.ToLower(t.text)] {
+		p.pos++
+		ref.Alias = strings.ToLower(t.text)
+	}
+	return ref, nil
+}
+
+func (p *parser) colRef() (expr.Col, error) {
+	name, err := p.ident()
+	if err != nil {
+		return expr.Col{}, err
+	}
+	if p.accept(".") {
+		col, err := p.ident()
+		if err != nil {
+			return expr.Col{}, err
+		}
+		return expr.Col{Table: strings.ToLower(name), Name: strings.ToLower(col)}, nil
+	}
+	return expr.Col{Name: strings.ToLower(name)}, nil
+}
+
+// --- expressions ---
+
+// parseExpr parses an OR-level expression.
+func (p *parser) parseExpr() (expr.Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin{Op: expr.OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr.Node, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin{Op: expr.OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (expr.Node, error) {
+	if p.acceptKw("not") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Un{Op: expr.OpNot, X: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (expr.Node, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL.
+	if p.acceptKw("is") {
+		neg := p.acceptKw("not")
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return expr.IsNull{X: left, Negate: neg}, nil
+	}
+	// [NOT] BETWEEN / IN / LIKE.
+	negate := false
+	mark := p.save()
+	if p.acceptKw("not") {
+		negate = true
+	}
+	switch {
+	case p.acceptKw("between"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return maybeNot(expr.Between{X: left, Lo: lo, Hi: hi}, negate), nil
+	case p.acceptKw("in"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var list []expr.Node
+		for {
+			item, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return maybeNot(expr.In{X: left, List: list}, negate), nil
+	case p.acceptKw("like"):
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("parser: LIKE requires a string pattern, got %s", t)
+		}
+		p.pos++
+		return maybeNot(expr.Like{X: left, Pattern: t.text}, negate), nil
+	}
+	if negate {
+		p.restore(mark)
+		return left, nil
+	}
+	// Plain comparison.
+	for _, c := range []struct {
+		sym string
+		op  expr.Op
+	}{
+		{"<=", expr.OpLe}, {">=", expr.OpGe}, {"<>", expr.OpNe}, {"!=", expr.OpNe},
+		{"==", expr.OpEq}, {"=", expr.OpEq}, {"<", expr.OpLt}, {">", expr.OpGt},
+	} {
+		if p.accept(c.sym) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Bin{Op: c.op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func maybeNot(n expr.Node, negate bool) expr.Node {
+	if negate {
+		return expr.Un{Op: expr.OpNot, X: n}
+	}
+	return n
+}
+
+func (p *parser) parseAdditive() (expr.Node, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.Op
+		switch {
+		case p.accept("+"):
+			op = expr.OpAdd
+		case p.accept("-"):
+			op = expr.OpSub
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.Op
+		switch {
+		case p.accept("*"):
+			op = expr.OpMul
+		case p.accept("/"):
+			op = expr.OpDiv
+		case p.accept("%"):
+			op = expr.OpMod
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Node, error) {
+	if p.accept("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal into a negative literal so -31 is a constant, not a
+		// unary expression.
+		if lit, ok := inner.(expr.Lit); ok && lit.Val.IsNumeric() {
+			if lit.Val.Kind() == types.KindInt {
+				return expr.Lit{Val: types.Int(-lit.Val.AsInt())}, nil
+			}
+			return expr.Lit{Val: types.Float(-lit.Val.AsFloat())}, nil
+		}
+		return expr.Un{Op: expr.OpNeg, X: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parser: invalid number %q", t.text)
+			}
+			return expr.Lit{Val: types.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parser: invalid integer %q", t.text)
+		}
+		return expr.Lit{Val: types.Int(i)}, nil
+
+	case tokString:
+		p.pos++
+		return expr.Lit{Val: types.Str(t.text)}, nil
+
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+		return nil, fmt.Errorf("parser: unexpected %s in expression", t)
+
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.pos++
+			return expr.Lit{Val: types.Bool(true)}, nil
+		case "false":
+			p.pos++
+			return expr.Lit{Val: types.Bool(false)}, nil
+		case "null":
+			p.pos++
+			return expr.Lit{Val: types.Null()}, nil
+		}
+		p.pos++
+		// Function call?
+		if p.accept("(") {
+			var args []expr.Node
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return expr.Call{Name: strings.ToLower(t.text), Args: args}, nil
+		}
+		// Qualified or bare column.
+		if p.accept(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Col{Table: strings.ToLower(t.text), Name: strings.ToLower(col)}, nil
+		}
+		return expr.Col{Name: strings.ToLower(t.text)}, nil
+
+	default:
+		return nil, fmt.Errorf("parser: unexpected %s in expression", t)
+	}
+}
+
+// --- DDL / DML ---
+
+func (p *parser) parseCreate() (Stmt, error) {
+	switch {
+	case p.acceptKw("table"):
+		return p.parseCreateTable()
+	case p.acceptKw("hash"):
+		if err := p.expectKw("index"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndex(false)
+	case p.acceptKw("btree"):
+		if err := p.expectKw("index"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndex(true)
+	case p.acceptKw("index"):
+		return p.parseCreateIndex(false)
+	default:
+		return nil, fmt.Errorf("parser: expected TABLE or INDEX after CREATE, got %s", p.peek())
+	}
+}
+
+func (p *parser) parseCreateTable() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: strings.ToLower(name)}
+	for {
+		if p.acceptKw("primary") {
+			if err := p.expectKw("key"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Key = append(stmt.Key, strings.ToLower(col))
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := parseKind(typ)
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, ColumnDef{Name: strings.ToLower(col), Kind: kind})
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if len(stmt.Columns) == 0 {
+		return nil, fmt.Errorf("parser: CREATE TABLE %s has no columns", stmt.Name)
+	}
+	return stmt, nil
+}
+
+func parseKind(name string) (types.Kind, error) {
+	switch strings.ToLower(name) {
+	case "int", "integer", "bigint":
+		return types.KindInt, nil
+	case "float", "double", "real", "numeric":
+		return types.KindFloat, nil
+	case "text", "varchar", "string", "char":
+		return types.KindString, nil
+	case "bool", "boolean":
+		return types.KindBool, nil
+	default:
+		return 0, fmt.Errorf("parser: unknown type %q (INT, FLOAT, TEXT, BOOL)", name)
+	}
+}
+
+func (p *parser) parseCreateIndex(btree bool) (Stmt, error) {
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Table: strings.ToLower(table), Col: strings.ToLower(col), BTree: btree}, nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: strings.ToLower(table)}
+	if p.acceptKw("select") {
+		q, err := p.parseCompoundSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Query = q
+		return stmt, nil
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []types.Value
+		for {
+			v, err := p.literalValue()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) literalValue() (types.Value, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.pos++
+		return types.Str(t.text), nil
+	case t.kind == tokNumber, t.kind == tokSymbol && t.text == "-":
+		neg := p.accept("-")
+		t = p.peek()
+		if t.kind != tokNumber {
+			return types.Value{}, fmt.Errorf("parser: expected a number, got %s", t)
+		}
+		p.pos++
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if neg {
+				f = -f
+			}
+			return types.Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if neg {
+			i = -i
+		}
+		return types.Int(i), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "null"):
+		p.pos++
+		return types.Null(), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "true"):
+		p.pos++
+		return types.Bool(true), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "false"):
+		p.pos++
+		return types.Bool(false), nil
+	default:
+		return types.Value{}, fmt.Errorf("parser: expected a literal, got %s", t)
+	}
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: strings.ToLower(table)}
+	if p.acceptKw("where") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = cond
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: strings.ToLower(table)}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		value, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, Assignment{Col: strings.ToLower(col), Expr: value})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("where") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = cond
+	}
+	return stmt, nil
+}

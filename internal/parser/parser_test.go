@@ -1,0 +1,446 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"prefdb/internal/expr"
+	"prefdb/internal/types"
+)
+
+func mustQuery(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustQuery(t, "SELECT title, movies.year FROM movies WHERE year = 2011")
+	if q.Star || len(q.Cols) != 2 {
+		t.Fatalf("cols = %v", q.Cols)
+	}
+	if q.Cols[1].Table != "movies" || q.Cols[1].Name != "year" {
+		t.Errorf("qualified col = %v", q.Cols[1])
+	}
+	if len(q.From) != 1 || q.From[0].Table != "movies" {
+		t.Errorf("from = %v", q.From)
+	}
+	if q.Where == nil || q.Where.String() != "(year = 2011)" {
+		t.Errorf("where = %v", q.Where)
+	}
+	if q.Filter != nil || len(q.Preferring) != 0 {
+		t.Error("unexpected clauses")
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q := mustQuery(t, "SELECT * FROM movies")
+	if !q.Star {
+		t.Error("star not detected")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	q := mustQuery(t, `SELECT title FROM movies
+		JOIN directors ON movies.d_id = directors.d_id
+		INNER JOIN genres ON movies.m_id = genres.m_id`)
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %d", len(q.Joins))
+	}
+	if q.Joins[0].Table.Table != "directors" {
+		t.Errorf("join 0 = %v", q.Joins[0].Table)
+	}
+	if q.Joins[1].On.String() != "(movies.m_id = genres.m_id)" {
+		t.Errorf("join 1 on = %s", q.Joins[1].On)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	q := mustQuery(t, "SELECT m.title FROM movies AS m JOIN movies m2 ON m.m_id = m2.m_id")
+	if q.From[0].Alias != "m" {
+		t.Errorf("AS alias = %v", q.From[0])
+	}
+	if q.Joins[0].Table.Alias != "m2" {
+		t.Errorf("bare alias = %v", q.Joins[0].Table)
+	}
+	if q.From[0].AliasName() != "m" {
+		t.Errorf("AliasName = %q", q.From[0].AliasName())
+	}
+	if (TableRef{Table: "x"}).AliasName() != "x" {
+		t.Error("AliasName fallback")
+	}
+}
+
+func TestParseCommaFrom(t *testing.T) {
+	q := mustQuery(t, "SELECT a.x FROM t1 a, t2 b WHERE a.x = b.y")
+	if len(q.From) != 2 || q.From[1].Alias != "b" {
+		t.Fatalf("from = %v", q.From)
+	}
+}
+
+func TestParsePreferring(t *testing.T) {
+	q := mustQuery(t, `SELECT title FROM movies JOIN genres ON movies.m_id = genres.m_id
+		PREFERRING genre = 'Comedy' SCORE 1.0 CONF 0.8 ON genres,
+		           votes > 500 SCORE linear(rating, 0.1) CONF 0.8 ON ratings AS prefRatings,
+		           genre = 'Action' SCORE recency(year, 2011) CONF 0.8 ON (movies, genres)
+		USING sum TOP 10 BY score`)
+	if len(q.Preferring) != 3 {
+		t.Fatalf("preferring = %d", len(q.Preferring))
+	}
+	p0 := q.Preferring[0]
+	if p0.Name != "p1" {
+		t.Errorf("default name = %q", p0.Name)
+	}
+	if p0.Cond.String() != "(genre = 'Comedy')" {
+		t.Errorf("p0 cond = %s", p0.Cond)
+	}
+	if p0.Conf != 0.8 || len(p0.On) != 1 || p0.On[0] != "genres" {
+		t.Errorf("p0 = %+v", p0)
+	}
+	p1 := q.Preferring[1]
+	if p1.Name != "prefRatings" {
+		t.Errorf("named pref = %q", p1.Name)
+	}
+	if p1.Score.String() != "linear(rating, 0.1)" {
+		t.Errorf("score expr = %s", p1.Score)
+	}
+	p2 := q.Preferring[2]
+	if len(p2.On) != 2 || p2.On[0] != "movies" || p2.On[1] != "genres" {
+		t.Errorf("multi-relational on = %v", p2.On)
+	}
+	if q.Using != "sum" {
+		t.Errorf("using = %q", q.Using)
+	}
+	if q.Filter == nil || q.Filter.Kind != FilterTop || q.Filter.K != 10 || q.Filter.ByConf {
+		t.Errorf("filter = %+v", q.Filter)
+	}
+}
+
+func TestParseFilterClauses(t *testing.T) {
+	cases := []struct {
+		src    string
+		verify func(*FilterClause) bool
+	}{
+		{"SELECT * FROM t TOP 5", func(f *FilterClause) bool { return f.Kind == FilterTop && f.K == 5 && !f.ByConf }},
+		{"SELECT * FROM t TOP 5 BY conf", func(f *FilterClause) bool { return f.Kind == FilterTop && f.ByConf }},
+		{"SELECT * FROM t THRESHOLD conf >= 1.2", func(f *FilterClause) bool {
+			return f.Kind == FilterThreshold && f.ByConf && f.Op == expr.OpGe && f.Value == 1.2
+		}},
+		{"SELECT * FROM t THRESHOLD score > 0.5", func(f *FilterClause) bool {
+			return f.Kind == FilterThreshold && !f.ByConf && f.Op == expr.OpGt && f.Value == 0.5
+		}},
+		{"SELECT * FROM t SKYLINE", func(f *FilterClause) bool { return f.Kind == FilterSkyline }},
+		{"SELECT * FROM t RANK", func(f *FilterClause) bool { return f.Kind == FilterRank && !f.ByConf }},
+		{"SELECT * FROM t RANK BY confidence", func(f *FilterClause) bool { return f.Kind == FilterRank && f.ByConf }},
+	}
+	for _, c := range cases {
+		q := mustQuery(t, c.src)
+		if q.Filter == nil || !c.verify(q.Filter) {
+			t.Errorf("%q: filter = %+v", c.src, q.Filter)
+		}
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"a = 1 AND b = 2 OR c = 3", "(((a = 1) AND (b = 2)) OR (c = 3))"},
+		{"a = 1 AND (b = 2 OR c = 3)", "((a = 1) AND ((b = 2) OR (c = 3)))"},
+		{"NOT a = 1", "(NOT (a = 1))"},
+		{"a + b * c", "(a + (b * c))"},
+		{"(a + b) * c", "((a + b) * c)"},
+		{"a - -1", "(a - -1)"},
+		{"year BETWEEN 2000 AND 2010", "(year BETWEEN 2000 AND 2010)"},
+		{"genre IN ('Comedy', 'Drama')", "(genre IN ('Comedy', 'Drama'))"},
+		{"title LIKE '%Dollar%'", "(title LIKE '%Dollar%')"},
+		{"x IS NULL", "(x IS NULL)"},
+		{"x IS NOT NULL", "(x IS NOT NULL)"},
+		{"x NOT IN (1)", "(NOT (x IN (1)))"},
+		{"x NOT LIKE 'a%'", "(NOT (x LIKE 'a%'))"},
+		{"x NOT BETWEEN 1 AND 2", "(NOT (x BETWEEN 1 AND 2))"},
+		{"f(a, g(b), 1.5)", "f(a, g(b), 1.5)"},
+		{"t.col >= 3", "(t.col >= 3)"},
+		{"a <> b", "(a <> b)"},
+		{"a != b", "(a <> b)"},
+		{"true AND NOT false", "(true AND (NOT false))"},
+		{"x = null", "(x = NULL)"},
+		{"a % 2 = 0", "((a % 2) = 0)"},
+	}
+	for _, c := range cases {
+		q := mustQuery(t, "SELECT x FROM t WHERE "+c.src)
+		if got := q.Where.String(); got != c.want {
+			t.Errorf("%q parsed to %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE movies (
+		m_id INT, title TEXT, year INT, rating FLOAT, hit BOOL,
+		PRIMARY KEY (m_id)
+	)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.Name != "movies" || len(ct.Columns) != 5 {
+		t.Fatalf("create table = %+v", ct)
+	}
+	wantKinds := []types.Kind{types.KindInt, types.KindString, types.KindInt, types.KindFloat, types.KindBool}
+	for i, k := range wantKinds {
+		if ct.Columns[i].Kind != k {
+			t.Errorf("col %d kind = %v, want %v", i, ct.Columns[i].Kind, k)
+		}
+	}
+	if len(ct.Key) != 1 || ct.Key[0] != "m_id" {
+		t.Errorf("key = %v", ct.Key)
+	}
+	// Composite key.
+	stmt2, err := Parse("CREATE TABLE g (m_id INT, genre TEXT, PRIMARY KEY (m_id, genre))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt2.(*CreateTableStmt).Key) != 2 {
+		t.Error("composite key not parsed")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	stmt, err := Parse("CREATE HASH INDEX ON genres (genre)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := stmt.(*CreateIndexStmt)
+	if ix.Table != "genres" || ix.Col != "genre" || ix.BTree {
+		t.Errorf("hash index = %+v", ix)
+	}
+	stmt2, err := Parse("CREATE BTREE INDEX ON movies (year)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt2.(*CreateIndexStmt).BTree {
+		t.Error("btree flag missing")
+	}
+	stmt3, err := Parse("CREATE INDEX ON movies (d_id)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt3.(*CreateIndexStmt).BTree {
+		t.Error("default index should be hash")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO movies VALUES (1, 'Gran Torino', 2008, 8.2, true), (2, 'Scoop', 2006, -1.5, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "movies" || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	r0 := ins.Rows[0]
+	if r0[0].AsInt() != 1 || r0[1].AsString() != "Gran Torino" || r0[3].AsFloat() != 8.2 || !r0[4].AsBool() {
+		t.Errorf("row 0 = %v", r0)
+	}
+	r1 := ins.Rows[1]
+	if r1[3].AsFloat() != -1.5 || !r1[4].IsNull() {
+		t.Errorf("row 1 = %v", r1)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE",
+		"DELETE FROM",
+		"DELETE FROM t WHERE",
+		"UPDATE",
+		"UPDATE t",
+		"UPDATE t SET",
+		"UPDATE t SET x",
+		"UPDATE t SET x =",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT x FROM",
+		"SELECT x FROM t WHERE",
+		"SELECT x FROM t JOIN",
+		"SELECT x FROM t JOIN u",
+		"SELECT x FROM t PREFERRING",
+		"SELECT x FROM t PREFERRING a = 1",
+		"SELECT x FROM t PREFERRING a = 1 SCORE 1",
+		"SELECT x FROM t PREFERRING a = 1 SCORE 1 CONF 0.5",
+		"SELECT x FROM t TOP",
+		"SELECT x FROM t TOP 0",
+		"SELECT x FROM t TOP -1",
+		"SELECT x FROM t THRESHOLD",
+		"SELECT x FROM t THRESHOLD score",
+		"SELECT x FROM t THRESHOLD score >=",
+		"SELECT x FROM t WHERE a = 'unterminated",
+		"SELECT x FROM t WHERE a = 1 extra",
+		"SELECT x FROM t WHERE f(",
+		"SELECT x FROM t WHERE (a = 1",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (x NOPE)",
+		"CREATE VIEW v",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES (",
+		"SELECT x FROM t WHERE a @ 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseQueryRejectsNonSelect(t *testing.T) {
+	if _, err := ParseQuery("CREATE TABLE t (x INT)"); err == nil {
+		t.Error("ParseQuery should reject DDL")
+	}
+}
+
+func TestTrailingSemicolonAndComments(t *testing.T) {
+	q := mustQuery(t, "SELECT x FROM t; ")
+	if len(q.From) != 1 {
+		t.Error("semicolon handling broken")
+	}
+	q2 := mustQuery(t, "SELECT x -- projected column\nFROM t -- the table\nWHERE x = 1")
+	if q2.Where == nil {
+		t.Error("comment handling broken")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	q := mustQuery(t, "SELECT x FROM t WHERE name = 'O''Brien'")
+	b := q.Where.(expr.Bin)
+	if b.R.(expr.Lit).Val.AsString() != "O'Brien" {
+		t.Errorf("escape = %v", b.R)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q := mustQuery(t, "select Title from Movies where Year = 1 preferring Genre = 'X' score 1 conf 0.5 on Genres top 3 by Score")
+	if len(q.Preferring) != 1 || q.Filter == nil || q.Filter.K != 3 {
+		t.Errorf("mixed case parse = %+v", q)
+	}
+	// Identifiers are lower-cased for catalog consistency.
+	if q.Cols[0].Name != "title" || q.From[0].Table != "movies" {
+		t.Errorf("identifier case = %v %v", q.Cols[0], q.From[0])
+	}
+}
+
+func TestKeywordAsTableNameRejected(t *testing.T) {
+	if _, err := Parse("SELECT x FROM where"); err == nil {
+		t.Error("keyword as table should fail")
+	}
+}
+
+func TestLexerSymbols(t *testing.T) {
+	toks, err := lex("a <= b >= c <> d != e == f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syms []string
+	for _, tk := range toks {
+		if tk.kind == tokSymbol {
+			syms = append(syms, tk.text)
+		}
+	}
+	want := []string{"<=", ">=", "<>", "!=", "=="}
+	if len(syms) != len(want) {
+		t.Fatalf("symbols = %v", syms)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Errorf("symbol %d = %q, want %q", i, syms[i], want[i])
+		}
+	}
+}
+
+func TestNumberForms(t *testing.T) {
+	q := mustQuery(t, "SELECT x FROM t WHERE a = 1.5 AND b = .5 AND c = 10")
+	s := q.Where.String()
+	if !strings.Contains(s, "1.5") || !strings.Contains(s, "0.5") || !strings.Contains(s, "10") {
+		t.Errorf("numbers = %s", s)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	stmt, err := Parse("DELETE FROM movies WHERE year < 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stmt.(*DeleteStmt)
+	if d.Table != "movies" || d.Where == nil || d.Where.String() != "(year < 2000)" {
+		t.Errorf("delete = %+v", d)
+	}
+	stmt2, err := Parse("DELETE FROM movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt2.(*DeleteStmt).Where != nil {
+		t.Error("whereless delete should have nil condition")
+	}
+}
+
+func TestParsePreferenceStandalone(t *testing.T) {
+	pc, err := ParsePreference("genre = 'Comedy' SCORE 1 CONF 0.8 ON genres AS comedies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Name != "comedies" || pc.Conf != 0.8 || len(pc.On) != 1 {
+		t.Errorf("parsed = %+v", pc)
+	}
+	// Without AS the name stays empty for the caller to assign.
+	pc2, err := ParsePreference("x > 1 SCORE 0.5 CONF 0.5 ON r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc2.Name != "" {
+		t.Errorf("default name = %q, want empty", pc2.Name)
+	}
+	// Multi-relational.
+	pc3, err := ParsePreference("genre = 'Action' SCORE recency(year, 2011) CONF 0.8 ON (movies, genres)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc3.On) != 2 {
+		t.Errorf("on = %v", pc3.On)
+	}
+	// Errors.
+	for _, bad := range []string{"", "x > 1", "x > 1 SCORE 1 CONF 0.5", "x > 1 SCORE 1 CONF 0.5 ON r trailing junk"} {
+		if _, err := ParsePreference(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	stmt, err := Parse("UPDATE movies SET year = year + 1, title = 'x' WHERE m_id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := stmt.(*UpdateStmt)
+	if u.Table != "movies" || len(u.Set) != 2 {
+		t.Fatalf("update = %+v", u)
+	}
+	if u.Set[0].Col != "year" || u.Set[0].Expr.String() != "(year + 1)" {
+		t.Errorf("set 0 = %+v", u.Set[0])
+	}
+	if u.Where == nil || u.Where.String() != "(m_id = 3)" {
+		t.Errorf("where = %v", u.Where)
+	}
+	stmt2, err := Parse("UPDATE t SET x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt2.(*UpdateStmt).Where != nil {
+		t.Error("whereless update should have nil condition")
+	}
+}

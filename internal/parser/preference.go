@@ -1,0 +1,26 @@
+package parser
+
+import "fmt"
+
+// ParsePreference parses a standalone preference clause, the same syntax
+// used inside PREFERRING:
+//
+//	cond SCORE expr CONF num ON relation [AS name]
+//	cond SCORE expr CONF num ON (rel1, rel2) [AS name]
+//
+// Preference repositories store user preferences in this textual form.
+func ParsePreference(src string) (PrefClause, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return PrefClause{}, err
+	}
+	p := &parser{toks: toks}
+	pc, err := p.parsePrefClause()
+	if err != nil {
+		return PrefClause{}, err
+	}
+	if !p.atEOF() {
+		return PrefClause{}, fmt.Errorf("parser: unexpected %s after preference", p.peek())
+	}
+	return pc, nil
+}

@@ -1,0 +1,404 @@
+// Package planner translates parsed preferential queries into baseline
+// extended query plans — the "query parser" component of the paper's
+// architecture (Fig. 6). The baseline plan keeps the order of operators as
+// written in the query; the optimizer package improves it afterwards.
+//
+// As in the paper, the planner adds projections for every attribute used by
+// a prefer operator (conditional or scoring part), so that strategies like
+// Filter-then-Prefer can evaluate preferences directly on the materialized
+// non-preference result.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/expr"
+	"prefdb/internal/parser"
+	"prefdb/internal/pref"
+	"prefdb/internal/schema"
+)
+
+// Plan is a planned preferential query.
+type Plan struct {
+	// Root is the full extended query plan, including filtering operators.
+	Root algebra.Node
+	// Output lists the user-requested columns. The plan's projection is
+	// extended with preference attributes; the engine trims the final
+	// result back to Output. Empty means all columns (SELECT *).
+	Output []expr.Col
+	// Agg is the aggregate function named by USING (F_S by default).
+	Agg pref.Aggregate
+	// Preferences are the parsed preference triples, in query order.
+	Preferences []pref.Preference
+}
+
+// Planner builds plans against a catalog.
+type Planner struct {
+	Cat   *catalog.Catalog
+	Funcs *expr.Registry
+}
+
+// New returns a planner with the standard scoring functions.
+func New(cat *catalog.Catalog) *Planner {
+	return &Planner{Cat: cat, Funcs: pref.Functions()}
+}
+
+// PlanQuery parses and plans a query string.
+func (pl *Planner) PlanQuery(src string) (*Plan, error) {
+	stmt, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Plan(stmt)
+}
+
+// Plan builds the baseline extended query plan for a parsed SELECT.
+func (pl *Planner) Plan(q *parser.SelectStmt) (*Plan, error) {
+	return pl.PlanWithPreferences(q, nil)
+}
+
+// PlanWithPreferences plans a query with additional preferences injected
+// from outside the query text — the paper's §V usage, where an application
+// automatically integrates a user's collected preferences. Extra
+// preferences that target relations not present in the query are skipped
+// (they are simply not relevant to it); applicable ones are evaluated
+// after the query's own PREFERRING clauses.
+func (pl *Planner) PlanWithPreferences(q *parser.SelectStmt, extra []pref.Preference) (*Plan, error) {
+	if len(q.SetOps) > 0 {
+		return pl.planCompound(q, extra)
+	}
+	return pl.planCore(q, extra, nil)
+}
+
+// planCompound plans UNION/INTERSECT/EXCEPT chains: every core is planned
+// against the same extended projection (so the p-relations stay
+// union-compatible even when preferences add attributes), then combined
+// left to right with the extended set operators, with the USING aggregate
+// and filtering clause applied to the whole result.
+func (pl *Planner) planCompound(q *parser.SelectStmt, extra []pref.Preference) (*Plan, error) {
+	cores := make([]*parser.SelectStmt, 0, len(q.SetOps)+1)
+	first := *q
+	first.SetOps, first.Using, first.Filter = nil, "", nil
+	first.OrderBy, first.Limit = nil, nil
+	cores = append(cores, &first)
+	for _, arm := range q.SetOps {
+		cores = append(cores, arm.Query)
+	}
+
+	// All cores must agree on star-ness and project the same column list —
+	// a dialect restriction that keeps p-relations union-compatible even
+	// when preference attributes extend the projection.
+	for i, c := range cores[1:] {
+		if c.Star != cores[0].Star {
+			return nil, fmt.Errorf("planner: set operation mixes SELECT * and explicit column lists")
+		}
+		if c.Star {
+			continue
+		}
+		if len(c.Cols) != len(cores[0].Cols) {
+			return nil, fmt.Errorf("planner: set-operation arm %d selects %d columns, first arm selects %d",
+				i+2, len(c.Cols), len(cores[0].Cols))
+		}
+		for j := range c.Cols {
+			if !strings.EqualFold(c.Cols[j].Name, cores[0].Cols[j].Name) ||
+				!strings.EqualFold(c.Cols[j].Table, cores[0].Cols[j].Table) {
+				return nil, fmt.Errorf("planner: set-operation arms must select the same columns; arm %d column %d is %s, first arm has %s",
+					i+2, j+1, c.Cols[j], cores[0].Cols[j])
+			}
+		}
+	}
+
+	// Shared extended projection: the first core's columns plus every
+	// attribute any core's preference reads (each column must resolve in
+	// every core).
+	var shared []expr.Col
+	if !cores[0].Star {
+		var allPrefs []pref.Preference
+		for _, c := range cores {
+			for _, pc := range c.Preferring {
+				allPrefs = append(allPrefs, pref.Preference{Name: pc.Name, On: pc.On, Cond: pc.Cond, Score: pc.Score, Conf: pc.Conf})
+			}
+		}
+		allPrefs = append(allPrefs, extra...)
+		user := append([]expr.Col(nil), cores[0].Cols...)
+		user = append(user, filterColumns(q.Filter)...)
+		user = append(user, orderColumns(q)...)
+		shared = extendProjection(user, allPrefs)
+	}
+
+	var root algebra.Node
+	var prefs []pref.Preference
+	for i, c := range cores {
+		corePlan, err := pl.planCore(c, extra, shared)
+		if err != nil {
+			return nil, fmt.Errorf("planner: set-operation arm %d: %w", i+1, err)
+		}
+		prefs = append(prefs, corePlan.Preferences...)
+		if root == nil {
+			root = corePlan.Root
+			continue
+		}
+		var op algebra.SetOp
+		switch q.SetOps[i-1].Op {
+		case "union":
+			op = algebra.SetUnion
+		case "intersect":
+			op = algebra.SetIntersect
+		default:
+			op = algebra.SetDiff
+		}
+		root = &algebra.Set{Op: op, Left: root, Right: corePlan.Root}
+	}
+
+	if q.Filter != nil {
+		root = filterNode(q.Filter, root)
+	}
+	root = orderAndLimit(q, root)
+	aggName := q.Using
+	if aggName == "" {
+		aggName = "sum"
+	}
+	agg, err := pref.LookupAggregate(aggName)
+	if err != nil {
+		return nil, err
+	}
+	var output []expr.Col
+	if !cores[0].Star {
+		output = cores[0].Cols
+	}
+	plan := &Plan{Root: root, Output: output, Agg: agg, Preferences: prefs}
+	resolver := &algebra.Resolver{Catalog: pl.Cat, Funcs: pl.Funcs}
+	if _, err := resolver.Resolve(root); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// planCore plans one query core. When sharedProjection is non-nil it
+// replaces the core's own extended projection (compound queries need every
+// arm to produce the same layout).
+func (pl *Planner) planCore(q *parser.SelectStmt, extra []pref.Preference, sharedProjection []expr.Col) (*Plan, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("planner: query has no FROM clause")
+	}
+
+	// Alias set, for validating preference targets and detecting duplicates.
+	aliases := map[string]bool{}
+	addAlias := func(t parser.TableRef) error {
+		a := strings.ToLower(t.AliasName())
+		if aliases[a] {
+			return fmt.Errorf("planner: duplicate table alias %q", a)
+		}
+		if _, err := pl.Cat.Table(t.Table); err != nil {
+			return err
+		}
+		aliases[a] = true
+		return nil
+	}
+	for _, t := range q.From {
+		if err := addAlias(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range q.Joins {
+		if err := addAlias(j.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	// FROM items combine as cross joins; JOIN clauses attach left-deep in
+	// query order.
+	var root algebra.Node = scanOf(q.From[0])
+	for _, t := range q.From[1:] {
+		root = &algebra.Join{Left: root, Right: scanOf(t)}
+	}
+	for _, j := range q.Joins {
+		root = &algebra.Join{Cond: j.On, Left: root, Right: scanOf(j.Table)}
+	}
+
+	if q.Where != nil {
+		root = &algebra.Select{Cond: q.Where, Input: root}
+	}
+
+	// Preference triples, in query order (the baseline plan keeps them at
+	// the top; the optimizer pushes them down).
+	prefs := make([]pref.Preference, 0, len(q.Preferring))
+	for _, pc := range q.Preferring {
+		p := pref.Preference{Name: pc.Name, On: pc.On, Cond: pc.Cond, Score: pc.Score, Conf: pc.Conf}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		for _, rel := range p.On {
+			if !aliases[rel] {
+				return nil, fmt.Errorf("planner: preference %s targets unknown relation %q", p.Label(), rel)
+			}
+		}
+		prefs = append(prefs, p)
+		root = &algebra.Prefer{P: p, Input: root}
+	}
+	for _, p := range extra {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if !p.Covers(aliases) {
+			continue // not relevant to this query's relations
+		}
+		prefs = append(prefs, p)
+		root = &algebra.Prefer{P: p, Input: root}
+	}
+
+	// Extended projection: requested columns plus every attribute any
+	// preference reads and any skyline dimension (or the compound query's
+	// shared layout).
+	var output []expr.Col
+	if !q.Star {
+		output = q.Cols
+		extended := sharedProjection
+		if extended == nil {
+			user := append([]expr.Col(nil), q.Cols...)
+			user = append(user, filterColumns(q.Filter)...)
+			user = append(user, orderColumns(q)...)
+			extended = extendProjection(user, prefs)
+		}
+		root = &algebra.Project{Cols: extended, Input: root}
+	}
+
+	// Filtering clause, then attribute ordering and limit.
+	if q.Filter != nil {
+		root = filterNode(q.Filter, root)
+	}
+	root = orderAndLimit(q, root)
+
+	// Aggregate function.
+	aggName := q.Using
+	if aggName == "" {
+		aggName = "sum"
+	}
+	agg, err := pref.LookupAggregate(aggName)
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &Plan{Root: root, Output: output, Agg: agg, Preferences: prefs}
+
+	// Validate the whole plan (columns, conditions, preference parts).
+	resolver := &algebra.Resolver{Catalog: pl.Cat, Funcs: pl.Funcs}
+	if _, err := resolver.Resolve(root); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+func scanOf(t parser.TableRef) *algebra.Scan {
+	return &algebra.Scan{Table: t.Table, Alias: t.AliasName()}
+}
+
+// extendProjection unions the user columns with the columns referenced by
+// preference conditional and scoring parts, preserving order and dropping
+// duplicates.
+func extendProjection(cols []expr.Col, prefs []pref.Preference) []expr.Col {
+	out := make([]expr.Col, 0, len(cols))
+	seen := map[string]bool{}
+	add := func(c expr.Col) {
+		key := strings.ToLower(c.Table) + "." + strings.ToLower(c.Name)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range cols {
+		add(c)
+	}
+	for _, p := range prefs {
+		for _, c := range expr.ColumnsOf(p.Cond) {
+			add(c)
+		}
+		for _, c := range expr.ColumnsOf(p.Score) {
+			add(c)
+		}
+	}
+	return out
+}
+
+// filterColumns lists the columns a filtering clause reads (skyline
+// dimensions); they must survive the extended projection.
+func filterColumns(f *parser.FilterClause) []expr.Col {
+	if f == nil || f.Kind != parser.FilterSkyline {
+		return nil
+	}
+	out := make([]expr.Col, len(f.Dims))
+	for i, d := range f.Dims {
+		out[i] = d.Col
+	}
+	return out
+}
+
+// orderAndLimit wraps the plan in ORDER BY and LIMIT operators, applied
+// after preference filtering.
+func orderAndLimit(q *parser.SelectStmt, root algebra.Node) algebra.Node {
+	if len(q.OrderBy) > 0 {
+		keys := make([]algebra.OrderKey, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			keys[i] = algebra.OrderKey{Col: k.Col, Desc: k.Desc}
+		}
+		root = &algebra.OrderBy{Keys: keys, Input: root}
+	}
+	if q.Limit != nil {
+		root = &algebra.Limit{N: q.Limit.N, Offset: q.Limit.Offset, Input: root}
+	}
+	return root
+}
+
+// orderColumns lists the ORDER BY columns for projection extension.
+func orderColumns(q *parser.SelectStmt) []expr.Col {
+	out := make([]expr.Col, len(q.OrderBy))
+	for i, k := range q.OrderBy {
+		out[i] = k.Col
+	}
+	return out
+}
+
+func filterNode(f *parser.FilterClause, input algebra.Node) algebra.Node {
+	by := algebra.ByScore
+	if f.ByConf {
+		by = algebra.ByConf
+	}
+	switch f.Kind {
+	case parser.FilterTop:
+		return &algebra.TopK{K: f.K, By: by, Input: input}
+	case parser.FilterThreshold:
+		return &algebra.Threshold{By: by, Op: f.Op, Value: f.Value, Input: input}
+	case parser.FilterSkyline:
+		dims := make([]algebra.SkyDim, len(f.Dims))
+		for i, d := range f.Dims {
+			dims[i] = algebra.SkyDim{Col: d.Col, Max: d.Max}
+		}
+		return &algebra.Skyline{Dims: dims, Input: input}
+	default:
+		return &algebra.Rank{By: by, Input: input}
+	}
+}
+
+// TrimToOutput projects a result schema back to the user-requested columns,
+// returning the ordinals to keep; an empty Output keeps everything.
+func (p *Plan) TrimToOutput(s *schema.Schema) ([]int, error) {
+	if len(p.Output) == 0 {
+		out := make([]int, s.Len())
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	ords := make([]int, len(p.Output))
+	for i, c := range p.Output {
+		idx, err := s.IndexOf(c.Table, c.Name)
+		if err != nil {
+			return nil, err
+		}
+		ords[i] = idx
+	}
+	return ords, nil
+}

@@ -1,0 +1,281 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/expr"
+	"prefdb/internal/parser"
+	"prefdb/internal/pref"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	movies := schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "title", Kind: types.KindString},
+		schema.Column{Name: "year", Kind: types.KindInt},
+		schema.Column{Name: "d_id", Kind: types.KindInt},
+	).WithKey("m_id")
+	genres := schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "genre", Kind: types.KindString},
+	).WithKey("m_id", "genre")
+	directors := schema.New(
+		schema.Column{Name: "d_id", Kind: types.KindInt},
+		schema.Column{Name: "director", Kind: types.KindString},
+	).WithKey("d_id")
+	for name, s := range map[string]*schema.Schema{"movies": movies, "genres": genres, "directors": directors} {
+		if _, err := c.CreateTable(name, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestPlanBaselineShape(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery(`SELECT title FROM movies
+		JOIN genres ON movies.m_id = genres.m_id
+		WHERE year = 2011
+		PREFERRING genre = 'Comedy' SCORE 1 CONF 0.8 ON genres
+		TOP 10 BY score`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := algebra.Format(plan.Root)
+	lines := strings.Split(strings.TrimRight(f, "\n"), "\n")
+	// Baseline order: TopK / Project / Prefer / Select / Join / scans.
+	wantPrefix := []string{"Top(10, score)", "Project(", "Prefer(", "Select(", "Join(", "Scan(movies)", "Scan(genres)"}
+	if len(lines) != len(wantPrefix) {
+		t.Fatalf("plan shape:\n%s", f)
+	}
+	for i, w := range wantPrefix {
+		if !strings.HasPrefix(strings.TrimSpace(lines[i]), w) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], w)
+		}
+	}
+	// Projection extended with the preference attribute genre.
+	if !strings.Contains(lines[1], "genre") {
+		t.Errorf("projection not extended: %s", lines[1])
+	}
+	// Output keeps only the user's columns.
+	if len(plan.Output) != 1 || plan.Output[0].Name != "title" {
+		t.Errorf("output = %v", plan.Output)
+	}
+	if plan.Agg.Name() != "sum" {
+		t.Errorf("default aggregate = %s", plan.Agg.Name())
+	}
+	if len(plan.Preferences) != 1 || plan.Preferences[0].Name != "p1" {
+		t.Errorf("preferences = %v", plan.Preferences)
+	}
+}
+
+func TestPlanStarNoProjection(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery("SELECT * FROM movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(algebra.Format(plan.Root), "Project") {
+		t.Error("star query should not project")
+	}
+	if len(plan.Output) != 0 {
+		t.Errorf("star output = %v", plan.Output)
+	}
+}
+
+func TestPlanCommaFromCrossJoin(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery("SELECT movies.title FROM movies, directors WHERE movies.d_id = directors.d_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := algebra.CountOps(plan.Root)
+	if ops["join"] != 1 {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestPlanUsingAggregate(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery("SELECT title FROM movies PREFERRING year > 2000 SCORE 1 CONF 0.5 ON movies USING max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Agg.Name() != "max" {
+		t.Errorf("aggregate = %s", plan.Agg.Name())
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	pl := New(testCatalog(t))
+	bad := []string{
+		"SELECT title FROM ghost",
+		"SELECT ghost FROM movies",
+		"SELECT m.title FROM movies m, movies m",
+		"SELECT title FROM movies PREFERRING genre = 'X' SCORE 1 CONF 0.5 ON genres",
+		"SELECT title FROM movies PREFERRING year > 1 SCORE 1 CONF 9 ON movies",
+		"SELECT title FROM movies PREFERRING year > 1 SCORE nosuch(year) CONF 0.5 ON movies",
+		"SELECT title FROM movies USING nosuchagg",
+		"SELECT title FROM movies WHERE ghost = 1",
+		"SELECT title FROM movies JOIN genres ON ghost = 1",
+	}
+	for _, q := range bad {
+		if _, err := pl.PlanQuery(q); err == nil {
+			t.Errorf("%q should fail to plan", q)
+		}
+	}
+}
+
+func TestTrimToOutput(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery(`SELECT title FROM movies PREFERRING year > 2000 SCORE recency(year, 2011) CONF 0.5 ON movies`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver := &algebra.Resolver{Catalog: pl.Cat, Funcs: pl.Funcs}
+	s, err := resolver.Resolve(plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extended projection has title + year; trim keeps only title.
+	if s.Len() != 2 {
+		t.Fatalf("extended width = %d", s.Len())
+	}
+	ords, err := plan.TrimToOutput(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ords) != 1 || s.Columns[ords[0]].Name != "title" {
+		t.Errorf("trim ords = %v", ords)
+	}
+	// Star plans keep everything.
+	starPlan := &Plan{}
+	ords2, err := starPlan.TrimToOutput(s)
+	if err != nil || len(ords2) != 2 {
+		t.Errorf("star trim = %v, %v", ords2, err)
+	}
+}
+
+func TestMultiRelationalPreferencePlacement(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery(`SELECT title FROM movies JOIN genres ON movies.m_id = genres.m_id
+		PREFERRING genre = 'Action' SCORE recency(year, 2011) CONF 0.8 ON (movies, genres)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Preferences) != 1 || !plan.Preferences[0].IsMultiRelational() {
+		t.Fatalf("preferences = %v", plan.Preferences)
+	}
+	_ = pref.Preference{}
+}
+
+func TestPlanCompoundUnion(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery(`SELECT title FROM movies WHERE year >= 2005
+		PREFERRING year >= 2006 SCORE recency(year, 2011) CONF 0.8 ON movies
+		UNION SELECT title FROM movies WHERE year < 1990
+		USING max TOP 5 BY score`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := algebra.Format(plan.Root)
+	if !strings.Contains(f, "Union()") {
+		t.Fatalf("no union in plan:\n%s", f)
+	}
+	if !strings.HasPrefix(f, "Top(5, score)") {
+		t.Errorf("filter should top the compound:\n%s", f)
+	}
+	if plan.Agg.Name() != "max" {
+		t.Errorf("aggregate = %s", plan.Agg.Name())
+	}
+	if len(plan.Preferences) != 1 {
+		t.Errorf("preferences = %d", len(plan.Preferences))
+	}
+	// Both arms share the extended projection (title + year).
+	if c := strings.Count(f, "Project(movies.title, movies.year)"); c != 2 &&
+		strings.Count(f, "Project(title, year)") != 2 {
+		t.Errorf("arms should share the extended projection:\n%s", f)
+	}
+	// Output stays the user's single column.
+	if len(plan.Output) != 1 || plan.Output[0].Name != "title" {
+		t.Errorf("output = %v", plan.Output)
+	}
+}
+
+func TestPlanCompoundChainOps(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery(`SELECT title FROM movies
+		INTERSECT SELECT title FROM movies
+		EXCEPT SELECT title FROM movies`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := algebra.Format(plan.Root)
+	if !strings.Contains(f, "Diff()") || !strings.Contains(f, "Intersect()") {
+		t.Errorf("chain ops missing:\n%s", f)
+	}
+	// Left-associative: Diff at the root.
+	if !strings.HasPrefix(f, "Diff()") {
+		t.Errorf("set ops should chain left to right:\n%s", f)
+	}
+}
+
+func TestPlanCompoundStar(t *testing.T) {
+	pl := New(testCatalog(t))
+	plan, err := pl.PlanQuery(`SELECT * FROM directors UNION SELECT * FROM directors`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(algebra.Format(plan.Root), "Project") {
+		t.Error("star compound should not project")
+	}
+	if len(plan.Output) != 0 {
+		t.Errorf("star output = %v", plan.Output)
+	}
+}
+
+func TestPlanCompoundErrors(t *testing.T) {
+	pl := New(testCatalog(t))
+	bad := []string{
+		`SELECT title FROM movies UNION SELECT title, year FROM movies`,
+		`SELECT title FROM movies UNION SELECT year FROM movies`,
+		`SELECT * FROM movies UNION SELECT title FROM movies`,
+		`SELECT title FROM movies UNION SELECT director FROM directors`,
+		`SELECT title FROM movies UNION SELECT title FROM ghost`,
+		`SELECT title FROM movies UNION SELECT title FROM movies USING bogus`,
+	}
+	for _, q := range bad {
+		if _, err := pl.PlanQuery(q); err == nil {
+			t.Errorf("%q should fail to plan", q)
+		}
+	}
+}
+
+func TestPlanWithPreferencesSkipsIrrelevant(t *testing.T) {
+	pl := New(testCatalog(t))
+	q, err := parser.ParseQuery("SELECT title FROM movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applicable := pref.New("onMovies", "movies", expr.Cmp("year", expr.OpGe, types.Int(2000)), expr.Lit{Val: types.Float(1)}, 0.5)
+	irrelevant := pref.Constant("onGenres", "genres", expr.TrueLiteral(), 1, 0.5)
+	invalid := pref.Preference{Name: "bad", On: []string{"movies"}, Cond: expr.TrueLiteral(), Score: expr.TrueLiteral(), Conf: 9}
+
+	plan, err := pl.PlanWithPreferences(q, []pref.Preference{applicable, irrelevant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Preferences) != 1 || plan.Preferences[0].Name != "onMovies" {
+		t.Errorf("preferences = %v", plan.Preferences)
+	}
+	if _, err := pl.PlanWithPreferences(q, []pref.Preference{invalid}); err == nil {
+		t.Error("invalid extra preference should fail")
+	}
+}

@@ -1,0 +1,200 @@
+// Package plugin implements the pure plug-in approach to preferential
+// query processing that the paper uses as its baseline (§II, §VII): the
+// preferences are integrated as standard query conditions producing a set
+// of new conventional queries (Rewrite), the queries are executed over the
+// database engine (Materialize), and the partial results are combined into
+// a single answer in the middleware (Aggregate).
+//
+// Two variants are provided:
+//
+//   - Naive issues one conventional query per preference — the direct
+//     translation, whose cost grows linearly with the number of
+//     preferences;
+//   - Merged applies the classic coarse-grained plug-in optimization of
+//     reducing the number of queries sent to the DBMS: a single query with
+//     the disjunction of all preference conditions, with per-preference
+//     scoring done in the middleware.
+package plugin
+
+import (
+	"fmt"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/exec"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/types"
+)
+
+// Runner executes preferential plans with the plug-in strategy.
+type Runner struct {
+	// Exec provides the conventional database engine the plug-in sits on
+	// top of. The runner only sends it prefer-free plans.
+	Exec *exec.Executor
+	// Merged selects the single-disjunctive-query variant.
+	Merged bool
+}
+
+// Name identifies the variant in reports.
+func (r *Runner) Name() string {
+	if r.Merged {
+		return "plugin-merged"
+	}
+	return "plugin-naive"
+}
+
+// Run evaluates an extended query plan: the preference and filtering
+// operators are peeled off, the remaining conventional query part is
+// executed through the engine (rewritten per variant), and scores are
+// aggregated in the middleware before filtering.
+func (r *Runner) Run(plan algebra.Node) (*prel.PRelation, error) {
+	// Peel filtering operators (applied last, in the middleware).
+	var filters []algebra.Node
+	core := plan
+	for {
+		switch core.(type) {
+		case *algebra.TopK, *algebra.Threshold, *algebra.Skyline,
+			*algebra.Rank, *algebra.OrderBy, *algebra.Limit:
+			filters = append(filters, core)
+			core = core.Children()[0]
+			continue
+		}
+		break
+	}
+
+	// Collect preferences and strip them from the conventional part.
+	var prefs []pref.Preference
+	algebra.Walk(core, func(n algebra.Node) bool {
+		if p, ok := n.(*algebra.Prefer); ok {
+			prefs = append(prefs, p.P)
+		}
+		return true
+	})
+	qnp := algebra.Transform(core, func(n algebra.Node) algebra.Node {
+		if p, ok := n.(*algebra.Prefer); ok {
+			return p.Input
+		}
+		return n
+	})
+
+	// Materialize the full conventional answer (preference evaluation never
+	// disqualifies tuples, so the complete result set is always needed).
+	all, err := r.Exec.Materialize(qnp)
+	if err != nil {
+		return nil, err
+	}
+
+	scores := prel.NewScoreRelation()
+	if r.Merged {
+		err = r.runMerged(qnp, prefs, scores)
+	} else {
+		err = r.runNaive(qnp, prefs, scores)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Attach aggregated pairs to the full answer.
+	out := prel.New(all.Schema)
+	for _, row := range all.Rows {
+		row.SC = scores.Get(row.Tuple)
+		out.Append(row)
+	}
+
+	// Apply filtering in the middleware.
+	cur := out
+	for i := len(filters) - 1; i >= 0; i-- {
+		node := filters[i].WithChildren([]algebra.Node{&algebra.Values{Rel: cur, Label: "plugin"}})
+		cur, err = r.Exec.Evaluate(node)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// runNaive issues one rewritten query per preference: Q_i adds the
+// preference's conditional part as a standard selection over the
+// conventional query, then scores the returned tuples.
+func (r *Runner) runNaive(qnp algebra.Node, prefs []pref.Preference, scores *prel.ScoreRelation) error {
+	for _, p := range prefs {
+		q := &algebra.Select{Cond: p.Cond, Input: qnp}
+		partial, err := r.Exec.Materialize(q)
+		if err != nil {
+			return fmt.Errorf("plugin: rewritten query for %s: %w", p.Label(), err)
+		}
+		scoreFn, err := expr.Compile(p.Score, partial.Schema, r.Exec.Funcs)
+		if err != nil {
+			return fmt.Errorf("plugin: scoring %s: %w", p.Label(), err)
+		}
+		seen := map[string]bool{}
+		for _, row := range partial.Rows {
+			key := prel.Fingerprint(row.Tuple)
+			if seen[key] {
+				continue // a preference scores each distinct tuple once
+			}
+			seen[key] = true
+			if v := scoreFn.Eval(row.Tuple); !v.IsNull() && v.IsNumeric() {
+				scores.Combine(row.Tuple, types.NewSC(pref.Clamp01(v.AsFloat()), p.Conf), r.Exec.Agg.Combine)
+			}
+		}
+	}
+	return nil
+}
+
+// runMerged issues a single query selecting the disjunction of all
+// preference conditions, then evaluates each preference's conditional and
+// scoring parts in the middleware.
+func (r *Runner) runMerged(qnp algebra.Node, prefs []pref.Preference, scores *prel.ScoreRelation) error {
+	if len(prefs) == 0 {
+		return nil
+	}
+	var disj expr.Node
+	for _, p := range prefs {
+		if disj == nil {
+			disj = p.Cond
+		} else {
+			disj = expr.Bin{Op: expr.OpOr, L: disj, R: p.Cond}
+		}
+	}
+	q := &algebra.Select{Cond: disj, Input: qnp}
+	partial, err := r.Exec.Materialize(q)
+	if err != nil {
+		return fmt.Errorf("plugin: merged query: %w", err)
+	}
+	type compiled struct {
+		cond  *expr.Compiled
+		score *expr.Compiled
+		conf  float64
+	}
+	cs := make([]compiled, len(prefs))
+	for i, p := range prefs {
+		cond, err := expr.CompileCondition(p.Cond, partial.Schema, r.Exec.Funcs)
+		if err != nil {
+			return fmt.Errorf("plugin: condition of %s: %w", p.Label(), err)
+		}
+		score, err := expr.Compile(p.Score, partial.Schema, r.Exec.Funcs)
+		if err != nil {
+			return fmt.Errorf("plugin: scoring %s: %w", p.Label(), err)
+		}
+		cs[i] = compiled{cond: cond, score: score, conf: p.Conf}
+	}
+	seen := map[string]bool{}
+	for _, row := range partial.Rows {
+		key := prel.Fingerprint(row.Tuple)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for _, c := range cs {
+			if !c.cond.Truthy(row.Tuple) {
+				continue
+			}
+			if v := c.score.Eval(row.Tuple); !v.IsNull() && v.IsNumeric() {
+				scores.Combine(row.Tuple, types.NewSC(pref.Clamp01(v.AsFloat()), c.conf), r.Exec.Agg.Combine)
+			}
+		}
+	}
+	return nil
+}

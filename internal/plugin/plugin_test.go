@@ -1,0 +1,167 @@
+package plugin
+
+import (
+	"testing"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/exec"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+func movieDB(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	movies := schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "title", Kind: types.KindString},
+		schema.Column{Name: "year", Kind: types.KindInt},
+		schema.Column{Name: "duration", Kind: types.KindInt},
+		schema.Column{Name: "d_id", Kind: types.KindInt},
+	).WithKey("m_id")
+	genres := schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "genre", Kind: types.KindString},
+	).WithKey("m_id", "genre")
+	mt, _ := c.CreateTable("movies", movies)
+	gt, _ := c.CreateTable("genres", genres)
+	genreNames := []string{"Drama", "Comedy", "Action"}
+	for i := 0; i < 60; i++ {
+		mt.Insert([]types.Value{
+			types.Int(int64(i)), types.Str("t"), types.Int(int64(1990 + i%30)),
+			types.Int(int64(90 + i%60)), types.Int(int64(i % 7)),
+		})
+		gt.Insert([]types.Value{types.Int(int64(i)), types.Str(genreNames[i%3])})
+	}
+	return c
+}
+
+func testPlan() algebra.Node {
+	p1 := pref.Constant("p1", "genres", expr.Eq("genre", types.Str("Comedy")), 1, 0.8)
+	p2 := pref.New("p2", "movies", expr.Cmp("year", expr.OpGe, types.Int(2005)), pref.Recency("year", 2020), 0.9)
+	core := &algebra.Prefer{P: p2, Input: &algebra.Prefer{P: p1, Input: &algebra.Join{
+		Cond:  expr.Bin{Op: expr.OpEq, L: expr.ColRef("movies.m_id"), R: expr.ColRef("genres.m_id")},
+		Left:  &algebra.Scan{Table: "movies"},
+		Right: &algebra.Scan{Table: "genres"},
+	}}}
+	return &algebra.TopK{K: 10, By: algebra.ByScore, Input: core}
+}
+
+func TestPluginMatchesNative(t *testing.T) {
+	plan := testPlan()
+	eRef := exec.New(movieDB(t))
+	ref, err := eRef.Run(plan, exec.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, merged := range []bool{false, true} {
+		r := &Runner{Exec: exec.New(movieDB(t)), Merged: merged}
+		got, err := r.Run(plan)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if diff := ref.Diff(got, 1e-9); diff != "" {
+			t.Errorf("%s differs from native: %s", r.Name(), diff)
+		}
+	}
+}
+
+func TestPluginNoPreferences(t *testing.T) {
+	plan := &algebra.Select{Cond: expr.Cmp("year", expr.OpGe, types.Int(2015)), Input: &algebra.Scan{Table: "movies"}}
+	for _, merged := range []bool{false, true} {
+		r := &Runner{Exec: exec.New(movieDB(t)), Merged: merged}
+		got, err := r.Run(plan)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if got.Len() != 10 {
+			t.Errorf("%s: rows = %d, want 10", r.Name(), got.Len())
+		}
+		for _, row := range got.Rows {
+			if !row.SC.IsBottom() {
+				t.Errorf("%s: unexpected score %v", r.Name(), row.SC)
+			}
+		}
+	}
+}
+
+func TestPluginNativeCallCounts(t *testing.T) {
+	plan := testPlan()
+	naive := &Runner{Exec: exec.New(movieDB(t))}
+	if _, err := naive.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	// One query for the full answer plus one per preference.
+	if got := naive.Exec.Stats().NativeCalls; got != 3 {
+		t.Errorf("naive native calls = %d, want 3", got)
+	}
+	merged := &Runner{Exec: exec.New(movieDB(t)), Merged: true}
+	if _, err := merged.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	// One query for the full answer plus one merged disjunctive query.
+	if got := merged.Exec.Stats().NativeCalls; got != 2 {
+		t.Errorf("merged native calls = %d, want 2", got)
+	}
+}
+
+func TestPluginNaiveScalesWithPreferences(t *testing.T) {
+	// The defining cost signature: naive issues λ+1 queries.
+	for _, n := range []int{1, 4, 8} {
+		var core algebra.Node = &algebra.Scan{Table: "movies"}
+		for i := 0; i < n; i++ {
+			p := pref.Constant("p", "movies", expr.Eq("d_id", types.Int(int64(i))), 1, 0.5)
+			core = &algebra.Prefer{P: p, Input: core}
+		}
+		r := &Runner{Exec: exec.New(movieDB(t))}
+		if _, err := r.Run(core); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Exec.Stats().NativeCalls; got != n+1 {
+			t.Errorf("λ=%d: native calls = %d, want %d", n, got, n+1)
+		}
+		m := &Runner{Exec: exec.New(movieDB(t)), Merged: true}
+		if _, err := m.Run(core); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Exec.Stats().NativeCalls; got != 2 {
+			t.Errorf("λ=%d merged: native calls = %d, want 2", n, got)
+		}
+	}
+}
+
+func TestPluginWithFiltersAndAggregates(t *testing.T) {
+	// Threshold filter and F_max both flow through the plug-in path.
+	p1 := pref.Constant("p1", "genres", expr.Eq("genre", types.Str("Drama")), 0.9, 0.7)
+	p2 := pref.Constant("p2", "genres", expr.Eq("genre", types.Str("Comedy")), 0.8, 0.9)
+	core := &algebra.Prefer{P: p2, Input: &algebra.Prefer{P: p1, Input: &algebra.Scan{Table: "genres"}}}
+	plan := &algebra.Threshold{By: algebra.ByConf, Op: expr.OpGt, Value: 0, Input: core}
+
+	eRef := exec.New(movieDB(t))
+	eRef.Agg = pref.FMax{}
+	ref, err := eRef.Run(plan, exec.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, merged := range []bool{false, true} {
+		ex := exec.New(movieDB(t))
+		ex.Agg = pref.FMax{}
+		r := &Runner{Exec: ex, Merged: merged}
+		got, err := r.Run(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := ref.Diff(got, 1e-9); diff != "" {
+			t.Errorf("%s with FMax differs: %s", r.Name(), diff)
+		}
+	}
+}
+
+func TestPluginName(t *testing.T) {
+	if (&Runner{}).Name() != "plugin-naive" || (&Runner{Merged: true}).Name() != "plugin-merged" {
+		t.Error("names wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package pref
+
+import (
+	"fmt"
+	"strings"
+
+	"prefdb/internal/types"
+)
+
+// Aggregate combines two score-confidence pairs into one (Definition 3).
+// Implementations must be associative and commutative with identity ⟨⊥,0⟩,
+// so that the order of preference evaluation does not change the final pair
+// (Property 4.3 rests on this).
+type Aggregate interface {
+	// Name is the registry key, e.g. "sum".
+	Name() string
+	// Combine merges two pairs. Implementations must satisfy
+	// Combine(⟨⊥,0⟩, x) = x and Combine(x, ⟨⊥,0⟩) = x.
+	Combine(a, b types.SC) types.SC
+}
+
+// FSum is the paper's F_S: the combined score is the confidence-weighted
+// sum of the input scores and the combined confidence is the sum of input
+// confidences. Sum "better captures how many preferences have been
+// satisfied ... and maintains the diversity of individual values".
+type FSum struct{}
+
+// Name implements Aggregate.
+func (FSum) Name() string { return "sum" }
+
+// Combine implements Aggregate.
+func (FSum) Combine(a, b types.SC) types.SC {
+	if a.IsBottom() {
+		return b
+	}
+	if b.IsBottom() {
+		return a
+	}
+	conf := a.Conf + b.Conf
+	var score float64
+	if conf > 0 {
+		score = (a.Conf*a.Score + b.Conf*b.Score) / conf
+	}
+	return types.NewSC(score, conf)
+}
+
+// FMax is the paper's F_max: the result is the input pair with the maximum
+// confidence ("the tuple score should be determined by the preference with
+// the highest confidence"). Confidence ties break towards the higher score
+// so the function stays commutative and associative.
+type FMax struct{}
+
+// Name implements Aggregate.
+func (FMax) Name() string { return "max" }
+
+// Combine implements Aggregate.
+func (FMax) Combine(a, b types.SC) types.SC {
+	if a.IsBottom() {
+		return b
+	}
+	if b.IsBottom() {
+		return a
+	}
+	switch {
+	case a.Conf > b.Conf:
+		return a
+	case b.Conf > a.Conf:
+		return b
+	case a.Score >= b.Score:
+		return a
+	default:
+		return b
+	}
+}
+
+// FMaxScore keeps the pair with the maximum score (ties towards higher
+// confidence) — an optimistic policy: a tuple is as good as its best match.
+type FMaxScore struct{}
+
+// Name implements Aggregate.
+func (FMaxScore) Name() string { return "maxscore" }
+
+// Combine implements Aggregate.
+func (FMaxScore) Combine(a, b types.SC) types.SC {
+	if a.IsBottom() {
+		return b
+	}
+	if b.IsBottom() {
+		return a
+	}
+	switch {
+	case a.Score > b.Score:
+		return a
+	case b.Score > a.Score:
+		return b
+	case a.Conf >= b.Conf:
+		return a
+	default:
+		return b
+	}
+}
+
+// FMult multiplies scores and confidences — a conjunctive policy where a
+// tuple must satisfy every preference well to keep a high score.
+type FMult struct{}
+
+// Name implements Aggregate.
+func (FMult) Name() string { return "mult" }
+
+// Combine implements Aggregate.
+func (FMult) Combine(a, b types.SC) types.SC {
+	if a.IsBottom() {
+		return b
+	}
+	if b.IsBottom() {
+		return a
+	}
+	return types.NewSC(a.Score*b.Score, a.Conf*b.Conf)
+}
+
+// CombineAll folds an aggregate over any number of pairs, starting from the
+// identity ⟨⊥,0⟩.
+func CombineAll(f Aggregate, pairs ...types.SC) types.SC {
+	acc := types.Bottom()
+	for _, p := range pairs {
+		acc = f.Combine(acc, p)
+	}
+	return acc
+}
+
+// Aggregates resolves aggregate functions by name.
+var builtinAggregates = map[string]Aggregate{
+	"sum":      FSum{},
+	"max":      FMax{},
+	"maxscore": FMaxScore{},
+	"mult":     FMult{},
+}
+
+// LookupAggregate resolves an aggregate by name (case-insensitive).
+func LookupAggregate(name string) (Aggregate, error) {
+	f, ok := builtinAggregates[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("pref: unknown aggregate function %q (known: sum, max, maxscore, mult)", name)
+	}
+	return f, nil
+}
+
+// AggregateNames lists the registered aggregate function names.
+func AggregateNames() []string { return []string{"max", "maxscore", "mult", "sum"} }

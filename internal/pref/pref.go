@@ -1,0 +1,136 @@
+// Package pref implements the preference model of Arvanitis & Koutrika
+// (ICDE 2012): a preference is a triple (σ_φ, S, C) — a conditional part
+// selecting the affected tuples, a scoring function mapping them to [0,1],
+// and a confidence constant capturing how certain the preference is.
+// The package also provides the aggregate functions that combine
+// score-confidence pairs (F_S, F_max, ...) and the scoring-function library
+// used inside preference scoring expressions.
+package pref
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefdb/internal/expr"
+	"prefdb/internal/types"
+)
+
+// Preference is p = (σ_φ, S, C) over one relation or a product of
+// relations (Definition 1).
+type Preference struct {
+	// Name is an optional label used in plans and explain output.
+	Name string
+	// On lists the relations (by name or alias, lower-case) over which the
+	// preference is defined. One entry for single-relation preferences;
+	// several for multi-relational preferences such as the paper's p6 on
+	// MOVIES × GENRES. A membership preference (p7) uses Cond = TRUE over a
+	// join.
+	On []string
+	// Cond is the conditional part σ_φ: which tuples are affected. It acts
+	// as a soft constraint — it scopes scoring, it never filters tuples.
+	Cond expr.Node
+	// Score is the scoring part: an expression over the tuple's attributes
+	// evaluating to a float, clamped into [0,1]. A literal expression
+	// assigns a constant score.
+	Score expr.Node
+	// Conf is the confidence C in [0,1]: 1 for explicit user preferences,
+	// lower for learnt ones.
+	Conf float64
+}
+
+// New builds a single-relation preference.
+func New(name, relation string, cond, score expr.Node, conf float64) Preference {
+	return Preference{Name: name, On: []string{strings.ToLower(relation)}, Cond: cond, Score: score, Conf: conf}
+}
+
+// Constant builds a preference assigning a constant score to every tuple
+// matching cond — e.g. the paper's p3: (σ_genre='Comedy', 1, 0.8).
+func Constant(name, relation string, cond expr.Node, score, conf float64) Preference {
+	return New(name, relation, cond, expr.Lit{Val: types.Float(score)}, conf)
+}
+
+// Atomic builds an atomic preference: a user's rating of a single tuple,
+// identified by key column = key value, with confidence 1 (the paper's p1,
+// p2: directly provided, so certain).
+func Atomic(name, relation, keyCol string, key types.Value, score float64) Preference {
+	return New(name, relation, expr.Eq(keyCol, key), expr.Lit{Val: types.Float(score)}, 1)
+}
+
+// Membership builds a membership preference: tuples having a join partner
+// in another relation are preferred (the paper's p7 over MOVIES ⋈ AWARDS,
+// expressed as (σ_true, 1, conf)).
+func Membership(name string, relations []string, score, conf float64) Preference {
+	on := make([]string, len(relations))
+	for i, r := range relations {
+		on[i] = strings.ToLower(r)
+	}
+	return Preference{Name: name, On: on, Cond: expr.TrueLiteral(), Score: expr.Lit{Val: types.Float(score)}, Conf: conf}
+}
+
+// Validate checks structural sanity: a target relation, a condition, a
+// scoring expression and a confidence within [0,1].
+func (p Preference) Validate() error {
+	if len(p.On) == 0 {
+		return fmt.Errorf("pref: preference %q has no target relation", p.Name)
+	}
+	for _, r := range p.On {
+		if r == "" {
+			return fmt.Errorf("pref: preference %q has an empty target relation", p.Name)
+		}
+	}
+	if p.Cond == nil {
+		return fmt.Errorf("pref: preference %q has no conditional part", p.Name)
+	}
+	if p.Score == nil {
+		return fmt.Errorf("pref: preference %q has no scoring part", p.Name)
+	}
+	if p.Conf < 0 || p.Conf > 1 {
+		return fmt.Errorf("pref: preference %q has confidence %v outside [0,1]", p.Name, p.Conf)
+	}
+	return nil
+}
+
+// IsMultiRelational reports whether the preference is defined on a product
+// of relations.
+func (p Preference) IsMultiRelational() bool { return len(p.On) > 1 }
+
+// Covers reports whether the preference's target relations are all within
+// the given set of (lower-case) relation names.
+func (p Preference) Covers(relations map[string]bool) bool {
+	for _, r := range p.On {
+		if !relations[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Label returns the display name, falling back to a rendering of the triple.
+func (p Preference) Label() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.String()
+}
+
+// String renders the preference as p[R] = (σ_cond, score, conf).
+func (p Preference) String() string {
+	rels := strings.Join(p.On, "×")
+	name := p.Name
+	if name == "" {
+		name = "p"
+	}
+	return fmt.Sprintf("%s[%s] = (σ %s, %s, %.2f)", name, rels, p.Cond, p.Score, p.Conf)
+}
+
+// SortByName orders a preference slice by name then rendering, giving
+// deterministic plans for identical inputs.
+func SortByName(ps []Preference) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Name != ps[j].Name {
+			return ps[i].Name < ps[j].Name
+		}
+		return ps[i].String() < ps[j].String()
+	})
+}

@@ -1,0 +1,135 @@
+package pref
+
+import (
+	"math"
+
+	"prefdb/internal/expr"
+	"prefdb/internal/types"
+)
+
+// Functions returns an expression-function registry extended with the
+// scoring-function library used in preference scoring parts. Every scoring
+// function yields a float clamped into [0,1] (NULL inputs yield NULL, i.e.
+// the preference assigns ⊥ to that tuple).
+//
+// The library includes the paper's example functions:
+//
+//	linear(x, a)       S_r:  a·x                  (e.g. 0.1·rating)
+//	recency(x, ref)    S_m:  x/ref                (newer years score higher)
+//	around(x, t)       S_d:  1 − |x − t|/t        (peak at t, e.g. ~120 min)
+//
+// plus generally useful shapes:
+//
+//	ramp(x, lo, hi)    0 below lo, 1 above hi, linear in between
+//	gauss(x, mu, sig)  exp(−(x−mu)²/2sig²)
+//	step(x, t)         1 if x ≥ t else 0
+//	inverse(x, scale)  scale/(scale+x)            (smaller is better)
+//	clamp(x)           clamp into [0,1]
+func Functions() *expr.Registry {
+	r := expr.NewRegistry()
+	register := func(name string, minArgs, maxArgs int, f func(a []float64) float64) {
+		r.MustRegister(&expr.Func{
+			Name:    name,
+			MinArgs: minArgs,
+			MaxArgs: maxArgs,
+			Kind:    types.KindFloat,
+			Eval: func(args []types.Value) types.Value {
+				fs := make([]float64, len(args))
+				for i, v := range args {
+					if v.IsNull() {
+						return types.Null()
+					}
+					if !v.IsNumeric() {
+						return types.Null()
+					}
+					fs[i] = v.AsFloat()
+				}
+				return types.Float(Clamp01(f(fs)))
+			},
+		})
+	}
+	register("linear", 2, 2, func(a []float64) float64 { return a[0] * a[1] })
+	register("recency", 2, 2, func(a []float64) float64 {
+		if a[1] == 0 {
+			return 0
+		}
+		return a[0] / a[1]
+	})
+	register("around", 2, 2, func(a []float64) float64 {
+		if a[1] == 0 {
+			return 0
+		}
+		return 1 - math.Abs(a[0]-a[1])/a[1]
+	})
+	register("ramp", 3, 3, func(a []float64) float64 {
+		x, lo, hi := a[0], a[1], a[2]
+		if hi <= lo {
+			if x >= hi {
+				return 1
+			}
+			return 0
+		}
+		return (x - lo) / (hi - lo)
+	})
+	register("gauss", 3, 3, func(a []float64) float64 {
+		x, mu, sig := a[0], a[1], a[2]
+		if sig == 0 {
+			if x == mu {
+				return 1
+			}
+			return 0
+		}
+		d := (x - mu) / sig
+		return math.Exp(-d * d / 2)
+	})
+	register("step", 2, 2, func(a []float64) float64 {
+		if a[0] >= a[1] {
+			return 1
+		}
+		return 0
+	})
+	register("inverse", 2, 2, func(a []float64) float64 {
+		if a[1]+a[0] == 0 {
+			return 1
+		}
+		return a[1] / (a[1] + a[0])
+	})
+	register("clamp", 1, 1, func(a []float64) float64 { return a[0] })
+	return r
+}
+
+// Clamp01 clamps a score into [0,1]; NaN clamps to 0.
+func Clamp01(f float64) float64 {
+	switch {
+	case math.IsNaN(f), f < 0:
+		return 0
+	case f > 1:
+		return 1
+	default:
+		return f
+	}
+}
+
+// Linear builds the scoring AST linear(col, a) — the paper's S_r.
+func Linear(col string, a float64) expr.Node {
+	return expr.Call{Name: "linear", Args: []expr.Node{expr.ColRef(col), expr.Lit{Val: types.Float(a)}}}
+}
+
+// Recency builds recency(col, ref) — the paper's S_m(year, x) = year/x.
+func Recency(col string, ref float64) expr.Node {
+	return expr.Call{Name: "recency", Args: []expr.Node{expr.ColRef(col), expr.Lit{Val: types.Float(ref)}}}
+}
+
+// Around builds around(col, target) — the paper's S_d(duration, x).
+func Around(col string, target float64) expr.Node {
+	return expr.Call{Name: "around", Args: []expr.Node{expr.ColRef(col), expr.Lit{Val: types.Float(target)}}}
+}
+
+// Weighted builds w1·e1 + w2·e2 — multi-attribute scoring like the paper's
+// p5 = 0.5·S_m(year,2011) + 0.5·S_d(duration,120).
+func Weighted(w1 float64, e1 expr.Node, w2 float64, e2 expr.Node) expr.Node {
+	return expr.Bin{Op: expr.OpAdd,
+		L: expr.Bin{Op: expr.OpMul, L: expr.Lit{Val: types.Float(w1)}, R: e1},
+		R: expr.Bin{Op: expr.OpMul, L: expr.Lit{Val: types.Float(w2)}, R: e2},
+	}
+}

@@ -1,0 +1,215 @@
+// Package prel defines the runtime representation of p-relations
+// (Definition 2): relations whose tuples carry a score-confidence pair
+// ⟨S, C⟩ with defaults ⟨⊥, 0⟩, plus the score-relation sidecar
+// R_P(pk, score, conf) used by the paper's hybrid implementation to store
+// only non-default pairs.
+package prel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// Row is one p-relation tuple: attribute values plus its ⟨S, C⟩ pair.
+type Row struct {
+	Tuple []types.Value
+	SC    types.SC
+}
+
+// PRelation is a materialized p-relation.
+type PRelation struct {
+	Schema *schema.Schema
+	Rows   []Row
+}
+
+// New returns an empty p-relation with the given schema.
+func New(s *schema.Schema) *PRelation { return &PRelation{Schema: s} }
+
+// Len returns the number of tuples.
+func (r *PRelation) Len() int { return len(r.Rows) }
+
+// Append adds a row.
+func (r *PRelation) Append(row Row) { r.Rows = append(r.Rows, row) }
+
+// ScoredCount returns how many tuples carry a non-default pair — the size
+// the score relation R_P would have ("each score relation contains only
+// tuples with non-default scores and confidences, consequently R_P ≤ R").
+func (r *PRelation) ScoredCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		if !row.SC.IsBottom() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the relation (tuple slices are shared; rows are not).
+func (r *PRelation) Clone() *PRelation {
+	out := &PRelation{Schema: r.Schema, Rows: make([]Row, len(r.Rows))}
+	copy(out.Rows, r.Rows)
+	return out
+}
+
+// SortByScore orders rows by score descending (⊥ last), breaking ties by
+// confidence descending then tuple order, so rankings are deterministic.
+func (r *PRelation) SortByScore() { r.sortBy(true) }
+
+// SortByConf orders rows by confidence descending (⊥ last), breaking ties
+// by score descending then tuple order.
+func (r *PRelation) SortByConf() { r.sortBy(false) }
+
+func (r *PRelation) sortBy(score bool) {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		if a.SC.Known != b.SC.Known {
+			return a.SC.Known
+		}
+		if !a.SC.Known {
+			return types.CompareTuples(a.Tuple, b.Tuple) < 0
+		}
+		p1, s1, p2, s2 := a.SC.Score, a.SC.Conf, b.SC.Score, b.SC.Conf
+		if !score {
+			p1, s1, p2, s2 = a.SC.Conf, a.SC.Score, b.SC.Conf, b.SC.Score
+		}
+		if p1 != p2 {
+			return p1 > p2
+		}
+		if s1 != s2 {
+			return s1 > s2
+		}
+		return types.CompareTuples(a.Tuple, b.Tuple) < 0
+	})
+}
+
+// Fingerprint returns a canonical string identity for a tuple (used for
+// duplicate elimination and cross-strategy comparison).
+func Fingerprint(tuple []types.Value) string {
+	var b strings.Builder
+	for i, v := range tuple {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.Kind().String())
+		b.WriteByte(':')
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// ApproxEqual compares two p-relations as multisets of (tuple, ⟨S,C⟩) with
+// tolerance eps on scores and confidences. Execution strategies evaluate
+// aggregate functions in different orders, so exact float equality is too
+// strict; associativity guarantees equality only up to rounding.
+func (r *PRelation) ApproxEqual(o *PRelation, eps float64) bool {
+	return r.Diff(o, eps) == ""
+}
+
+// Diff explains the first difference between two p-relations compared as
+// multisets, or returns "" when they match within eps.
+func (r *PRelation) Diff(o *PRelation, eps float64) string {
+	if r.Len() != o.Len() {
+		return fmt.Sprintf("cardinality %d vs %d", r.Len(), o.Len())
+	}
+	a, b := r.Clone(), o.Clone()
+	canonical := func(p *PRelation) {
+		sort.SliceStable(p.Rows, func(i, j int) bool {
+			if c := types.CompareTuples(p.Rows[i].Tuple, p.Rows[j].Tuple); c != 0 {
+				return c < 0
+			}
+			if p.Rows[i].SC.Known != p.Rows[j].SC.Known {
+				return !p.Rows[i].SC.Known
+			}
+			if p.Rows[i].SC.Score != p.Rows[j].SC.Score {
+				return p.Rows[i].SC.Score < p.Rows[j].SC.Score
+			}
+			return p.Rows[i].SC.Conf < p.Rows[j].SC.Conf
+		})
+	}
+	canonical(a)
+	canonical(b)
+	for i := range a.Rows {
+		if !types.TupleEqual(a.Rows[i].Tuple, b.Rows[i].Tuple) {
+			return fmt.Sprintf("row %d tuple mismatch: %v vs %v", i, a.Rows[i].Tuple, b.Rows[i].Tuple)
+		}
+		if !a.Rows[i].SC.ApproxEqual(b.Rows[i].SC, eps) {
+			return fmt.Sprintf("row %d (%v) SC mismatch: %v vs %v", i, a.Rows[i].Tuple, a.Rows[i].SC, b.Rows[i].SC)
+		}
+	}
+	return ""
+}
+
+// String renders the relation as a small table (for examples and debugging);
+// large relations are truncated.
+func (r *PRelation) String() string {
+	const maxRows = 50
+	var b strings.Builder
+	for i, c := range r.Schema.Columns {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(c.QualifiedName())
+	}
+	b.WriteString(" | score | conf\n")
+	for i, row := range r.Rows {
+		if i == maxRows {
+			fmt.Fprintf(&b, "... (%d more)\n", len(r.Rows)-maxRows)
+			break
+		}
+		for j, v := range row.Tuple {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(v.String())
+		}
+		if row.SC.IsBottom() {
+			b.WriteString(" | ⊥ | 0\n")
+		} else {
+			fmt.Fprintf(&b, " | %.3f | %.3f\n", row.SC.Score, row.SC.Conf)
+		}
+	}
+	return b.String()
+}
+
+// ScoreRelation is the paper's R_P(pk, score, conf): a sidecar keyed by the
+// base relation's (possibly composite) primary key, holding only
+// non-default pairs. The plug-in baselines and the FtP engine aggregate
+// partial scores through it.
+type ScoreRelation struct {
+	pairs map[string]types.SC
+}
+
+// NewScoreRelation returns an empty score relation.
+func NewScoreRelation() *ScoreRelation { return &ScoreRelation{pairs: map[string]types.SC{}} }
+
+// Len returns the number of keyed pairs.
+func (s *ScoreRelation) Len() int { return len(s.pairs) }
+
+// Get returns the pair for a key, or ⟨⊥,0⟩ when absent.
+func (s *ScoreRelation) Get(key []types.Value) types.SC {
+	return s.pairs[Fingerprint(key)]
+}
+
+// Combine merges a new pair into the entry for key using combine; entries
+// are only stored when non-default.
+func (s *ScoreRelation) Combine(key []types.Value, sc types.SC, combine func(a, b types.SC) types.SC) {
+	if sc.IsBottom() {
+		return
+	}
+	k := Fingerprint(key)
+	s.pairs[k] = combine(s.pairs[k], sc)
+}
+
+// Set overwrites the entry for key; bottom pairs delete it.
+func (s *ScoreRelation) Set(key []types.Value, sc types.SC) {
+	k := Fingerprint(key)
+	if sc.IsBottom() {
+		delete(s.pairs, k)
+		return
+	}
+	s.pairs[k] = sc
+}

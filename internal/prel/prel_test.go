@@ -1,0 +1,235 @@
+package prel
+
+import (
+	"strings"
+	"testing"
+
+	"prefdb/internal/pref"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+func sch() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "name", Kind: types.KindString},
+	).WithKey("id")
+}
+
+func mk(id int64, name string, sc types.SC) Row {
+	return Row{Tuple: []types.Value{types.Int(id), types.Str(name)}, SC: sc}
+}
+
+func TestAppendLenScoredCount(t *testing.T) {
+	r := New(sch())
+	r.Append(mk(1, "a", types.Bottom()))
+	r.Append(mk(2, "b", types.NewSC(0.5, 1)))
+	r.Append(mk(3, "c", types.NewSC(0.7, 0.5)))
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if r.ScoredCount() != 2 {
+		t.Errorf("ScoredCount = %d", r.ScoredCount())
+	}
+}
+
+func TestSortByScoreAndConf(t *testing.T) {
+	r := New(sch())
+	r.Append(mk(1, "a", types.NewSC(0.5, 0.9)))
+	r.Append(mk(2, "b", types.Bottom()))
+	r.Append(mk(3, "c", types.NewSC(0.9, 0.1)))
+	r.Append(mk(4, "d", types.NewSC(0.5, 0.95)))
+	r.SortByScore()
+	ids := func() []int64 {
+		out := make([]int64, r.Len())
+		for i, row := range r.Rows {
+			out[i] = row.Tuple[0].AsInt()
+		}
+		return out
+	}
+	got := ids()
+	// score desc: 3 (0.9), then 4 (0.5 conf .95), then 1 (0.5 conf .9), ⊥ last.
+	want := []int64{3, 4, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortByScore = %v, want %v", got, want)
+		}
+	}
+	r.SortByConf()
+	got = ids()
+	want = []int64{4, 1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortByConf = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortDeterministicOnTies(t *testing.T) {
+	r := New(sch())
+	r.Append(mk(2, "b", types.NewSC(0.5, 0.5)))
+	r.Append(mk(1, "a", types.NewSC(0.5, 0.5)))
+	r.SortByScore()
+	if r.Rows[0].Tuple[0].AsInt() != 1 {
+		t.Error("ties should order by tuple")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint([]types.Value{types.Int(1), types.Str("x")})
+	b := Fingerprint([]types.Value{types.Int(1), types.Str("x")})
+	c := Fingerprint([]types.Value{types.Int(1), types.Str("y")})
+	if a != b {
+		t.Error("equal tuples should fingerprint equal")
+	}
+	if a == c {
+		t.Error("different tuples should differ")
+	}
+	// Type-tagged: Int(1) vs Str("1") differ.
+	d := Fingerprint([]types.Value{types.Str("1"), types.Str("x")})
+	if a == d {
+		t.Error("fingerprint must distinguish kinds")
+	}
+}
+
+func TestApproxEqualAndDiff(t *testing.T) {
+	a := New(sch())
+	a.Append(mk(1, "a", types.NewSC(0.5, 1)))
+	a.Append(mk(2, "b", types.Bottom()))
+	b := New(sch())
+	// Different order, tiny float noise.
+	b.Append(mk(2, "b", types.Bottom()))
+	b.Append(mk(1, "a", types.NewSC(0.5+1e-12, 1)))
+	if !a.ApproxEqual(b, 1e-9) {
+		t.Errorf("ApproxEqual failed: %s", a.Diff(b, 1e-9))
+	}
+	// Cardinality mismatch.
+	c := New(sch())
+	c.Append(mk(1, "a", types.NewSC(0.5, 1)))
+	if a.ApproxEqual(c, 1e-9) || !strings.Contains(a.Diff(c, 1e-9), "cardinality") {
+		t.Error("cardinality mismatch not detected")
+	}
+	// SC mismatch.
+	d := New(sch())
+	d.Append(mk(1, "a", types.NewSC(0.6, 1)))
+	d.Append(mk(2, "b", types.Bottom()))
+	if a.ApproxEqual(d, 1e-9) || !strings.Contains(a.Diff(d, 1e-9), "SC mismatch") {
+		t.Error("SC mismatch not detected")
+	}
+	// Tuple mismatch.
+	e := New(sch())
+	e.Append(mk(1, "a", types.NewSC(0.5, 1)))
+	e.Append(mk(3, "z", types.Bottom()))
+	if a.ApproxEqual(e, 1e-9) || !strings.Contains(a.Diff(e, 1e-9), "tuple mismatch") {
+		t.Error("tuple mismatch not detected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(sch())
+	a.Append(mk(1, "a", types.Bottom()))
+	b := a.Clone()
+	b.Rows[0].SC = types.NewSC(1, 1)
+	if !a.Rows[0].SC.IsBottom() {
+		t.Error("clone shares row headers")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := New(sch())
+	r.Append(mk(1, "a", types.NewSC(0.5, 1)))
+	r.Append(mk(2, "b", types.Bottom()))
+	s := r.String()
+	if !strings.Contains(s, "id | name | score | conf") {
+		t.Errorf("header missing: %q", s)
+	}
+	if !strings.Contains(s, "0.500") || !strings.Contains(s, "⊥") {
+		t.Errorf("rows missing: %q", s)
+	}
+	// Truncation.
+	big := New(sch())
+	for i := 0; i < 60; i++ {
+		big.Append(mk(int64(i), "x", types.Bottom()))
+	}
+	if !strings.Contains(big.String(), "more)") {
+		t.Error("large relation should truncate")
+	}
+}
+
+func TestScoreRelation(t *testing.T) {
+	sr := NewScoreRelation()
+	key1 := []types.Value{types.Int(1)}
+	key2 := []types.Value{types.Int(2)}
+	if !sr.Get(key1).IsBottom() {
+		t.Error("missing key should be ⊥")
+	}
+	f := pref.FSum{}
+	sr.Combine(key1, types.NewSC(1, 1), f.Combine)
+	sr.Combine(key1, types.NewSC(0, 1), f.Combine)
+	got := sr.Get(key1)
+	if got.Score != 0.5 || got.Conf != 2 {
+		t.Errorf("combined = %v", got)
+	}
+	// Bottom combine is a no-op; only non-default rows are stored.
+	sr.Combine(key2, types.Bottom(), f.Combine)
+	if sr.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (R_P holds only non-default pairs)", sr.Len())
+	}
+	sr.Set(key2, types.NewSC(0.3, 0.3))
+	if sr.Len() != 2 {
+		t.Errorf("Len after Set = %d", sr.Len())
+	}
+	sr.Set(key2, types.Bottom())
+	if sr.Len() != 1 {
+		t.Errorf("Set(⊥) should delete, Len = %d", sr.Len())
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	// Property: TopK(rows, k) equals the first k of a full sort, for both
+	// ranking dimensions and pseudo-random inputs including ⊥ rows.
+	rng := []float64{0.31, 0.87, 0.12, 0.99, 0.44, 0.62, 0.05, 0.71, 0.44, 0.31, 0.93, 0.27}
+	var rows []Row
+	for i := 0; i < 40; i++ {
+		sc := types.NewSC(rng[i%len(rng)], rng[(i+5)%len(rng)])
+		if i%7 == 0 {
+			sc = types.Bottom()
+		}
+		rows = append(rows, mk(int64(i), "x", sc))
+	}
+	for _, byConf := range []bool{false, true} {
+		full := PRelation{Rows: append([]Row(nil), rows...)}
+		if byConf {
+			full.SortByConf()
+		} else {
+			full.SortByScore()
+		}
+		for _, k := range []int{0, 1, 3, 10, 40, 100} {
+			got := TopK(rows, k, byConf)
+			want := full.Rows
+			if k < len(want) {
+				want = want[:k]
+			}
+			if k == 0 {
+				want = nil
+			}
+			if len(got) != len(want) {
+				t.Fatalf("byConf=%v k=%d: len %d, want %d", byConf, k, len(got), len(want))
+			}
+			for i := range want {
+				if !types.TupleEqual(got[i].Tuple, want[i].Tuple) || got[i].SC != want[i].SC {
+					t.Fatalf("byConf=%v k=%d row %d: %v %v, want %v %v",
+						byConf, k, i, got[i].Tuple, got[i].SC, want[i].Tuple, want[i].SC)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKAllBottom(t *testing.T) {
+	rows := []Row{mk(2, "b", types.Bottom()), mk(1, "a", types.Bottom()), mk(3, "c", types.Bottom())}
+	got := TopK(rows, 2, false)
+	if len(got) != 2 || got[0].Tuple[0].AsInt() != 1 || got[1].Tuple[0].AsInt() != 2 {
+		t.Errorf("all-bottom topk = %v", got)
+	}
+}

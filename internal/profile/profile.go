@@ -1,0 +1,190 @@
+// Package profile implements a per-user preference repository. The paper's
+// query model (§V) assumes that "preference-aware applications will provide
+// an appropriate interface ... and collected preferences are automatically
+// integrated into their queries"; a Store is that repository: it keeps
+// named preference triples per user, in the same textual syntax as the
+// PREFERRING clause, and hands back the ones applicable to a given query.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"prefdb/internal/parser"
+	"prefdb/internal/pref"
+)
+
+// entry is one stored preference plus the ephemeral contexts it is active
+// in (empty = always active) — the context-dependent preference flavour the
+// paper surveys ("I like comedies when I am alone and horror films with
+// friends").
+type entry struct {
+	p        pref.Preference
+	contexts []string
+}
+
+// Store holds user preference profiles. It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	users map[string][]entry
+}
+
+// NewStore returns an empty repository.
+func NewStore() *Store { return &Store{users: map[string][]entry{}} }
+
+// Add registers always-active preferences for a user; each must validate,
+// and names must be unique within the user's profile (unnamed preferences
+// get p<n>).
+func (s *Store) Add(user string, ps ...pref.Preference) error {
+	return s.AddInContext(user, nil, ps...)
+}
+
+// AddInContext registers preferences that are active only in the given
+// ephemeral contexts (e.g. "alone", "with-friends"); an empty context list
+// means always active.
+func (s *Store) AddInContext(user string, contexts []string, ps ...pref.Preference) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(user)
+	existing := s.users[key]
+	names := map[string]bool{}
+	for _, e := range existing {
+		names[e.p.Name] = true
+	}
+	normalized := make([]string, 0, len(contexts))
+	for _, c := range contexts {
+		normalized = append(normalized, strings.ToLower(c))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if p.Name == "" {
+			n := len(existing) + 1
+			for names[fmt.Sprintf("p%d", n)] {
+				n++
+			}
+			p.Name = fmt.Sprintf("p%d", n)
+		}
+		if names[p.Name] {
+			return fmt.Errorf("profile: user %q already has a preference named %q", user, p.Name)
+		}
+		names[p.Name] = true
+		existing = append(existing, entry{p: p, contexts: normalized})
+	}
+	s.users[key] = existing
+	return nil
+}
+
+// AddClause parses and registers one preference given in the PREFERRING
+// clause syntax, e.g.
+//
+//	store.AddClause("alice", "genre = 'Comedy' SCORE 1 CONF 0.8 ON genres AS comedies")
+func (s *Store) AddClause(user, clause string) error {
+	pc, err := parser.ParsePreference(clause)
+	if err != nil {
+		return err
+	}
+	p := pref.Preference{Name: pc.Name, On: pc.On, Cond: pc.Cond, Score: pc.Score, Conf: pc.Conf}
+	return s.Add(user, p)
+}
+
+// AddClauseInContext is AddClause with ephemeral context tags.
+func (s *Store) AddClauseInContext(user, clause string, contexts ...string) error {
+	pc, err := parser.ParsePreference(clause)
+	if err != nil {
+		return err
+	}
+	p := pref.Preference{Name: pc.Name, On: pc.On, Cond: pc.Cond, Score: pc.Score, Conf: pc.Conf}
+	return s.AddInContext(user, contexts, p)
+}
+
+// Preferences returns the user's full profile (always-active and
+// context-tagged preferences alike), in insertion order.
+func (s *Store) Preferences(user string) []pref.Preference {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := s.users[strings.ToLower(user)]
+	out := make([]pref.Preference, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.p)
+	}
+	return out
+}
+
+// PreferencesInContext returns the preferences active in the given
+// ephemeral contexts: always-active ones plus those tagged with any active
+// context. With no contexts, only always-active preferences return.
+func (s *Store) PreferencesInContext(user string, active ...string) []pref.Preference {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	activeSet := map[string]bool{}
+	for _, c := range active {
+		activeSet[strings.ToLower(c)] = true
+	}
+	var out []pref.Preference
+	for _, e := range s.users[strings.ToLower(user)] {
+		if len(e.contexts) == 0 {
+			out = append(out, e.p)
+			continue
+		}
+		for _, c := range e.contexts {
+			if activeSet[c] {
+				out = append(out, e.p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Applicable returns the user's preferences whose target relations are all
+// within the given (lower-case) relation set.
+func (s *Store) Applicable(user string, relations map[string]bool) []pref.Preference {
+	var out []pref.Preference
+	for _, p := range s.Preferences(user) {
+		if p.Covers(relations) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Remove deletes a named preference from a user's profile; it reports
+// whether anything was removed.
+func (s *Store) Remove(user, name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(user)
+	ps := s.users[key]
+	for i, e := range ps {
+		if e.p.Name == name {
+			s.users[key] = append(ps[:i], ps[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Users lists users with non-empty profiles, sorted.
+func (s *Store) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.users))
+	for u, ps := range s.users {
+		if len(ps) > 0 {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of preferences stored for a user.
+func (s *Store) Len(user string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.users[strings.ToLower(user)])
+}

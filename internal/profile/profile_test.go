@@ -1,0 +1,210 @@
+package profile
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/types"
+)
+
+func TestAddAndPreferences(t *testing.T) {
+	s := NewStore()
+	p1 := pref.Constant("comedies", "genres", expr.Eq("genre", types.Str("Comedy")), 1, 0.8)
+	p2 := pref.Constant("", "movies", expr.Cmp("year", expr.OpGe, types.Int(2000)), 0.9, 0.7)
+	if err := s.Add("Alice", p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	ps := s.Preferences("alice") // case-insensitive user keys
+	if len(ps) != 2 {
+		t.Fatalf("preferences = %d", len(ps))
+	}
+	if ps[0].Name != "comedies" {
+		t.Errorf("named preference = %q", ps[0].Name)
+	}
+	if ps[1].Name == "" {
+		t.Error("unnamed preference should get an auto name")
+	}
+	// The returned slice is a copy.
+	ps[0].Name = "mutated"
+	if s.Preferences("alice")[0].Name != "comedies" {
+		t.Error("Preferences leaked internal state")
+	}
+}
+
+func TestAddValidationAndDuplicates(t *testing.T) {
+	s := NewStore()
+	bad := pref.Preference{Name: "x", On: []string{"r"}, Cond: expr.TrueLiteral(), Score: expr.TrueLiteral(), Conf: 2}
+	if err := s.Add("bob", bad); err == nil {
+		t.Error("invalid preference should be rejected")
+	}
+	good := pref.Constant("dup", "r", expr.TrueLiteral(), 1, 0.5)
+	if err := s.Add("bob", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("bob", good); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+	// Auto names skip over taken ones.
+	if err := s.Add("bob", pref.Constant("p2", "r", expr.TrueLiteral(), 1, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("bob", pref.Constant("", "r", expr.TrueLiteral(), 1, 0.5)); err != nil {
+		t.Fatalf("auto-naming collided: %v", err)
+	}
+	names := map[string]bool{}
+	for _, p := range s.Preferences("bob") {
+		if names[p.Name] {
+			t.Fatalf("duplicate name %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+}
+
+func TestAddClause(t *testing.T) {
+	s := NewStore()
+	if err := s.AddClause("alice", "genre = 'Comedy' SCORE 1 CONF 0.8 ON genres AS comedies"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause("alice", "year >= 2000 SCORE recency(year, 2011) CONF 0.6 ON movies"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len("alice") != 2 {
+		t.Errorf("Len = %d", s.Len("alice"))
+	}
+	if err := s.AddClause("alice", "this is not a preference"); err == nil {
+		t.Error("bad clause should error")
+	}
+	if err := s.AddClause("alice", "x > 1 SCORE 1 CONF 3 ON r"); err == nil {
+		t.Error("out-of-range confidence should error")
+	}
+}
+
+func TestApplicable(t *testing.T) {
+	s := NewStore()
+	s.AddClause("alice", "genre = 'Comedy' SCORE 1 CONF 0.8 ON genres")
+	s.AddClause("alice", "name = 'ICDE' SCORE 1 CONF 0.9 ON conferences")
+	s.AddClause("alice", "genre = 'Action' SCORE 1 CONF 0.5 ON (movies, genres)")
+	rels := map[string]bool{"movies": true, "genres": true}
+	got := s.Applicable("alice", rels)
+	if len(got) != 2 {
+		t.Fatalf("applicable = %d", len(got))
+	}
+	for _, p := range got {
+		for _, r := range p.On {
+			if !rels[r] {
+				t.Errorf("inapplicable preference returned: %v", p.On)
+			}
+		}
+	}
+}
+
+func TestRemoveAndUsers(t *testing.T) {
+	s := NewStore()
+	s.AddClause("bob", "x > 1 SCORE 1 CONF 0.5 ON r AS a")
+	s.AddClause("ann", "x > 1 SCORE 1 CONF 0.5 ON r AS b")
+	users := s.Users()
+	if len(users) != 2 || users[0] != "ann" {
+		t.Errorf("Users = %v", users)
+	}
+	if !s.Remove("bob", "a") {
+		t.Error("Remove failed")
+	}
+	if s.Remove("bob", "a") {
+		t.Error("double Remove should fail")
+	}
+	if got := s.Users(); len(got) != 1 {
+		t.Errorf("Users after remove = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			user := []string{"a", "b"}[i%2]
+			for j := 0; j < 50; j++ {
+				_ = s.AddClause(user, "x > 1 SCORE 1 CONF 0.5 ON r")
+				_ = s.Preferences(user)
+				_ = s.Applicable(user, map[string]bool{"r": true})
+				_ = s.Users()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len("a")+s.Len("b") != 400 {
+		t.Errorf("total = %d", s.Len("a")+s.Len("b"))
+	}
+	for _, u := range []string{"a", "b"} {
+		seen := map[string]bool{}
+		for _, p := range s.Preferences(u) {
+			if seen[p.Name] {
+				t.Fatalf("user %s has duplicate name %q", u, p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+}
+
+func TestStoreNameGeneration(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 3; i++ {
+		if err := s.AddClause("u", "x > 1 SCORE 1 CONF 0.5 ON r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := s.Preferences("u")
+	want := []string{"p1", "p2", "p3"}
+	for i, p := range ps {
+		if !strings.EqualFold(p.Name, want[i]) {
+			t.Errorf("name %d = %q, want %q", i, p.Name, want[i])
+		}
+	}
+}
+
+func TestContextTaggedPreferences(t *testing.T) {
+	s := NewStore()
+	if err := s.AddClause("alice", "genre = 'Comedy' SCORE 1 CONF 0.9 ON genres AS always"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClauseInContext("alice", "genre = 'Horror' SCORE 1 CONF 0.9 ON genres AS social", "with-friends"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClauseInContext("alice", "genre = 'Drama' SCORE 0.8 CONF 0.6 ON genres AS quiet", "alone", "evening"); err != nil {
+		t.Fatal(err)
+	}
+	// Full profile lists everything.
+	if got := len(s.Preferences("alice")); got != 3 {
+		t.Fatalf("full profile = %d", got)
+	}
+	// No context: only the always-active preference.
+	if got := s.PreferencesInContext("alice"); len(got) != 1 || got[0].Name != "always" {
+		t.Errorf("no-context = %v", names(got))
+	}
+	// Matching context adds the tagged ones (case-insensitive).
+	got := s.PreferencesInContext("alice", "With-Friends")
+	if len(got) != 2 || got[1].Name != "social" {
+		t.Errorf("with-friends = %v", names(got))
+	}
+	// Either tag activates a multi-context preference.
+	if got := s.PreferencesInContext("alice", "evening"); len(got) != 2 || got[1].Name != "quiet" {
+		t.Errorf("evening = %v", names(got))
+	}
+	// Unknown context: only always-active.
+	if got := s.PreferencesInContext("alice", "commuting"); len(got) != 1 {
+		t.Errorf("unknown context = %v", names(got))
+	}
+}
+
+func names(ps []pref.Preference) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

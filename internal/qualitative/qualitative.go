@@ -1,0 +1,158 @@
+// Package qualitative compiles qualitative preferences — binary preference
+// relations of the form "value a is preferred over value b", the
+// representation used by Chomicki-style frameworks and Preference SQL that
+// the paper surveys in §II — into the paper's quantitative triples. This
+// substantiates the paper's claim that its quantitative model "covers
+// earlier works w.r.t. different types of preferences": a strict partial
+// order over an attribute's values becomes a set of (σ_{attr∈level},
+// score, C) preferences whose scores decrease with the value's depth in
+// the order.
+package qualitative
+
+import (
+	"fmt"
+	"sort"
+
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/types"
+)
+
+// Order is a strict partial order over the values of one attribute of one
+// relation, built from "better ≻ worse" statements.
+type Order struct {
+	relation string
+	attr     string
+	// edges maps a value's fingerprint to the fingerprints it dominates.
+	edges map[string][]string
+	// vals maps fingerprints back to values.
+	vals map[string]types.Value
+}
+
+// NewOrder starts an empty order over relation.attr.
+func NewOrder(relation, attr string) *Order {
+	return &Order{
+		relation: relation,
+		attr:     attr,
+		edges:    map[string][]string{},
+		vals:     map[string]types.Value{},
+	}
+}
+
+// Prefer records that better ≻ worse. Duplicate statements are idempotent;
+// cycles are detected at Compile time.
+func (o *Order) Prefer(better, worse types.Value) *Order {
+	b, w := o.intern(better), o.intern(worse)
+	for _, existing := range o.edges[b] {
+		if existing == w {
+			return o
+		}
+	}
+	o.edges[b] = append(o.edges[b], w)
+	return o
+}
+
+// Chain records a total order best ≻ ... ≻ worst in one call.
+func (o *Order) Chain(bestToWorst ...types.Value) *Order {
+	for i := 0; i+1 < len(bestToWorst); i++ {
+		o.Prefer(bestToWorst[i], bestToWorst[i+1])
+	}
+	return o
+}
+
+func (o *Order) intern(v types.Value) string {
+	k := prel.Fingerprint([]types.Value{v})
+	if _, ok := o.vals[k]; !ok {
+		o.vals[k] = v
+	}
+	return k
+}
+
+// Compile turns the order into quantitative preferences with the given
+// confidence: values are ranked by their depth below a maximal element
+// (longest path), the shallowest level scoring 1 and deeper levels scoring
+// proportionally less; values sharing a level compile into one preference
+// with an IN condition. Compile fails on cyclic orders (a ≻ b ≻ a has no
+// consistent scores).
+func (o *Order) Compile(conf float64) ([]pref.Preference, error) {
+	if len(o.vals) == 0 {
+		return nil, fmt.Errorf("qualitative: order over %s.%s is empty", o.relation, o.attr)
+	}
+	depth := map[string]int{}
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(k string) (int, error)
+	visit = func(k string) (int, error) {
+		switch state[k] {
+		case 1:
+			return 0, fmt.Errorf("qualitative: preference relation over %s.%s is cyclic at %s",
+				o.relation, o.attr, o.vals[k])
+		case 2:
+			return depth[k], nil
+		}
+		state[k] = 1
+		d := 0
+		for _, w := range o.edges[k] {
+			wd, err := visit(w)
+			if err != nil {
+				return 0, err
+			}
+			if wd+1 > d {
+				d = wd + 1
+			}
+		}
+		state[k] = 2
+		depth[k] = d
+		return d, nil
+	}
+	maxDepth := 0
+	keys := make([]string, 0, len(o.vals))
+	for k := range o.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic compilation
+	for _, k := range keys {
+		d, err := visit(k)
+		if err != nil {
+			return nil, err
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	// depth counts dominated values below; rank from the top instead:
+	// level(v) = maxDepth - depth(v), so maximal elements are level 0.
+	levels := make([][]types.Value, maxDepth+1)
+	for _, k := range keys {
+		lvl := maxDepth - depth[k]
+		levels[lvl] = append(levels[lvl], o.vals[k])
+	}
+	out := make([]pref.Preference, 0, len(levels))
+	for lvl, vals := range levels {
+		if len(vals) == 0 {
+			continue
+		}
+		score := 1.0
+		if maxDepth > 0 {
+			score = float64(maxDepth-lvl) / float64(maxDepth)
+		}
+		var cond expr.Node
+		if len(vals) == 1 {
+			cond = expr.Bin{Op: expr.OpEq, L: expr.ColRef(o.attr), R: expr.Lit{Val: vals[0]}}
+		} else {
+			list := make([]expr.Node, len(vals))
+			for i, v := range vals {
+				list[i] = expr.Lit{Val: v}
+			}
+			cond = expr.In{X: expr.ColRef(o.attr), List: list}
+		}
+		out = append(out, pref.Preference{
+			Name:  fmt.Sprintf("%s_level%d", o.attr, lvl),
+			On:    []string{o.relation},
+			Cond:  cond,
+			Score: expr.Lit{Val: types.Float(score)},
+			Conf:  conf,
+		})
+	}
+	return out, nil
+}

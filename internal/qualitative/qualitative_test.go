@@ -1,0 +1,148 @@
+package qualitative
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/exec"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+func TestChainCompilesToDecreasingScores(t *testing.T) {
+	// Comedy ≻ Drama ≻ Horror.
+	o := NewOrder("genres", "genre").Chain(types.Str("Comedy"), types.Str("Drama"), types.Str("Horror"))
+	ps, err := o.Compile(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("preferences = %d", len(ps))
+	}
+	scores := map[string]float64{}
+	for _, p := range ps {
+		if p.Conf != 0.8 || len(p.On) != 1 || p.On[0] != "genres" {
+			t.Errorf("preference shape = %+v", p)
+		}
+		lit := p.Score.String()
+		cond := p.Cond.String()
+		switch {
+		case strings.Contains(cond, "Comedy"):
+			scores["Comedy"] = parseScore(t, lit)
+		case strings.Contains(cond, "Drama"):
+			scores["Drama"] = parseScore(t, lit)
+		case strings.Contains(cond, "Horror"):
+			scores["Horror"] = parseScore(t, lit)
+		}
+	}
+	if !(scores["Comedy"] > scores["Drama"] && scores["Drama"] > scores["Horror"]) {
+		t.Errorf("scores not decreasing along the chain: %v", scores)
+	}
+	if scores["Comedy"] != 1 || scores["Horror"] != 0 {
+		t.Errorf("extremes = %v", scores)
+	}
+}
+
+func parseScore(t *testing.T, lit string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		t.Fatalf("score literal %q: %v", lit, err)
+	}
+	return f
+}
+
+func TestDAGLevelsShareOnePreference(t *testing.T) {
+	// Diamond: A ≻ B, A ≻ C, B ≻ D, C ≻ D: levels {A}, {B,C}, {D}.
+	o := NewOrder("genres", "genre").
+		Prefer(types.Str("A"), types.Str("B")).
+		Prefer(types.Str("A"), types.Str("C")).
+		Prefer(types.Str("B"), types.Str("D")).
+		Prefer(types.Str("C"), types.Str("D"))
+	ps, err := o.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("levels = %d, want 3", len(ps))
+	}
+	// The middle level uses an IN condition over both values.
+	mid := ps[1]
+	if !strings.Contains(mid.Cond.String(), "IN") {
+		t.Errorf("middle level cond = %s", mid.Cond)
+	}
+	if !strings.Contains(mid.Cond.String(), "'B'") || !strings.Contains(mid.Cond.String(), "'C'") {
+		t.Errorf("middle level values = %s", mid.Cond)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	o := NewOrder("g", "x").
+		Prefer(types.Str("a"), types.Str("b")).
+		Prefer(types.Str("b"), types.Str("c")).
+		Prefer(types.Str("c"), types.Str("a"))
+	if _, err := o.Compile(1); err == nil {
+		t.Error("cyclic order should fail to compile")
+	}
+	if _, err := NewOrder("g", "x").Compile(1); err == nil {
+		t.Error("empty order should fail")
+	}
+}
+
+func TestDuplicateEdgesIdempotent(t *testing.T) {
+	o := NewOrder("g", "x").
+		Prefer(types.Str("a"), types.Str("b")).
+		Prefer(types.Str("a"), types.Str("b"))
+	ps, err := o.Compile(1)
+	if err != nil || len(ps) != 2 {
+		t.Errorf("ps = %v, %v", ps, err)
+	}
+}
+
+func TestCompiledPreferencesExecute(t *testing.T) {
+	// End to end: a qualitative genre order ranks movies as the relation
+	// "Comedy over Drama over Horror" dictates.
+	cat := catalog.New()
+	s := schema.New(
+		schema.Column{Name: "m_id", Kind: types.KindInt},
+		schema.Column{Name: "genre", Kind: types.KindString},
+	).WithKey("m_id")
+	tbl, _ := cat.CreateTable("genres", s)
+	tbl.Insert([]types.Value{types.Int(1), types.Str("Horror")})
+	tbl.Insert([]types.Value{types.Int(2), types.Str("Comedy")})
+	tbl.Insert([]types.Value{types.Int(3), types.Str("Drama")})
+	tbl.Insert([]types.Value{types.Int(4), types.Str("Sci-Fi")}) // unordered: stays ⊥
+
+	ps, err := NewOrder("genres", "genre").
+		Chain(types.Str("Comedy"), types.Str("Drama"), types.Str("Horror")).
+		Compile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan algebra.Node = &algebra.Scan{Table: "genres"}
+	for _, p := range ps {
+		plan = &algebra.Prefer{P: p, Input: plan}
+	}
+	plan = &algebra.Rank{By: algebra.ByScore, Input: plan}
+	e := exec.New(cat)
+	rel, err := e.Run(plan, exec.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int64, rel.Len())
+	for i, row := range rel.Rows {
+		order[i] = row.Tuple[0].AsInt()
+	}
+	want := []int64{2, 3, 1, 4} // Comedy, Drama, Horror, then unscored Sci-Fi
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("rank order = %v, want %v", order, want)
+		}
+	}
+	if rel.Rows[3].SC.Known {
+		t.Error("unordered value must stay ⊥ (winnow-style incomparability)")
+	}
+}

@@ -1,0 +1,166 @@
+package schema
+
+import (
+	"testing"
+
+	"prefdb/internal/types"
+)
+
+func moviesSchema() *Schema {
+	return New(
+		Column{"movies", "m_id", types.KindInt},
+		Column{"movies", "title", types.KindString},
+		Column{"movies", "year", types.KindInt},
+		Column{"movies", "duration", types.KindInt},
+		Column{"movies", "d_id", types.KindInt},
+	).WithKey("m_id")
+}
+
+func TestQualifiedName(t *testing.T) {
+	c := Column{"movies", "title", types.KindString}
+	if c.QualifiedName() != "movies.title" {
+		t.Errorf("got %q", c.QualifiedName())
+	}
+	c.Table = ""
+	if c.QualifiedName() != "title" {
+		t.Errorf("got %q", c.QualifiedName())
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	s := moviesSchema()
+	if idx, err := s.IndexOf("", "title"); err != nil || idx != 1 {
+		t.Errorf("IndexOf title = (%d, %v)", idx, err)
+	}
+	if idx, err := s.IndexOf("movies", "year"); err != nil || idx != 2 {
+		t.Errorf("IndexOf movies.year = (%d, %v)", idx, err)
+	}
+	if idx, err := s.IndexOf("MOVIES", "YEAR"); err != nil || idx != 2 {
+		t.Errorf("case-insensitive IndexOf = (%d, %v)", idx, err)
+	}
+	if _, err := s.IndexOf("", "nope"); err == nil {
+		t.Error("expected error for unknown column")
+	}
+	if _, err := s.IndexOf("directors", "title"); err == nil {
+		t.Error("expected error for wrong qualifier")
+	}
+}
+
+func TestIndexOfAmbiguous(t *testing.T) {
+	s := New(
+		Column{"a", "id", types.KindInt},
+		Column{"b", "id", types.KindInt},
+	)
+	if _, err := s.IndexOf("", "id"); err == nil {
+		t.Error("expected ambiguity error")
+	}
+	if idx, err := s.IndexOf("b", "id"); err != nil || idx != 1 {
+		t.Errorf("qualified lookup = (%d, %v)", idx, err)
+	}
+}
+
+func TestMustIndexOfAndSplitRef(t *testing.T) {
+	s := moviesSchema()
+	if s.MustIndexOf("movies.d_id") != 4 {
+		t.Error("MustIndexOf qualified failed")
+	}
+	if s.MustIndexOf("duration") != 3 {
+		t.Error("MustIndexOf unqualified failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown ref")
+		}
+	}()
+	s.MustIndexOf("nope")
+}
+
+func TestProject(t *testing.T) {
+	s := moviesSchema()
+	p := s.Project([]int{1, 0})
+	if p.Len() != 2 || p.Columns[0].Name != "title" || p.Columns[1].Name != "m_id" {
+		t.Fatalf("projected schema = %v", p)
+	}
+	// Key m_id survives at position 1.
+	if !p.HasKey() || p.Key[0] != 1 {
+		t.Errorf("projected key = %v", p.Key)
+	}
+	// Dropping the key column loses the key.
+	p2 := s.Project([]int{1, 2})
+	if p2.HasKey() {
+		t.Error("key should be lost when key column projected away")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	m := moviesSchema()
+	d := New(
+		Column{"directors", "d_id", types.KindInt},
+		Column{"directors", "director", types.KindString},
+	).WithKey("d_id")
+	j := m.Concat(d)
+	if j.Len() != 7 {
+		t.Fatalf("concat len = %d", j.Len())
+	}
+	if idx, err := j.IndexOf("directors", "d_id"); err != nil || idx != 5 {
+		t.Errorf("directors.d_id = (%d, %v)", idx, err)
+	}
+	// Composite key: movies.m_id (0) + directors.d_id (5).
+	if len(j.Key) != 2 || j.Key[0] != 0 || j.Key[1] != 5 {
+		t.Errorf("composite key = %v", j.Key)
+	}
+	// Concat with keyless input drops the key.
+	j2 := m.Concat(New(Column{"x", "v", types.KindInt}))
+	if j2.HasKey() {
+		t.Error("concat with keyless schema should have no key")
+	}
+}
+
+func TestRenameAndClone(t *testing.T) {
+	s := moviesSchema()
+	r := s.Rename("m")
+	for _, c := range r.Columns {
+		if c.Table != "m" {
+			t.Fatalf("rename failed: %v", c)
+		}
+	}
+	if s.Columns[0].Table != "movies" {
+		t.Error("rename mutated original")
+	}
+	c := s.Clone()
+	c.Columns[0].Name = "zzz"
+	c.Key[0] = 3
+	if s.Columns[0].Name != "m_id" || s.Key[0] != 0 {
+		t.Error("clone is not deep")
+	}
+}
+
+func TestEqualLayout(t *testing.T) {
+	a := New(Column{"", "x", types.KindInt}, Column{"", "y", types.KindString})
+	b := New(Column{"t", "p", types.KindInt}, Column{"t", "q", types.KindString})
+	c := New(Column{"", "x", types.KindInt})
+	d := New(Column{"", "x", types.KindString}, Column{"", "y", types.KindString})
+	if !a.EqualLayout(b) {
+		t.Error("same layout should be equal")
+	}
+	if a.EqualLayout(c) || a.EqualLayout(d) {
+		t.Error("different layouts should differ")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	s := moviesSchema()
+	tuple := []types.Value{types.Int(7), types.Str("t"), types.Int(2011), types.Int(120), types.Int(1)}
+	key := s.KeyOf(tuple)
+	if len(key) != 1 || key[0].AsInt() != 7 {
+		t.Errorf("KeyOf = %v", key)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(Column{"t", "a", types.KindInt}, Column{"", "b", types.KindString})
+	want := "(t.a INT, b TEXT)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

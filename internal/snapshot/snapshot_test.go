@@ -1,0 +1,147 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"prefdb/internal/catalog"
+	"prefdb/internal/datagen"
+	"prefdb/internal/schema"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+func buildCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	s := schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "name", Kind: types.KindString},
+		schema.Column{Name: "score", Kind: types.KindFloat},
+		schema.Column{Name: "flag", Kind: types.KindBool},
+		schema.Column{Name: "opt", Kind: types.KindInt},
+	).WithKey("id")
+	tbl, err := cat.CreateTable("t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]types.Value{
+		{types.Int(1), types.Str("a"), types.Float(1.5), types.Bool(true), types.Int(7)},
+		{types.Int(2), types.Str("b'с"), types.Float(-0.25), types.Bool(false), types.Null()},
+		{types.Int(3), types.Str(""), types.Float(0), types.Bool(true), types.Int(-9)},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.CreateHashIndex("t", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.CreateBTreeIndex("t", "id"); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cat := buildCatalog(t)
+	var buf bytes.Buffer
+	if err := Save(cat, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := got.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	// Schema, key and index definitions round-trip.
+	s := tbl.Schema()
+	if s.Len() != 5 || s.Columns[1].Kind != types.KindString {
+		t.Errorf("schema = %v", s)
+	}
+	if !s.HasKey() || s.Columns[s.Key[0]].Name != "id" {
+		t.Errorf("key = %v", s.Key)
+	}
+	if got := tbl.HashIndexColumns(); len(got) != 1 || got[0] != "name" {
+		t.Errorf("hash indexes = %v", got)
+	}
+	if got := tbl.BTreeIndexColumns(); len(got) != 1 || got[0] != "id" {
+		t.Errorf("btree indexes = %v", got)
+	}
+	// Values round-trip including NULL, negative floats, unicode, bools.
+	var rows [][]types.Value
+	tbl.Heap.Scan(func(_ storage.RowID, tuple []types.Value) bool {
+		rows = append(rows, tuple)
+		return true
+	})
+	if rows[1][1].AsString() != "b'с" || !rows[1][4].IsNull() || rows[1][2].AsFloat() != -0.25 {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+	if !rows[0][3].AsBool() || rows[1][3].AsBool() {
+		t.Error("bools corrupted")
+	}
+	// Rebuilt indexes are functional.
+	hi, _ := tbl.HashIndexOn("name")
+	if len(hi.Lookup([]types.Value{types.Str("a")})) != 1 {
+		t.Error("hash index not rebuilt")
+	}
+	bi, _ := tbl.BTreeIndexOn("id")
+	if len(bi.Lookup(types.Int(2))) != 1 {
+		t.Error("btree index not rebuilt")
+	}
+}
+
+func TestSaveLoadGeneratedDataset(t *testing.T) {
+	cat := catalog.New()
+	if _, err := datagen.LoadIMDB(cat, datagen.Config{Scale: 0.02, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(cat, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cat.Tables() {
+		orig, _ := cat.Table(name)
+		loaded, err := got.Table(name)
+		if err != nil || loaded.Len() != orig.Len() {
+			t.Errorf("table %s: %v, %d vs %d rows", name, err, loaded.Len(), orig.Len())
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail to load")
+	}
+}
+
+func TestVersionCheck(t *testing.T) {
+	cat := buildCatalog(t)
+	var buf bytes.Buffer
+	if err := Save(cat, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by re-encoding a DTO with a bad version through
+	// the same path: simplest is to decode+tweak via the public API being
+	// absent, so instead assert the happy path encodes the current version
+	// by loading successfully (covered above) and that truncated streams
+	// fail.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot should fail")
+	}
+}

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+func benchHeap(b *testing.B, n int) *Heap {
+	b.Helper()
+	h := NewHeap(intSchema())
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert([]types.Value{types.Int(int64(i)), types.Int(int64(r.Intn(n / 4)))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return h
+}
+
+func BenchmarkHeapInsert(b *testing.B) {
+	h := NewHeap(intSchema())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert([]types.Value{types.Int(int64(i)), types.Int(int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapScan(b *testing.B) {
+	h := benchHeap(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		h.Scan(func(RowID, []types.Value) bool { count++; return true })
+		if count != 10000 {
+			b.Fatal("scan miscount")
+		}
+	}
+}
+
+func BenchmarkHashIndexLookup(b *testing.B) {
+	// Deterministic values so the probed key always exists.
+	h := NewHeap(intSchema())
+	for i := 0; i < 10000; i++ {
+		if _, err := h.Insert([]types.Value{types.Int(int64(i)), types.Int(int64(i % 2500))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ix := NewHashIndex(h, []int{1})
+	key := []types.Value{types.Int(17)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ix.Lookup(key)) == 0 {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	s := schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "v", Kind: types.KindInt},
+	)
+	h := NewHeap(s)
+	ix := NewBTreeIndex(h, 1)
+	r := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuple := []types.Value{types.Int(int64(i)), types.Int(int64(r.Intn(1 << 20)))}
+		id, err := h.Insert(tuple)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Add(id, tuple)
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	// Deterministic values so every probed key exists.
+	h := NewHeap(intSchema())
+	for i := 0; i < 10000; i++ {
+		if _, err := h.Insert([]types.Value{types.Int(int64(i)), types.Int(int64(i % 2500))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ix := NewBTreeIndex(h, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ix.Lookup(types.Int(int64(i%2500)))) == 0 {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkBTreeRange(b *testing.B) {
+	h := benchHeap(b, 10000)
+	ix := NewBTreeIndex(h, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		ix.Range(types.Int(100), types.Int(200), true, true, func(RowID) bool {
+			count++
+			return true
+		})
+		if count == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package storage
+
+// CheckInvariants exposes B+-tree structural validation to tests.
+func (ix *BTreeIndex) CheckInvariants() error { return ix.checkInvariants() }
+
+// HashValuesForTest exposes tuple hashing for collision diagnostics.
+var HashValuesForTest = hashValues

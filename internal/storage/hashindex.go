@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"prefdb/internal/types"
+)
+
+// HashIndex is an equality index over one or more columns of a heap.
+// Collisions are resolved by re-checking the indexed values against the
+// heap tuple, so lookups are exact.
+type HashIndex struct {
+	heap    *Heap
+	cols    []int
+	buckets map[uint64][]RowID
+	probes  atomic.Int64
+}
+
+// NewHashIndex builds an index over the given column ordinals, scanning the
+// current heap contents.
+func NewHashIndex(h *Heap, cols []int) *HashIndex {
+	ix := &HashIndex{heap: h, cols: append([]int(nil), cols...), buckets: map[uint64][]RowID{}}
+	h.Scan(func(id RowID, tuple []types.Value) bool {
+		ix.Add(id, tuple)
+		return true
+	})
+	return ix
+}
+
+// Columns returns the indexed column ordinals.
+func (ix *HashIndex) Columns() []int { return ix.cols }
+
+// Probes returns the number of Lookup calls served (cost accounting).
+func (ix *HashIndex) Probes() int { return int(ix.probes.Load()) }
+
+// Add indexes a newly inserted tuple.
+func (ix *HashIndex) Add(id RowID, tuple []types.Value) {
+	h := ix.hashKey(tuple)
+	ix.buckets[h] = append(ix.buckets[h], id)
+}
+
+func (ix *HashIndex) hashKey(tuple []types.Value) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range ix.cols {
+		h ^= tuple[c].Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hashValues(vals []types.Value) uint64 {
+	return types.HashTuple(vals)
+}
+
+// Lookup returns the RowIDs whose indexed columns equal key (one value per
+// indexed column). Deleted rows are skipped.
+func (ix *HashIndex) Lookup(key []types.Value) []RowID {
+	ix.probes.Add(1)
+	h := uint64(1469598103934665603)
+	for _, v := range key {
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	var out []RowID
+	for _, id := range ix.buckets[h] {
+		tuple, ok := ix.heap.Get(id)
+		if !ok {
+			continue
+		}
+		match := true
+		for i, c := range ix.cols {
+			if !tuple[c].Equal(key[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, id)
+		}
+	}
+	return out
+}

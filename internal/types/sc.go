@@ -1,0 +1,67 @@
+package types
+
+import (
+	"fmt"
+	"math"
+)
+
+// SC is a score-confidence pair ⟨S, C⟩ attached to a p-relation tuple
+// (Definition 2 of the paper). The default pair is ⟨⊥, 0⟩: the score ⊥
+// denotes lack of knowledge about how interesting a tuple is and is the
+// identity element for aggregate functions.
+//
+// The zero SC is ⟨⊥, 0⟩, so p-relation rows need no initialization.
+type SC struct {
+	// Score in [0,1] per single preference; combined scores may exceed 1
+	// depending on the aggregate function. Meaningless when Known is false.
+	Score float64
+	// Conf is the accumulated confidence (≥ 0).
+	Conf float64
+	// Known distinguishes a real score from ⊥.
+	Known bool
+}
+
+// Bottom returns the identity pair ⟨⊥, 0⟩.
+func Bottom() SC { return SC{} }
+
+// NewSC returns a known score-confidence pair.
+func NewSC(score, conf float64) SC { return SC{Score: score, Conf: conf, Known: true} }
+
+// IsBottom reports whether the pair is the identity ⟨⊥, 0⟩.
+func (p SC) IsBottom() bool { return !p.Known }
+
+// String renders the pair; ⊥ for unknown scores.
+func (p SC) String() string {
+	if !p.Known {
+		return "⟨⊥,0⟩"
+	}
+	return fmt.Sprintf("⟨%.3f,%.3f⟩", p.Score, p.Conf)
+}
+
+// ApproxEqual compares two pairs with tolerance eps, treating ⊥ as equal
+// only to ⊥. Aggregate functions on floats are associative only up to
+// rounding, so all cross-strategy result comparisons use this.
+func (p SC) ApproxEqual(o SC, eps float64) bool {
+	if p.Known != o.Known {
+		return false
+	}
+	if !p.Known {
+		return true
+	}
+	return math.Abs(p.Score-o.Score) <= eps && math.Abs(p.Conf-o.Conf) <= eps
+}
+
+// Dominates reports whether p dominates o in the (score, conf) plane:
+// p is at least as good in both dimensions and strictly better in one.
+// ⊥ is dominated by every known pair and does not dominate anything.
+func (p SC) Dominates(o SC) bool {
+	if !p.Known {
+		return false
+	}
+	if !o.Known {
+		return true
+	}
+	geq := p.Score >= o.Score && p.Conf >= o.Conf
+	gt := p.Score > o.Score || p.Conf > o.Conf
+	return geq && gt
+}

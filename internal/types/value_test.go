@@ -1,0 +1,290 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INT",
+		KindFloat:  "FLOAT",
+		KindString: "TEXT",
+		KindBool:   "BOOL",
+		Kind(99):   "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() should be null")
+	}
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %v", got)
+	}
+	if got := Int(7).AsFloat(); got != 7.0 {
+		t.Errorf("Int(7).AsFloat() = %v", got)
+	}
+	if got := Str("hi").AsString(); got != "hi" {
+		t.Errorf("Str(hi).AsString() = %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round-trip failed")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value must be NULL")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"AsInt on string", func() { Str("x").AsInt() }},
+		{"AsFloat on string", func() { Str("x").AsFloat() }},
+		{"AsString on int", func() { Int(1).AsString() }},
+		{"AsBool on int", func() { Int(1).AsBool() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-3), "-3"},
+		{Float(1.5), "1.5"},
+		{Str("abc"), "abc"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := Str("abc").SQL(); got != "'abc'" {
+		t.Errorf("SQL() = %q", got)
+	}
+	if got := Int(5).SQL(); got != "5" {
+		t.Errorf("SQL() = %q", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b   Value
+		want   int
+		wantOK bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Float(1.5), Int(2), -1, true},
+		{Int(2), Float(2.0), 0, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Null(), Null(), 0, true},
+		{Null(), Int(0), -1, false},
+		{Int(0), Null(), 1, false},
+		{Str("1"), Int(1), 0, false}, // incomparable kinds
+	}
+	for _, c := range cases {
+		got, ok := Compare(c.a, c.b)
+		if ok != c.wantOK || (c.wantOK && got != c.want) {
+			t.Errorf("Compare(%v,%v) = (%d,%v), want (%d,%v)", c.a, c.b, got, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+func TestEqualMixedNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not equal Float(3.5)")
+	}
+	if Str("3").Equal(Int(3)) {
+		t.Error("Str(3) should not equal Int(3)")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(3), Float(3.0)},
+		{Str("x"), Str("x")},
+		{Bool(true), Bool(true)},
+		{Null(), Null()},
+	}
+	for _, p := range pairs {
+		if p[0].Equal(p[1]) && p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values %v and %v hash differently", p[0], p[1])
+		}
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	// Not required, but a sanity check for basic dispersion.
+	vals := []Value{Int(0), Int(1), Str(""), Str("0"), Bool(false), Null(), Float(0.5)}
+	seen := map[uint64]Value{}
+	for _, v := range vals {
+		h := v.Hash()
+		if prev, ok := seen[h]; ok && !prev.Equal(v) {
+			t.Errorf("hash collision between %v and %v", prev, v)
+		}
+		seen[h] = v
+	}
+}
+
+func TestHashProperty(t *testing.T) {
+	// Property: for random int64 i, Int(i) and Float(float64(i)) hash equal
+	// when they compare equal.
+	f := func(i int32) bool {
+		a, b := Int(int64(i)), Float(float64(i))
+		return a.Equal(b) && a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, _ := Compare(Int(a), Int(b))
+		c2, _ := Compare(Int(b), Int(a))
+		return c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	a := []Value{Int(1), Str("x")}
+	b := []Value{Int(1), Str("x")}
+	c := []Value{Int(1), Str("y")}
+	if !TupleEqual(a, b) {
+		t.Error("equal tuples reported unequal")
+	}
+	if TupleEqual(a, c) {
+		t.Error("unequal tuples reported equal")
+	}
+	if TupleEqual(a, a[:1]) {
+		t.Error("different-length tuples reported equal")
+	}
+	if HashTuple(a) != HashTuple(b) {
+		t.Error("equal tuples hash differently")
+	}
+	if got := CompareTuples(a, c); got != -1 {
+		t.Errorf("CompareTuples = %d, want -1", got)
+	}
+	if got := CompareTuples(a, a[:1]); got != 1 {
+		t.Errorf("CompareTuples length = %d, want 1", got)
+	}
+	if got := CompareTuples(a, b); got != 0 {
+		t.Errorf("CompareTuples equal = %d, want 0", got)
+	}
+}
+
+func TestSCBasics(t *testing.T) {
+	var zero SC
+	if !zero.IsBottom() {
+		t.Error("zero SC must be bottom")
+	}
+	if Bottom().String() != "⟨⊥,0⟩" {
+		t.Errorf("Bottom().String() = %q", Bottom().String())
+	}
+	p := NewSC(0.8, 1.0)
+	if p.IsBottom() {
+		t.Error("NewSC should be known")
+	}
+	if p.String() != "⟨0.800,1.000⟩" {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestSCApproxEqual(t *testing.T) {
+	a := NewSC(0.5, 0.5)
+	b := NewSC(0.5+1e-12, 0.5-1e-12)
+	if !a.ApproxEqual(b, 1e-9) {
+		t.Error("nearly equal pairs should be approx-equal")
+	}
+	if a.ApproxEqual(NewSC(0.6, 0.5), 1e-9) {
+		t.Error("distinct scores should not be approx-equal")
+	}
+	if a.ApproxEqual(Bottom(), 1e-9) {
+		t.Error("known should not equal bottom")
+	}
+	if !Bottom().ApproxEqual(Bottom(), 0) {
+		t.Error("bottom should equal bottom")
+	}
+}
+
+func TestSCDominates(t *testing.T) {
+	cases := []struct {
+		a, b SC
+		want bool
+	}{
+		{NewSC(0.9, 0.9), NewSC(0.5, 0.5), true},
+		{NewSC(0.9, 0.5), NewSC(0.5, 0.9), false},
+		{NewSC(0.5, 0.5), NewSC(0.5, 0.5), false}, // equal: no strict gain
+		{NewSC(0.5, 0.6), NewSC(0.5, 0.5), true},
+		{NewSC(0.1, 0.1), Bottom(), true},
+		{Bottom(), NewSC(0.0, 0.0), false},
+		{Bottom(), Bottom(), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("case %d: %v.Dominates(%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSCDominationIsStrictPartialOrderProperty(t *testing.T) {
+	// Irreflexive and asymmetric.
+	f := func(s1, c1, s2, c2 uint8) bool {
+		a := NewSC(float64(s1)/255, float64(c1)/255)
+		b := NewSC(float64(s2)/255, float64(c2)/255)
+		if a.Dominates(a) {
+			return false
+		}
+		if a.Dominates(b) && b.Dominates(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashNaNAndInf(t *testing.T) {
+	// Must not panic; NaN/Inf values are hashable.
+	_ = Float(math.NaN()).Hash()
+	_ = Float(math.Inf(1)).Hash()
+	_ = Float(math.Inf(-1)).Hash()
+}

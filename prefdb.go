@@ -1,0 +1,170 @@
+// Package prefdb is a preference-aware relational database engine in pure
+// Go, reproducing "Towards Preference-aware Relational Databases"
+// (Arvanitis & Koutrika, ICDE 2012).
+//
+// prefdb extends a small relational engine with the paper's preference
+// framework: tuples carry score-confidence pairs (p-relations), queries
+// embed preference triples (condition, scoring function, confidence)
+// through a PREFERRING clause, and a prefer operator λ evaluates them
+// inside the query plan. Preference evaluation is separate from tuple
+// filtering (top-k, confidence thresholds, skylines, ranking), and queries
+// can be executed with the paper's strategies — Bottom-Up, Group Bottom-Up
+// and Filter-then-Prefer — or with plug-in baselines for comparison.
+//
+// Quick start:
+//
+//	db := prefdb.Open()
+//	db.Exec(`CREATE TABLE movies (m_id INT, title TEXT, year INT, PRIMARY KEY (m_id))`)
+//	db.Exec(`INSERT INTO movies VALUES (1, 'Gran Torino', 2008)`)
+//	res, err := db.Exec(`
+//	    SELECT title FROM movies
+//	    PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 0.9 ON movies
+//	    TOP 10 BY score`)
+//
+// See the examples directory for complete programs and EXPERIMENTS.md for
+// the reproduction of the paper's evaluation.
+package prefdb
+
+import (
+	"io"
+
+	"prefdb/internal/catalog"
+	"prefdb/internal/datagen"
+	"prefdb/internal/engine"
+	"prefdb/internal/exec"
+	"prefdb/internal/parser"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/profile"
+	"prefdb/internal/qualitative"
+	"prefdb/internal/types"
+)
+
+// DB is a prefdb database instance; create one with Open.
+type DB = engine.DB
+
+// Result is the answer to a statement: a p-relation plus execution stats.
+type Result = engine.Result
+
+// Mode selects the query evaluation strategy.
+type Mode = engine.Mode
+
+// Evaluation strategies (§VI-B of the paper) and plug-in baselines.
+const (
+	// ModeGBU is Group Bottom-Up, the paper's best strategy (default).
+	ModeGBU = engine.ModeGBU
+	// ModeBU is the operator-at-a-time Bottom-Up strategy.
+	ModeBU = engine.ModeBU
+	// ModeFtP is Filter-then-Prefer.
+	ModeFtP = engine.ModeFtP
+	// ModeNative runs the extended plan as one pipeline.
+	ModeNative = engine.ModeNative
+	// ModePluginNaive issues one conventional query per preference.
+	ModePluginNaive = engine.ModePluginNaive
+	// ModePluginMerged issues a single disjunctive conventional query.
+	ModePluginMerged = engine.ModePluginMerged
+)
+
+// PRelation is a materialized preference-aware relation.
+type PRelation = prel.PRelation
+
+// Row is one tuple with its score-confidence pair.
+type Row = prel.Row
+
+// SC is a score-confidence pair ⟨S, C⟩; the zero value is ⟨⊥, 0⟩.
+type SC = types.SC
+
+// Value is a relational scalar (NULL, INT, FLOAT, TEXT or BOOL).
+type Value = types.Value
+
+// Stats counts execution cost drivers (materialized tuples, native calls,
+// index probes, prefer evaluations).
+type Stats = exec.Stats
+
+// DatagenConfig parameterizes the synthetic dataset generators.
+type DatagenConfig = datagen.Config
+
+// Open creates an empty in-memory database with the GBU strategy and the
+// preference-aware optimizer enabled.
+func Open() *DB { return engine.Open() }
+
+// ParseMode resolves an evaluation mode by name ("gbu", "ftp",
+// "plugin-naive", ...).
+func ParseMode(name string) (Mode, error) { return engine.ParseMode(name) }
+
+// Modes lists every evaluation mode.
+func Modes() []Mode { return engine.Modes() }
+
+// LoadIMDB populates db with the synthetic movie dataset (schema of the
+// paper's Fig. 1) and returns per-table sizes.
+func LoadIMDB(db *DB, cfg DatagenConfig) (map[string]int, error) {
+	return loadInto(db.Catalog(), cfg, datagen.LoadIMDB)
+}
+
+// LoadDBLP populates db with the synthetic bibliography dataset (schema of
+// the paper's Fig. 8) and returns per-table sizes.
+func LoadDBLP(db *DB, cfg DatagenConfig) (map[string]int, error) {
+	return loadInto(db.Catalog(), cfg, datagen.LoadDBLP)
+}
+
+func loadInto(cat *catalog.Catalog, cfg datagen.Config, load func(*catalog.Catalog, datagen.Config) (datagen.Sizes, error)) (map[string]int, error) {
+	sizes, err := load(cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]int(sizes), nil
+}
+
+// Int, Float, Str and Bool build values for programmatic row handling.
+func Int(v int64) Value     { return types.Int(v) }
+func Float(v float64) Value { return types.Float(v) }
+func Str(v string) Value    { return types.Str(v) }
+func Bool(v bool) Value     { return types.Bool(v) }
+
+// Null returns the NULL value.
+func Null() Value { return types.Null() }
+
+// Preference is a preference triple (σ_φ, S, C): conditional part, scoring
+// part and confidence (Definition 1 of the paper).
+type Preference = pref.Preference
+
+// ProfileStore is a per-user preference repository; applications register
+// collected preferences and QueryForUser integrates the applicable ones
+// automatically.
+type ProfileStore = profile.Store
+
+// NewProfileStore returns an empty preference repository.
+func NewProfileStore() *ProfileStore { return profile.NewStore() }
+
+// ParsePreference parses a preference in the PREFERRING clause syntax,
+// e.g. "genre = 'Comedy' SCORE 1 CONF 0.8 ON genres AS comedies".
+func ParsePreference(clause string) (Preference, error) {
+	pc, err := parser.ParsePreference(clause)
+	if err != nil {
+		return Preference{}, err
+	}
+	p := Preference{Name: pc.Name, On: pc.On, Cond: pc.Cond, Score: pc.Score, Conf: pc.Conf}
+	if err := p.Validate(); err != nil {
+		return Preference{}, err
+	}
+	return p, nil
+}
+
+// Save serializes db (schemas, keys, indexes, rows) to w; restore with
+// Load.
+func Save(db *DB, w io.Writer) error { return db.Save(w) }
+
+// Load restores a database previously written by Save.
+func Load(r io.Reader) (*DB, error) { return engine.Load(r) }
+
+// QualitativeOrder builds qualitative preference relations ("Comedy is
+// preferred over Drama") and compiles them into the quantitative triples
+// of the paper's model — scores decrease with depth in the partial order.
+type QualitativeOrder = qualitative.Order
+
+// NewQualitativeOrder starts an empty qualitative preference relation over
+// one attribute of one relation; add statements with Prefer/Chain and turn
+// it into preferences with Compile.
+func NewQualitativeOrder(relation, attr string) *QualitativeOrder {
+	return qualitative.NewOrder(relation, attr)
+}
