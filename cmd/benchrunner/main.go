@@ -22,6 +22,7 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment id or 'all'")
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1.0 ≈ 20k movies)")
 		repeats = flag.Int("repeats", 3, "repetitions per measurement (best-of)")
+		workers = flag.Int("workers", 0, "parallel executor workers (0 = GOMAXPROCS, 1 = sequential)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -37,6 +38,7 @@ func main() {
 	}
 
 	env := bench.NewEnv(*scale)
+	env.Workers = *workers
 	var toRun []bench.Experiment
 	if *exp == "all" {
 		toRun = bench.Experiments()

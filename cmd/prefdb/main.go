@@ -25,6 +25,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.1, "dataset scale factor (1.0 ≈ 20k movies)")
 		seed    = flag.Int64("seed", 42, "dataset generator seed")
 		mode    = flag.String("mode", "gbu", "evaluation strategy: native, bu, gbu, ftp, plugin-naive, plugin-merged")
+		workers = flag.Int("workers", 0, "parallel executor workers (0 = GOMAXPROCS, 1 = sequential)")
 		explain = flag.Bool("explain", false, "print the optimized plan and execution stats")
 		query   = flag.String("q", "", "execute one statement and exit")
 		maxRows = flag.Int("rows", 25, "maximum rows to display")
@@ -67,6 +68,7 @@ func main() {
 		fatal(err)
 	}
 	db.Mode = m
+	db.Workers = *workers
 
 	switch strings.ToLower(*load) {
 	case "":

@@ -17,6 +17,10 @@ type Env struct {
 	Scale float64
 	// Seed drives data generation.
 	Seed int64
+	// Workers is the executor pool width handed to the databases
+	// (0 = GOMAXPROCS, 1 = sequential). Set it before the first IMDB/DBLP
+	// call; it is also applied to already-loaded databases.
+	Workers int
 
 	imdb      *engine.DB
 	imdbSizes datagen.Sizes
@@ -37,6 +41,7 @@ func (e *Env) IMDB() (*engine.DB, error) {
 		}
 		e.imdb, e.imdbSizes = db, sizes
 	}
+	e.imdb.Workers = e.Workers
 	return e.imdb, nil
 }
 
@@ -50,6 +55,7 @@ func (e *Env) DBLP() (*engine.DB, error) {
 		}
 		e.dblp, e.dblpSizes = db, sizes
 	}
+	e.dblp.Workers = e.Workers
 	return e.dblp, nil
 }
 

@@ -94,6 +94,10 @@ type DB struct {
 	Mode Mode
 	// Optimize toggles the preference-aware query optimizer.
 	Optimize bool
+	// Workers is the executor's parallel pool width: 0 uses GOMAXPROCS,
+	// 1 forces sequential execution. Results, order and stats are
+	// identical at every setting; only wall-clock changes.
+	Workers int
 }
 
 // Open creates an empty database.
@@ -206,6 +210,7 @@ func (db *DB) RunPlan(plan *planner.Plan, mode Mode) (*Result, error) {
 	}
 	ex := exec.New(db.cat)
 	ex.Agg = plan.Agg
+	ex.Workers = db.Workers
 
 	var rel *prel.PRelation
 	var err error

@@ -42,6 +42,7 @@ func (db *DB) Prepare(sql string) (*Prepared, error) {
 func (p *Prepared) Run(mode Mode) (*Result, error) {
 	ex := exec.New(p.db.cat)
 	ex.Agg = p.plan.Agg
+	ex.Workers = p.db.Workers
 
 	var rel *prel.PRelation
 	var err error

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"prefdb/internal/algebra"
@@ -108,6 +110,84 @@ func BenchmarkIndexVsScan(b *testing.B) {
 			drainAll(b, e, scanPlan)
 		}
 	})
+}
+
+// parallelBenchCatalog is a full-scale load (20k movies, ~130k cast
+// rows) — large enough that each worker gets many morsels and the
+// fan-out cost is amortized.
+func parallelBenchCatalog(b *testing.B) *catalog.Catalog {
+	b.Helper()
+	cat := catalog.New()
+	if _, err := datagen.LoadIMDB(cat, datagen.Config{Scale: 1.0, Seed: 9}); err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+// workerSweep is the worker lineup the parallel benchmarks report:
+// sequential baseline, 2, 4, and the full machine.
+func workerSweep() []int {
+	sweep := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
+// BenchmarkParallelPrefer sweeps worker counts over a three-deep prefer
+// chain — the scan→filter→prefer segment shape the morsel executor
+// fans out. Expected: near-linear scaling to 4 workers.
+func BenchmarkParallelPrefer(b *testing.B) {
+	cat := parallelBenchCatalog(b)
+	plan := &algebra.Prefer{
+		P: pref.New("short", "movies", expr.Cmp("duration", expr.OpLe, types.Int(120)), pref.Around("duration", 100), 0.6),
+		Input: &algebra.Prefer{
+			P: pref.New("old", "movies", expr.Cmp("year", expr.OpLe, types.Int(1980)), pref.Around("year", 1960), 0.7),
+			Input: &algebra.Prefer{
+				P:     pref.New("recent", "movies", expr.Cmp("year", expr.OpGe, types.Int(2000)), pref.Recency("year", 2011), 0.9),
+				Input: &algebra.Scan{Table: "movies"},
+			},
+		},
+	}
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := New(cat)
+			e.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if drainAll(b, e, plan) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelJoin sweeps worker counts over a hash join with a
+// prefer above it: partitioned build + morsel-parallel probe feeding a
+// fanned-out prefer segment.
+func BenchmarkParallelJoin(b *testing.B) {
+	cat := parallelBenchCatalog(b)
+	plan := &algebra.Prefer{
+		P: pref.New("drama", "genres", expr.Eq("genre", types.Str("Drama")), pref.Recency("year", 2011), 0.8),
+		Input: &algebra.Join{
+			Cond:  expr.Bin{Op: expr.OpEq, L: expr.ColRef("movies.m_id"), R: expr.ColRef("genres.m_id")},
+			Left:  &algebra.Scan{Table: "movies"},
+			Right: &algebra.Scan{Table: "genres"},
+		},
+	}
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := New(cat)
+			e.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if drainAll(b, e, plan) == 0 {
+					b.Fatal("empty join")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAggregateCombine measures the raw pair-combination cost.

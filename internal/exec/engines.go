@@ -67,6 +67,14 @@ func Strategies() []Strategy { return []Strategy{Native, BU, GBU, FtP} }
 
 // Run evaluates a plan with the chosen strategy. Counters accumulate into
 // the executor's Stats (reset them between runs to isolate measurements).
+//
+// All four strategies share the executor's materialization machinery
+// (Materialize / drain), so with Workers != 1 each one fans its hot
+// pipeline segments — filter/prefer chains, hash-join build and probe,
+// top-k selection — across the morsel-driven worker pool (parallel.go):
+// Native parallelizes inside its single pipeline, BU and GBU inside each
+// operator-at-a-time / per-group drain, and FtP inside the native Q_NP
+// execution and each prefer pass over R_NP.
 func (e *Executor) Run(plan algebra.Node, strategy Strategy) (*prel.PRelation, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("exec: nil plan")

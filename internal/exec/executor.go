@@ -57,19 +57,30 @@ func (s *Stats) Add(o Stats) {
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("scanned=%d materialized=%d nativeCalls=%d indexProbes=%d preferEvals=%d scoreRows=%d",
-		s.RowsScanned, s.TuplesMaterialized, s.NativeCalls, s.IndexProbes, s.PreferEvals, s.ScoreRelationRows)
+	return fmt.Sprintf("scanned=%d materialized=%d cells=%d nativeCalls=%d indexProbes=%d preferEvals=%d scoreRows=%d",
+		s.RowsScanned, s.TuplesMaterialized, s.CellsMaterialized, s.NativeCalls, s.IndexProbes, s.PreferEvals, s.ScoreRelationRows)
 }
 
-// Executor evaluates extended query plans against a catalog.
+// Executor evaluates extended query plans against a catalog. An Executor
+// is not safe for concurrent use — create one per query — but with
+// Workers != 1 it parallelizes hot pipeline segments internally (see
+// parallel.go); results, order and Stats are identical at every worker
+// count.
 type Executor struct {
 	Cat   *catalog.Catalog
 	Funcs *expr.Registry
 	// Agg is the aggregate function F used by every score-combining
 	// operator in the query (the paper assumes one F per query).
 	Agg pref.Aggregate
+	// Workers is the parallel pipeline's pool width: 0 means GOMAXPROCS,
+	// 1 forces the sequential path.
+	Workers int
 
 	stats Stats
+	// limitDepth tracks how many enclosing Limit operators the node being
+	// built sits under; parallel fan-out is disabled there because a limit
+	// stops pulling early (see parallelOK).
+	limitDepth int
 }
 
 // New returns an executor using the scoring-function registry and F_S.
@@ -111,6 +122,13 @@ func (e *Executor) Evaluate(n algebra.Node) (*prel.PRelation, error) {
 // drained node is a Prefer, only the rows carrying non-default pairs
 // (the R_P writes) count as materialized.
 func (e *Executor) drain(n algebra.Node) (*prel.PRelation, error) {
+	// A drain exhausts its whole pipeline regardless of any Limit above it,
+	// so parallel fan-out is safe again inside (blocking operators under a
+	// Limit re-enter here via drainChild).
+	saved := e.limitDepth
+	e.limitDepth = 0
+	defer func() { e.limitDepth = saved }()
+
 	it, s, err := e.build(n)
 	if err != nil {
 		return nil, err
@@ -136,8 +154,16 @@ func (e *Executor) drain(n algebra.Node) (*prel.PRelation, error) {
 	return out, nil
 }
 
-// build compiles a plan node into an iterator pipeline.
+// build compiles a plan node into an iterator pipeline. Filter/prefer
+// chains are lifted out and evaluated morsel-parallel when the executor
+// runs with more than one worker (see parallel.go).
 func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
+	switch n.(type) {
+	case *algebra.Select, *algebra.Prefer:
+		if it, s, handled, err := e.trySegment(n); handled {
+			return it, s, err
+		}
+	}
 	switch x := n.(type) {
 	case *algebra.Values:
 		return &sliceIter{rows: x.Rel.Rows}, x.Rel.Schema, nil
@@ -205,6 +231,12 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if e.parallelOK() && x.K < rel.Len() && rel.Len() > morselSize {
+			// Per-worker bounded heaps merged with deterministic
+			// tie-breaks (input position) — same selection as below.
+			top := e.parallelTopK(rel.Rows, x.K, x.By == algebra.ByConf)
+			return &sliceIter{rows: top}, rel.Schema, nil
+		}
 		// Bounded-heap selection: O(n log k) instead of a full sort.
 		top := prel.TopK(rel.Rows, x.K, x.By == algebra.ByConf)
 		return &sliceIter{rows: top}, rel.Schema, nil
@@ -256,7 +288,12 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 		return &sliceIter{rows: rel.Rows}, rel.Schema, nil
 
 	case *algebra.Limit:
+		// The limit stops pulling its input early, so streaming operators
+		// beneath it must stay sequential for Stats to match the
+		// sequential path (blocking operators re-enable fan-out in drain).
+		e.limitDepth++
 		in, s, err := e.build(x.Input)
+		e.limitDepth--
 		if err != nil {
 			return nil, nil, err
 		}

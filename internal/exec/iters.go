@@ -365,7 +365,11 @@ func (e *Executor) buildJoin(j *algebra.Join) (iter, *schema.Schema, error) {
 	eqL, eqR, residual := splitEquiJoin(j.Cond, lS, rS)
 	var base iter
 	if len(eqL) > 0 {
-		base = newHashJoinIter(lIt, rIt, lS.Len(), eqL, eqR, e.Agg, &e.stats)
+		if e.parallelOK() {
+			base = &parallelHashJoinIter{e: e, left: lIt, right: rIt, eqL: eqL, eqR: eqR}
+		} else {
+			base = newHashJoinIter(lIt, rIt, lS.Len(), eqL, eqR, e.Agg, &e.stats)
+		}
 	} else {
 		base = newNLJoinIter(lIt, rIt, lS.Len(), e.Agg, &e.stats)
 	}

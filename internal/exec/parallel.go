@@ -1,0 +1,356 @@
+// Morsel-driven parallel execution (tentpole of the scaling roadmap).
+//
+// The executor splits materialized row sets into fixed-size morsels and
+// fans the hot pipeline segments — scan → filter → prefer chains, the
+// hash-join build and probe sides, and top-k selection — across a worker
+// pool. Three invariants keep the parallel mode indistinguishable from the
+// sequential one:
+//
+//  1. Determinism: results are merged in morsel-index order, the hash-join
+//     build partitions insert rows in global row order, and the parallel
+//     top-k breaks ranking ties by input position, so output rows and
+//     their order do not depend on scheduling.
+//  2. Exact stats: each worker accumulates a private Stats that is merged
+//     once when the pipeline ends, so counters stay exact without per-row
+//     atomics.
+//  3. Identical per-row code: workers execute the same filterIter /
+//     preferIter implementations over their morsels that the sequential
+//     path uses, so Workers=1 and Workers=N produce byte-identical rows.
+//
+// Compiled expressions (expr.Compiled) are immutable after compilation and
+// are shared read-only by all workers; a prefer operator's R_P in-place
+// update writes only the per-row ⟨S,C⟩ copy flowing through the pipeline,
+// never shared state, so prefer semantics are unaffected by partitioning.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/expr"
+	"prefdb/internal/prel"
+	"prefdb/internal/schema"
+)
+
+// morselSize is the number of rows per scheduling unit. Small enough that
+// a skewed filter still load-balances, large enough that the per-morsel
+// goroutine handoff is amortized over hundreds of rows. Inputs of at most
+// one morsel stay on the sequential path.
+const morselSize = 512
+
+// workerCount resolves the configured pool width: Workers if positive,
+// GOMAXPROCS otherwise.
+func (e *Executor) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelOK reports whether the current pipeline may fan out. Under a
+// Limit the consumer can stop pulling early, so eager parallel evaluation
+// would inflate PreferEvals relative to the sequential path; blocking
+// operators below a Limit re-enable parallelism because they exhaust
+// their inputs regardless (drain resets the depth).
+func (e *Executor) parallelOK() bool {
+	return e.workerCount() > 1 && e.limitDepth == 0
+}
+
+// segOp is one per-row stage of an extracted pipeline segment: either a
+// filter (σ) or a prefer (λ) with its compiled conditional and scoring
+// parts. Compiled expressions are read-only and shared by all workers.
+type segOp struct {
+	filter *expr.Compiled // non-nil for σ
+
+	cond  *expr.Compiled // prefer conditional part
+	score *expr.Compiled // prefer scoring part
+	conf  float64
+}
+
+// trySegment extracts a maximal σ/λ chain rooted at n, builds its leaf
+// with the sequential machinery (preserving index access-path selection),
+// and evaluates the chain morsel-parallel over the materialized leaf.
+// It reports handled=false when the node should take the sequential path.
+func (e *Executor) trySegment(n algebra.Node) (iter, *schema.Schema, bool, error) {
+	if !e.parallelOK() {
+		return nil, nil, false, nil
+	}
+	var chain []algebra.Node
+	cur := n
+walk:
+	for {
+		switch x := cur.(type) {
+		case *algebra.Select:
+			chain = append(chain, x)
+			cur = x.Input
+		case *algebra.Prefer:
+			chain = append(chain, x)
+			cur = x.Input
+		default:
+			break walk
+		}
+	}
+
+	// Build the leaf exactly as the sequential build would: a select
+	// directly over a scan keeps its shot at an index access path.
+	var base iter
+	var s *schema.Schema
+	var err error
+	switch leaf := cur.(type) {
+	case *algebra.Scan:
+		var conjuncts []expr.Node
+		if sel, ok := chain[len(chain)-1].(*algebra.Select); ok {
+			conjuncts = expr.Conjuncts(sel.Cond)
+			chain = chain[:len(chain)-1]
+		}
+		base, s, err = e.buildScan(leaf, conjuncts)
+	case *algebra.Values:
+		base, s = &sliceIter{rows: leaf.Rel.Rows}, leaf.Rel.Schema
+	case nil:
+		return nil, nil, false, fmt.Errorf("exec: nil plan node")
+	default:
+		base, s, err = e.build(leaf)
+	}
+	if err != nil {
+		return nil, nil, true, err
+	}
+
+	// Compile the chain innermost-first (matching sequential build order,
+	// including its error wrapping).
+	ops := make([]segOp, 0, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		switch x := chain[i].(type) {
+		case *algebra.Select:
+			cond, cErr := expr.CompileCondition(x.Cond, s, e.Funcs)
+			if cErr != nil {
+				return nil, nil, true, cErr
+			}
+			ops = append(ops, segOp{filter: cond})
+		case *algebra.Prefer:
+			if vErr := x.P.Validate(); vErr != nil {
+				return nil, nil, true, vErr
+			}
+			cond, cErr := expr.CompileCondition(x.P.Cond, s, e.Funcs)
+			if cErr != nil {
+				return nil, nil, true, fmt.Errorf("prefer %s (conditional part): %w", x.P.Label(), cErr)
+			}
+			score, sErr := expr.Compile(x.P.Score, s, e.Funcs)
+			if sErr != nil {
+				return nil, nil, true, fmt.Errorf("prefer %s (scoring part): %w", x.P.Label(), sErr)
+			}
+			ops = append(ops, segOp{cond: cond, score: score, conf: x.P.Conf})
+		}
+	}
+
+	rows := drainIter(base)
+	if len(rows) <= morselSize {
+		return e.segmentIter(rows, ops, &e.stats), s, true, nil
+	}
+	out := e.runMorsels(rows, func(morsel []prel.Row, stats *Stats) []prel.Row {
+		return drainIter(e.segmentIter(morsel, ops, stats))
+	})
+	return &sliceIter{rows: out}, s, true, nil
+}
+
+// segmentIter chains the sequential per-row iterators over a row slice;
+// the parallel path runs it per morsel with a worker-private Stats, so
+// per-row behavior is identical at every worker count.
+func (e *Executor) segmentIter(rows []prel.Row, ops []segOp, stats *Stats) iter {
+	var it iter = &sliceIter{rows: rows}
+	for _, op := range ops {
+		if op.filter != nil {
+			it = &filterIter{in: it, cond: op.filter}
+		} else {
+			it = &preferIter{in: it, cond: op.cond, score: op.score, conf: op.conf, agg: e.Agg, stats: stats}
+		}
+	}
+	return it
+}
+
+// workerStats pads each worker's counters to a cache line so per-row
+// increments on neighbouring workers do not false-share.
+type workerStats struct {
+	Stats
+	_ [64]byte
+}
+
+// runMorsels fans rows out over the worker pool in morselSize chunks.
+// Workers claim morsel indices from a shared counter (work stealing over
+// a global queue); results land in a per-morsel slot and are concatenated
+// in morsel order, so the output order is that of the input. Worker-local
+// stats are merged once at the end.
+func (e *Executor) runMorsels(rows []prel.Row, apply func(morsel []prel.Row, stats *Stats) []prel.Row) []prel.Row {
+	workers := e.workerCount()
+	morsels := (len(rows) + morselSize - 1) / morselSize
+	if workers > morsels {
+		workers = morsels
+	}
+	outs := make([][]prel.Row, morsels)
+	locals := make([]workerStats, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				lo := m * morselSize
+				hi := min(lo+morselSize, len(rows))
+				outs[m] = apply(rows[lo:hi:hi], &locals[w].Stats)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range locals {
+		e.stats.Add(locals[i].Stats)
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	out := make([]prel.Row, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// parallelFor splits [0, n) into contiguous chunks across the pool.
+func parallelFor(workers, n int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelHashJoinIter executes the extended hash join ⋈_{φ,F} with a
+// partitioned parallel build and a morsel-parallel probe over the shared
+// read-only partition tables. Each build partition owns the keys with
+// hash ≡ partition (mod P) and inserts its rows in global row order, so
+// every per-key candidate list — and therefore the probe output — is
+// identical to the sequential hashJoinIter's.
+type parallelHashJoinIter struct {
+	e           *Executor
+	left, right iter
+	eqL, eqR    []int
+
+	built bool
+	out   []prel.Row
+	pos   int
+}
+
+func (p *parallelHashJoinIter) next() (prel.Row, bool) {
+	if !p.built {
+		p.run()
+		p.built = true
+	}
+	if p.pos >= len(p.out) {
+		return prel.Row{}, false
+	}
+	r := p.out[p.pos]
+	p.pos++
+	return r, true
+}
+
+func (p *parallelHashJoinIter) run() {
+	lRows := drainIter(p.left)
+	rRows := drainIter(p.right)
+	if len(lRows) <= morselSize && len(rRows) <= morselSize {
+		seq := newHashJoinIter(&sliceIter{rows: lRows}, &sliceIter{rows: rRows},
+			0, p.eqL, p.eqR, p.e.Agg, &p.e.stats)
+		p.out = drainIter(seq)
+		return
+	}
+	parts := uint64(p.e.workerCount())
+
+	// Hash every build row once, morsel-parallel.
+	hashes := make([]uint64, len(lRows))
+	parallelFor(int(parts), len(lRows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hashes[i] = hashCols(lRows[i].Tuple, p.eqL)
+		}
+	})
+
+	// Partitioned build: one goroutine per partition, inserting in global
+	// row order.
+	tables := make([]map[uint64][]prel.Row, parts)
+	var wg sync.WaitGroup
+	for j := uint64(0); j < parts; j++ {
+		wg.Add(1)
+		go func(j uint64) {
+			defer wg.Done()
+			t := map[uint64][]prel.Row{}
+			for i, h := range hashes {
+				if h%parts == j {
+					t[h] = append(t[h], lRows[i])
+				}
+			}
+			tables[j] = t
+		}(j)
+	}
+	wg.Wait()
+
+	// Morsel-parallel probe against the shared read-only tables; ordered
+	// merge restores the sequential probe order.
+	p.out = p.e.runMorsels(rRows, func(morsel []prel.Row, _ *Stats) []prel.Row {
+		var out []prel.Row
+		for _, rRow := range morsel {
+			key := hashCols(rRow.Tuple, p.eqR)
+			for _, lRow := range tables[key%parts][key] {
+				if equalOn(lRow.Tuple, rRow.Tuple, p.eqL, p.eqR) {
+					out = append(out, combineRows(lRow, rRow, p.e.Agg))
+				}
+			}
+		}
+		return out
+	})
+}
+
+// parallelTopK selects the k best rows with per-worker bounded heaps over
+// contiguous partitions, merged by prel.MergeTopK. Ranking ties break by
+// input position, so the selection matches the sequential bounded heap
+// (which keeps the earliest-seen rows at the k boundary).
+func (e *Executor) parallelTopK(rows []prel.Row, k int, byConf bool) []prel.Row {
+	workers := e.workerCount()
+	chunk := (len(rows) + workers - 1) / workers
+	if chunk < morselSize {
+		chunk = morselSize
+	}
+	nParts := (len(rows) + chunk - 1) / chunk
+	parts := make([][]prel.SeqRow, nParts)
+	var wg sync.WaitGroup
+	for i := 0; i < nParts; i++ {
+		lo := i * chunk
+		hi := min(lo+chunk, len(rows))
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			parts[i] = prel.TopKSeq(rows[lo:hi], lo, k, byConf)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	return prel.MergeTopK(parts, k, byConf)
+}

@@ -14,6 +14,13 @@ import (
 // Evaluation follows SQL three-valued logic: comparisons involving NULL (or
 // incomparable kinds) yield NULL, AND/OR propagate unknowns, and a WHERE
 // condition accepts a tuple only when it evaluates to TRUE.
+//
+// A Compiled expression is immutable once Compile returns: the closure
+// tree only reads its captured state and allocates per call, so a single
+// Compiled may be evaluated concurrently from many goroutines. The
+// parallel executor relies on this to share compiled conditions and
+// scoring expressions read-only across its workers; keep registered
+// functions (Func.Eval) pure for the same reason.
 type Compiled struct {
 	eval func(row []types.Value) types.Value
 	kind types.Kind

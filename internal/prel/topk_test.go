@@ -1,0 +1,75 @@
+package prel
+
+import (
+	"testing"
+
+	"prefdb/internal/types"
+)
+
+// seqRows builds a pseudo-random relation with ties and ⊥ rows — the
+// shapes where partitioned selection could diverge from the sequential
+// heap if tie-breaking were not deterministic.
+func seqRows(n int) []Row {
+	rng := []float64{0.31, 0.87, 0.12, 0.99, 0.44, 0.62, 0.05, 0.71, 0.44, 0.31, 0.93, 0.27}
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		sc := types.NewSC(rng[i%len(rng)], rng[(i+5)%len(rng)])
+		if i%11 == 0 {
+			sc = types.Bottom()
+		}
+		rows = append(rows, mk(int64(i), "x", sc))
+	}
+	return rows
+}
+
+// TestMergeTopKMatchesSequential checks the parallel top-k contract: for
+// any partitioning of the input into contiguous chunks, merging the
+// per-chunk TopKSeq candidates yields exactly the sequential TopK.
+func TestMergeTopKMatchesSequential(t *testing.T) {
+	rows := seqRows(200)
+	for _, byConf := range []bool{false, true} {
+		for _, k := range []int{1, 7, 25, 199, 200, 500} {
+			want := TopK(rows, k, byConf)
+			for _, chunks := range []int{1, 2, 3, 7} {
+				chunk := (len(rows) + chunks - 1) / chunks
+				var parts [][]SeqRow
+				for lo := 0; lo < len(rows); lo += chunk {
+					hi := lo + chunk
+					if hi > len(rows) {
+						hi = len(rows)
+					}
+					parts = append(parts, TopKSeq(rows[lo:hi], lo, k, byConf))
+				}
+				got := MergeTopK(parts, k, byConf)
+				if len(got) != len(want) {
+					t.Fatalf("byConf=%v k=%d chunks=%d: len %d, want %d", byConf, k, chunks, len(got), len(want))
+				}
+				for i := range want {
+					if !types.TupleEqual(got[i].Tuple, want[i].Tuple) || got[i].SC != want[i].SC {
+						t.Fatalf("byConf=%v k=%d chunks=%d row %d: %v %v, want %v %v",
+							byConf, k, chunks, i, got[i].Tuple, got[i].SC, want[i].Tuple, want[i].SC)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSeqEdgeCases(t *testing.T) {
+	if got := TopKSeq(nil, 0, 5, false); got != nil {
+		t.Errorf("empty input = %v, want nil", got)
+	}
+	if got := TopKSeq(seqRows(3), 0, 0, false); got != nil {
+		t.Errorf("k=0 = %v, want nil", got)
+	}
+	// Sequence numbers carry the partition offset.
+	part := TopKSeq(seqRows(4), 100, 4, false)
+	for _, sr := range part {
+		if sr.Seq < 100 || sr.Seq >= 104 {
+			t.Errorf("seq %d outside [100, 104)", sr.Seq)
+		}
+	}
+	if got := MergeTopK(nil, 3, false); len(got) != 0 {
+		t.Errorf("merge of nothing = %v, want empty", got)
+	}
+}
