@@ -9,12 +9,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"prefdb/internal/bench"
+	"prefdb/internal/exec"
 )
 
 func main() {
@@ -23,9 +28,21 @@ func main() {
 		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1.0 ≈ 20k movies)")
 		repeats = flag.Int("repeats", 3, "repetitions per measurement (best-of)")
 		workers = flag.Int("workers", 0, "parallel executor workers (0 = GOMAXPROCS, 1 = sequential)")
+		timeout = flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run's context: the active query drains
+	// its workers and the runner exits cleanly instead of dying
+	// mid-materialization.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -53,10 +70,17 @@ func main() {
 	for _, ex := range toRun {
 		fmt.Printf("=== %s — %s (%s) ===\n", ex.ID, ex.Title, ex.Paper)
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		if err := ex.Run(env, w, *repeats); err != nil {
+		err := ex.Run(ctx, env, w, *repeats)
+		w.Flush()
+		if err != nil {
+			var ge *exec.GuardError
+			if errors.As(err, &ge) {
+				fmt.Fprintf(os.Stderr, "benchrunner: %s aborted: %v\n", ex.ID, ge)
+				fmt.Fprintf(os.Stderr, "benchrunner: partial stats of the interrupted query: %v\n", ge.Stats)
+				os.Exit(130)
+			}
 			fatal(fmt.Errorf("%s: %w", ex.ID, err))
 		}
-		w.Flush()
 		fmt.Println()
 	}
 }

@@ -3,36 +3,61 @@
 //
 // Usage:
 //
-//	prefdb [-load imdb|dblp] [-scale 0.1] [-mode gbu] [-explain] [-q "SELECT ..."]
+//	prefdb [-load imdb|dblp] [-scale 0.1] [-mode gbu] [-timeout 5s] [-explain] [-q "SELECT ..."]
 //
 // Without -q it reads statements from stdin, terminated by ';'.
+// SIGINT/SIGTERM cancel the active statement (printing its partial
+// execution stats) instead of killing the process mid-materialization;
+// exit the shell with Ctrl-D or \quit.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"prefdb"
 )
 
+// runConfig carries the per-statement execution settings.
+type runConfig struct {
+	explain  bool
+	maxRows  int
+	timeout  time.Duration
+	rowLimit int
+	sigc     chan os.Signal
+}
+
 func main() {
 	var (
-		load    = flag.String("load", "", "preload a synthetic dataset: imdb or dblp")
-		scale   = flag.Float64("scale", 0.1, "dataset scale factor (1.0 ≈ 20k movies)")
-		seed    = flag.Int64("seed", 42, "dataset generator seed")
-		mode    = flag.String("mode", "gbu", "evaluation strategy: native, bu, gbu, ftp, plugin-naive, plugin-merged")
-		workers = flag.Int("workers", 0, "parallel executor workers (0 = GOMAXPROCS, 1 = sequential)")
-		explain = flag.Bool("explain", false, "print the optimized plan and execution stats")
-		query   = flag.String("q", "", "execute one statement and exit")
-		maxRows = flag.Int("rows", 25, "maximum rows to display")
-		open    = flag.String("open", "", "restore a database snapshot before running")
-		save    = flag.String("save", "", "write a database snapshot on exit")
+		load     = flag.String("load", "", "preload a synthetic dataset: imdb or dblp")
+		scale    = flag.Float64("scale", 0.1, "dataset scale factor (1.0 ≈ 20k movies)")
+		seed     = flag.Int64("seed", 42, "dataset generator seed")
+		mode     = flag.String("mode", "gbu", "evaluation strategy: native, bu, gbu, ftp, plugin-naive, plugin-merged")
+		workers  = flag.Int("workers", 0, "parallel executor workers (0 = GOMAXPROCS, 1 = sequential)")
+		timeout  = flag.Duration("timeout", 0, "per-statement wall-clock deadline (0 = none)")
+		rowLimit = flag.Int("max-rows", 0, "per-statement materialized-row budget (0 = unlimited)")
+		explain  = flag.Bool("explain", false, "print the optimized plan and execution stats")
+		query    = flag.String("q", "", "execute one statement and exit")
+		maxRows  = flag.Int("rows", 25, "maximum rows to display")
+		open     = flag.String("open", "", "restore a database snapshot before running")
+		save     = flag.String("save", "", "write a database snapshot on exit")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the active statement's context; the shell
+	// survives and prints the partial stats (see runStatement).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	cfg := runConfig{explain: *explain, maxRows: *maxRows, timeout: *timeout, rowLimit: *rowLimit, sigc: sigc}
 
 	db := prefdb.Open()
 	if *open != "" {
@@ -89,7 +114,7 @@ func main() {
 	}
 
 	if *query != "" {
-		if err := runStatement(db, *query, *explain, *maxRows); err != nil {
+		if err := runStatement(db, *query, cfg); err != nil {
 			fatal(err)
 		}
 		return
@@ -115,7 +140,7 @@ func main() {
 			stmt := strings.TrimSpace(buf.String())
 			buf.Reset()
 			if stmt != ";" && stmt != "" {
-				if err := runStatement(db, stmt, *explain, *maxRows); err != nil {
+				if err := runStatement(db, stmt, cfg); err != nil {
 					fmt.Fprintln(os.Stderr, "error:", err)
 				}
 			}
@@ -197,17 +222,50 @@ func prompt(continuation bool) {
 	}
 }
 
-func runStatement(db *prefdb.DB, sql string, explain bool, maxRows int) error {
-	res, err := db.Exec(sql)
+func runStatement(db *prefdb.DB, sql string, cfg runConfig) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Discard signals delivered between statements so a stale Ctrl-C does
+	// not kill the next query the moment it starts.
+	select {
+	case <-cfg.sigc:
+	default:
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case s := <-cfg.sigc:
+			fmt.Fprintf(os.Stderr, "\ninterrupt (%v): canceling statement...\n", s)
+			cancel()
+		case <-done:
+		}
+	}()
+
+	opts := []prefdb.QueryOption{}
+	if cfg.timeout > 0 {
+		opts = append(opts, prefdb.WithTimeout(cfg.timeout))
+	}
+	if cfg.rowLimit > 0 {
+		opts = append(opts, prefdb.WithMaxRows(cfg.rowLimit))
+	}
+	res, err := db.ExecContext(ctx, sql, opts...)
 	if err != nil {
+		var ge *prefdb.GuardError
+		if errors.As(err, &ge) {
+			fmt.Fprintf(os.Stderr, "statement aborted: %v\n", ge)
+			fmt.Fprintf(os.Stderr, "partial stats: %v\n", ge.Stats)
+			return nil
+		}
 		return err
 	}
 	if res.Message != "" {
 		fmt.Println(res.Message)
 		return nil
 	}
-	printRelation(res, maxRows)
-	if explain {
+	printRelation(res, cfg.maxRows)
+	if cfg.explain {
 		fmt.Println("-- plan:")
 		fmt.Print(indent(res.Plan, "--   "))
 		fmt.Printf("-- stats: %v\n", res.Stats)

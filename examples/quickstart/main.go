@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"prefdb"
 )
@@ -38,12 +40,15 @@ func main() {
 	fmt.Println("All movies ranked by preference score:")
 	fmt.Println(res.Rel)
 
-	// The same query with a top-k filter.
-	top, err := db.Exec(`
+	// The same query with a top-k filter, run through the context-aware
+	// entry point: the query is cancelable and bounded by a wall-clock
+	// deadline and a materialization budget (both generous here).
+	top, err := db.QueryContext(context.Background(), `
 		SELECT title FROM movies
 		PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 1.0 ON movies,
 		           duration <= 120 SCORE around(duration, 120) CONF 0.5 ON movies
-		TOP 2 BY score`)
+		TOP 2 BY score`,
+		prefdb.WithTimeout(5*time.Second), prefdb.WithMaxRows(100_000))
 	if err != nil {
 		log.Fatal(err)
 	}

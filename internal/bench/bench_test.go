@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -67,14 +68,15 @@ func TestMeasureAndCompare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Measure(db, IMDBQueries()[0].SQL, engine.ModeGBU, 2)
+	ctx := context.Background()
+	m, err := Measure(ctx, db, IMDBQueries()[0].SQL, engine.ModeGBU, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Duration <= 0 || m.Rows == 0 {
 		t.Errorf("measurement = %+v", m)
 	}
-	ms, err := CompareModes(db, IMDBQueries()[0].SQL, ReportModes(), 1)
+	ms, err := CompareModes(ctx, db, IMDBQueries()[0].SQL, ReportModes(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,8 +87,14 @@ func TestMeasureAndCompare(t *testing.T) {
 		t.Errorf("summary = %q", s)
 	}
 	// Invalid SQL propagates.
-	if _, err := Measure(db, "SELECT nope FROM movies", engine.ModeGBU, 1); err == nil {
+	if _, err := Measure(ctx, db, "SELECT nope FROM movies", engine.ModeGBU, 1); err == nil {
 		t.Error("bad query should error")
+	}
+	// A canceled context aborts the measurement with the lifecycle sentinel.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Measure(canceled, db, IMDBQueries()[0].SQL, engine.ModeGBU, 1); err == nil {
+		t.Error("canceled context should abort the measurement")
 	}
 }
 
@@ -99,7 +107,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		ex := ex
 		t.Run(ex.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := ex.Run(e, &buf, 1); err != nil {
+			if err := ex.Run(context.Background(), e, &buf, 1); err != nil {
 				t.Fatalf("%s: %v", ex.ID, err)
 			}
 			if buf.Len() == 0 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -77,15 +78,16 @@ type Measurement struct {
 
 // Measure runs a query under one mode, returning the best-of-repeats
 // wall-clock time (cold-cache effects do not exist in an in-memory engine;
-// min-of-N suppresses scheduler noise).
-func Measure(db *engine.DB, sql string, mode engine.Mode, repeats int) (Measurement, error) {
+// min-of-N suppresses scheduler noise). Canceling ctx aborts the run
+// between and within repetitions.
+func Measure(ctx context.Context, db *engine.DB, sql string, mode engine.Mode, repeats int) (Measurement, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
 	best := Measurement{Mode: mode}
 	for i := 0; i < repeats; i++ {
 		start := time.Now()
-		res, err := db.Query(sql, mode)
+		res, err := db.QueryContext(ctx, sql, engine.WithMode(mode))
 		elapsed := time.Since(start)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("%v: %w", mode, err)
@@ -100,10 +102,10 @@ func Measure(db *engine.DB, sql string, mode engine.Mode, repeats int) (Measurem
 }
 
 // CompareModes measures a query under the given modes.
-func CompareModes(db *engine.DB, sql string, modes []engine.Mode, repeats int) ([]Measurement, error) {
+func CompareModes(ctx context.Context, db *engine.DB, sql string, modes []engine.Mode, repeats int) ([]Measurement, error) {
 	out := make([]Measurement, 0, len(modes))
 	for _, m := range modes {
-		meas, err := Measure(db, sql, m, repeats)
+		meas, err := Measure(ctx, db, sql, m, repeats)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -19,8 +20,9 @@ type Experiment struct {
 	Title string
 	// Paper names the corresponding table/figure in the paper.
 	Paper string
-	// Run executes the experiment and writes its table to w.
-	Run func(e *Env, w io.Writer, repeats int) error
+	// Run executes the experiment and writes its table to w; canceling
+	// ctx aborts the experiment between (and within) measurements.
+	Run func(ctx context.Context, e *Env, w io.Writer, repeats int) error
 }
 
 // Experiments returns the full suite in presentation order.
@@ -79,7 +81,7 @@ func modeHeader(w io.Writer, first string) {
 
 // --- Table I ---
 
-func runTable1(e *Env, w io.Writer, _ int) error {
+func runTable1(ctx context.Context, e *Env, w io.Writer, _ int) error {
 	if _, err := e.IMDB(); err != nil {
 		return err
 	}
@@ -94,14 +96,14 @@ func runTable1(e *Env, w io.Writer, _ int) error {
 
 // --- Table II ---
 
-func runTable2(e *Env, w io.Writer, _ int) error {
+func runTable2(ctx context.Context, e *Env, w io.Writer, _ int) error {
 	header(w, "query", "N", "|R|", "λ", "P/NP")
 	for _, q := range AllQueries() {
 		db, err := e.DBFor(q)
 		if err != nil {
 			return err
 		}
-		res, err := db.Query(q.SQL, engine.ModeGBU)
+		res, err := db.QueryContext(ctx, q.SQL, engine.WithMode(engine.ModeGBU))
 		if err != nil {
 			return fmt.Errorf("%s: %w", q.Name, err)
 		}
@@ -112,7 +114,7 @@ func runTable2(e *Env, w io.Writer, _ int) error {
 
 // --- E1: effect of query optimization (Fig. 7) ---
 
-func runOptimization(e *Env, w io.Writer, repeats int) error {
+func runOptimization(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	header(w, "query", "plan", "mode", "time", "cells", "preferEvals")
 	for _, q := range IMDBQueries() {
 		db, err := e.DBFor(q)
@@ -130,7 +132,7 @@ func runOptimization(e *Env, w io.Writer, repeats int) error {
 			// pruning projections each become an extra materialization step,
 			// an honest trade-off recorded in EXPERIMENTS.md.
 			for _, mode := range []engine.Mode{engine.ModeGBU, engine.ModeFtP} {
-				m, err := Measure(db, q.SQL, mode, repeats)
+				m, err := Measure(ctx, db, q.SQL, mode, repeats)
 				if err != nil {
 					db.Optimize = true
 					return fmt.Errorf("%s (%s): %w", q.Name, label, err)
@@ -147,14 +149,14 @@ func runOptimization(e *Env, w io.Writer, repeats int) error {
 
 // --- E2: the six workload queries across strategies ---
 
-func runWorkload(e *Env, w io.Writer, repeats int) error {
+func runWorkload(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	modeHeader(w, "query")
 	for _, q := range AllQueries() {
 		db, err := e.DBFor(q)
 		if err != nil {
 			return err
 		}
-		ms, err := CompareModes(db, q.SQL, ReportModes(), repeats)
+		ms, err := CompareModes(ctx, db, q.SQL, ReportModes(), repeats)
 		if err != nil {
 			return fmt.Errorf("%s: %w", q.Name, err)
 		}
@@ -187,7 +189,7 @@ func QueryWithNPreferences(lambda int) string {
 		USING sum TOP 10 BY score`, strings.Join(prefs, ",\n\t\t"))
 }
 
-func runVaryPreferences(e *Env, w io.Writer, repeats int) error {
+func runVaryPreferences(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	db, err := e.IMDB()
 	if err != nil {
 		return err
@@ -195,7 +197,7 @@ func runVaryPreferences(e *Env, w io.Writer, repeats int) error {
 	modeHeader(w, "λ")
 	for _, lambda := range []int{1, 2, 4, 8, 16} {
 		sql := QueryWithNPreferences(lambda)
-		ms, err := CompareModes(db, sql, ReportModes(), repeats)
+		ms, err := CompareModes(ctx, db, sql, ReportModes(), repeats)
 		if err != nil {
 			return fmt.Errorf("λ=%d: %w", lambda, err)
 		}
@@ -206,7 +208,7 @@ func runVaryPreferences(e *Env, w io.Writer, repeats int) error {
 
 // --- E4: varying preference selectivity ---
 
-func runVarySelectivity(e *Env, w io.Writer, repeats int) error {
+func runVarySelectivity(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	db, err := e.IMDB()
 	if err != nil {
 		return err
@@ -219,7 +221,7 @@ func runVarySelectivity(e *Env, w io.Writer, repeats int) error {
 			JOIN genres ON movies.m_id = genres.m_id
 			PREFERRING year >= %d SCORE recency(year, 2011) CONF 0.9 ON movies
 			USING sum TOP 10 BY score`, cutoff)
-		ms, err := CompareModes(db, sql, ReportModes(), repeats)
+		ms, err := CompareModes(ctx, db, sql, ReportModes(), repeats)
 		if err != nil {
 			return fmt.Errorf("cutoff=%d: %w", cutoff, err)
 		}
@@ -230,7 +232,7 @@ func runVarySelectivity(e *Env, w io.Writer, repeats int) error {
 
 // --- E5: varying the result size N ---
 
-func runVaryResultSize(e *Env, w io.Writer, repeats int) error {
+func runVaryResultSize(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	db, err := e.IMDB()
 	if err != nil {
 		return err
@@ -243,11 +245,11 @@ func runVaryResultSize(e *Env, w io.Writer, repeats int) error {
 			PREFERRING genre = 'Comedy' SCORE 1 CONF 0.9 ON genres
 			USING sum RANK BY score`, cutoff)
 		// Report the actual result cardinality as the row label.
-		res, err := db.Query(sql, engine.ModeGBU)
+		res, err := db.QueryContext(ctx, sql, engine.WithMode(engine.ModeGBU))
 		if err != nil {
 			return err
 		}
-		ms, err := CompareModes(db, sql, ReportModes(), repeats)
+		ms, err := CompareModes(ctx, db, sql, ReportModes(), repeats)
 		if err != nil {
 			return fmt.Errorf("cutoff=%d: %w", cutoff, err)
 		}
@@ -258,7 +260,7 @@ func runVaryResultSize(e *Env, w io.Writer, repeats int) error {
 
 // --- E6: varying the number of joined relations |R| ---
 
-func runVaryRelations(e *Env, w io.Writer, repeats int) error {
+func runVaryRelations(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	db, err := e.IMDB()
 	if err != nil {
 		return err
@@ -277,7 +279,7 @@ func runVaryRelations(e *Env, w io.Writer, repeats int) error {
 			PREFERRING genre = 'Comedy' SCORE 1 CONF 0.9 ON genres,
 			           year >= 2005 SCORE recency(year, 2011) CONF 0.8 ON movies
 			USING sum TOP 10 BY score`, strings.Join(joins[:n], "\n\t\t\t"))
-		ms, err := CompareModes(db, sql, ReportModes(), repeats)
+		ms, err := CompareModes(ctx, db, sql, ReportModes(), repeats)
 		if err != nil {
 			return fmt.Errorf("|R|=%d: %w", n+1, err)
 		}
@@ -288,7 +290,7 @@ func runVaryRelations(e *Env, w io.Writer, repeats int) error {
 
 // --- E7: scalability with database size ---
 
-func runVaryScale(e *Env, w io.Writer, repeats int) error {
+func runVaryScale(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	modeHeader(w, "scale")
 	q := IMDBQueries()[0]
 	for _, factor := range []float64{0.25, 0.5, 1, 2} {
@@ -298,7 +300,7 @@ func runVaryScale(e *Env, w io.Writer, repeats int) error {
 		if err != nil {
 			return err
 		}
-		ms, err := CompareModes(db, q.SQL, ReportModes(), repeats)
+		ms, err := CompareModes(ctx, db, q.SQL, ReportModes(), repeats)
 		if err != nil {
 			return fmt.Errorf("scale %v: %w", factor, err)
 		}
@@ -309,7 +311,7 @@ func runVaryScale(e *Env, w io.Writer, repeats int) error {
 
 // --- E8: filtering strategies over the same evaluated query ---
 
-func runFiltering(e *Env, w io.Writer, repeats int) error {
+func runFiltering(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	db, err := e.IMDB()
 	if err != nil {
 		return err
@@ -330,7 +332,7 @@ func runFiltering(e *Env, w io.Writer, repeats int) error {
 		{"skyline of year/duration", "SKYLINE OF year MAX, duration MIN"},
 		{"rank-all", "RANK BY score"},
 	} {
-		m, err := Measure(db, base+f.clause, engine.ModeGBU, repeats)
+		m, err := Measure(ctx, db, base+f.clause, engine.ModeGBU, repeats)
 		if err != nil {
 			return fmt.Errorf("%s: %w", f.label, err)
 		}
@@ -341,7 +343,7 @@ func runFiltering(e *Env, w io.Writer, repeats int) error {
 
 // --- E9: aggregate-function ablation ---
 
-func runAggregates(e *Env, w io.Writer, repeats int) error {
+func runAggregates(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	db, err := e.IMDB()
 	if err != nil {
 		return err
@@ -355,7 +357,7 @@ func runAggregates(e *Env, w io.Writer, repeats int) error {
 		           votes > 500 SCORE linear(rating, 0.1) CONF 0.8 ON ratings,
 		           duration <= 120 SCORE around(duration, 120) CONF 0.5 ON movies
 		USING %s TOP 10 BY score`
-	refRes, err := db.Query(fmt.Sprintf(template, "sum"), engine.ModeGBU)
+	refRes, err := db.QueryContext(ctx, fmt.Sprintf(template, "sum"), engine.WithMode(engine.ModeGBU))
 	if err != nil {
 		return err
 	}
@@ -363,11 +365,11 @@ func runAggregates(e *Env, w io.Writer, repeats int) error {
 	header(w, "aggregate", "time", "overlap@10 vs sum")
 	for _, agg := range []string{"sum", "max", "maxscore", "mult"} {
 		sql := fmt.Sprintf(template, agg)
-		m, err := Measure(db, sql, engine.ModeGBU, repeats)
+		m, err := Measure(ctx, db, sql, engine.ModeGBU, repeats)
 		if err != nil {
 			return fmt.Errorf("%s: %w", agg, err)
 		}
-		res, err := db.Query(sql, engine.ModeGBU)
+		res, err := db.QueryContext(ctx, sql, engine.WithMode(engine.ModeGBU))
 		if err != nil {
 			return err
 		}
@@ -407,7 +409,7 @@ var _ = exec.Stats{} // keep the exec import for Measurement's field type
 
 // --- E10: optimizer heuristic ablation ---
 
-func runOptimizerAblation(e *Env, w io.Writer, repeats int) error {
+func runOptimizerAblation(ctx context.Context, e *Env, w io.Writer, repeats int) error {
 	db, err := e.IMDB()
 	if err != nil {
 		return err
@@ -427,7 +429,7 @@ func runOptimizerAblation(e *Env, w io.Writer, repeats int) error {
 	defer reset()
 	// Warm up statistics and caches so the first configuration is not
 	// penalized.
-	if _, err := Measure(db, q.SQL, engine.ModeGBU, 1); err != nil {
+	if _, err := Measure(ctx, db, q.SQL, engine.ModeGBU, 1); err != nil {
 		return err
 	}
 	header(w, "configuration", "gbu time", "materialized", "bu time", "materialized")
@@ -451,12 +453,12 @@ func runOptimizerAblation(e *Env, w io.Writer, repeats int) error {
 			reset()
 			db.Optimize = false
 		}
-		g, err := Measure(db, q.SQL, engine.ModeGBU, repeats)
+		g, err := Measure(ctx, db, q.SQL, engine.ModeGBU, repeats)
 		if err != nil {
 			db.Optimize = true
 			return fmt.Errorf("%s: %w", c.label, err)
 		}
-		b, err := Measure(db, q.SQL, engine.ModeBU, repeats)
+		b, err := Measure(ctx, db, q.SQL, engine.ModeBU, repeats)
 		if err != nil {
 			db.Optimize = true
 			return fmt.Errorf("%s: %w", c.label, err)

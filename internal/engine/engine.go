@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -100,16 +101,10 @@ type DB struct {
 	Workers int
 }
 
-// Open creates an empty database.
-func Open() *DB {
-	cat := catalog.New()
-	return &DB{
-		cat:      cat,
-		pl:       planner.New(cat),
-		opt:      optimizer.New(cat),
-		Mode:     ModeGBU,
-		Optimize: true,
-	}
+// Open creates an empty database. Options override the defaults (GBU
+// strategy, optimizer on, Workers = GOMAXPROCS).
+func Open(opts ...OpenOption) *DB {
+	return openWith(catalog.New(), opts...)
 }
 
 // Catalog exposes the underlying catalog (for loaders and benchmarks).
@@ -144,21 +139,42 @@ func (r *Result) Columns() []string {
 	return append(out, "score", "conf")
 }
 
-// Exec parses and executes any statement (DDL, DML or query).
+// Exec parses and executes any statement (DDL, DML or query) with the
+// database defaults and no cancellation; it is ExecContext under
+// context.Background.
 func (db *DB) Exec(sql string) (*Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes any statement (DDL, DML or query)
+// under ctx and the given per-query options. Queries observe
+// cancellation, deadlines and resource budgets cooperatively (see
+// exec.Limits); DDL/DML statements check ctx before running. Lifecycle
+// failures return a *exec.GuardError matching exec.ErrCanceled,
+// exec.ErrDeadlineExceeded or exec.ErrResourceExhausted via errors.Is.
+func (db *DB) ExecContext(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stmt, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	if s, ok := stmt.(*parser.SelectStmt); ok {
+		return db.runSelect(ctx, s, opts...)
+	}
+	// DDL/DML statements are short and atomic: honor an already-canceled
+	// context, but do not interrupt them midway.
+	if err := ctx.Err(); err != nil {
+		return nil, exec.WrapContextErr(err)
+	}
 	switch s := stmt.(type) {
-	case *parser.SelectStmt:
-		return db.runSelect(s, db.Mode)
 	case *parser.CreateTableStmt:
 		return db.createTable(s)
 	case *parser.CreateIndexStmt:
 		return db.createIndex(s)
 	case *parser.InsertStmt:
-		return db.insert(s)
+		return db.insert(ctx, s, opts...)
 	case *parser.DeleteStmt:
 		return db.delete(s)
 	case *parser.UpdateStmt:
@@ -171,13 +187,21 @@ func (db *DB) Exec(sql string) (*Result, error) {
 }
 
 // Query parses, plans and executes a preferential query with the given
-// mode.
+// mode and no cancellation; it is QueryContext under context.Background
+// with WithMode.
 func (db *DB) Query(sql string, mode Mode) (*Result, error) {
+	return db.QueryContext(context.Background(), sql, WithMode(mode))
+}
+
+// QueryContext parses, plans and executes a preferential query under ctx
+// and the given options (mode, workers, timeout, resource budgets); see
+// ExecContext for the error contract.
+func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
 	q, err := parser.ParseQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelect(q, mode)
+	return db.runSelect(ctx, q, opts...)
 }
 
 // QueryPlan plans (and optionally optimizes) a query without executing it.
@@ -192,41 +216,69 @@ func (db *DB) QueryPlan(sql string) (*planner.Plan, error) {
 	return plan, nil
 }
 
-func (db *DB) runSelect(q *parser.SelectStmt, mode Mode) (*Result, error) {
+func (db *DB) runSelect(ctx context.Context, q *parser.SelectStmt, opts ...QueryOption) (*Result, error) {
 	plan, err := db.pl.Plan(q)
 	if err != nil {
 		return nil, err
 	}
-	return db.RunPlan(plan, mode)
+	return db.RunPlanContext(ctx, plan, opts...)
 }
 
-// RunPlan executes an already-built plan with the given mode, applying the
-// optimizer when enabled and trimming the result to the user-requested
-// columns.
+// RunPlan executes an already-built plan with the given mode; it is
+// RunPlanContext under context.Background with WithMode.
 func (db *DB) RunPlan(plan *planner.Plan, mode Mode) (*Result, error) {
+	return db.RunPlanContext(context.Background(), plan, WithMode(mode))
+}
+
+// RunPlanContext executes an already-built plan under ctx and the given
+// options, applying the optimizer when enabled and trimming the result to
+// the user-requested columns. A WithTimeout option wraps ctx in a
+// deadline for the duration of the execution.
+func (db *DB) RunPlanContext(ctx context.Context, plan *planner.Plan, opts ...QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := db.queryConfig(opts)
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
 	root := plan.Root
 	if db.Optimize {
-		root = db.opt.Optimize(root)
+		var optErr error
+		root, optErr = db.opt.OptimizeContext(ctx, plan.Root)
+		if optErr != nil {
+			return nil, exec.WrapContextErr(optErr)
+		}
 	}
 	ex := exec.New(db.cat)
 	ex.Agg = plan.Agg
-	ex.Workers = db.Workers
+	ex.Workers = cfg.workers
+	ex.Limits = cfg.limits
 
 	var rel *prel.PRelation
 	var err error
-	switch mode {
+	switch cfg.mode {
 	case ModePluginNaive, ModePluginMerged:
 		// The plug-in sits on top of the engine: it receives the baseline
 		// (non-optimized) plan, since the preference-aware optimizer is
-		// precisely what a plug-in cannot use.
-		runner := &pluginRunner{exec: ex, merged: mode == ModePluginMerged}
+		// precisely what a plug-in cannot use. Begin arms the executor's
+		// guard so every query the runner delegates observes ctx and the
+		// budgets; GuardErr surfaces a trip with the Stats at failure.
+		ex.Begin(ctx)
+		runner := &pluginRunner{exec: ex, merged: cfg.mode == ModePluginMerged}
 		rel, err = runner.run(plan.Root)
+		if gErr := ex.GuardErr(); gErr != nil {
+			rel, err = nil, gErr
+		}
 	default:
-		strategy, sErr := execStrategy(mode)
+		strategy, sErr := execStrategy(cfg.mode)
 		if sErr != nil {
 			return nil, sErr
 		}
-		rel, err = ex.Run(root, strategy)
+		rel, err = ex.RunContext(ctx, root, strategy)
 	}
 	if err != nil {
 		return nil, err
@@ -320,14 +372,14 @@ func (db *DB) createIndex(s *parser.CreateIndexStmt) (*Result, error) {
 	return &Result{Message: fmt.Sprintf("created %s index on %s(%s)", kind, s.Table, s.Col)}, nil
 }
 
-func (db *DB) insert(s *parser.InsertStmt) (*Result, error) {
+func (db *DB) insert(ctx context.Context, s *parser.InsertStmt, opts ...QueryOption) (*Result, error) {
 	t, err := db.cat.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
 	sch := t.Schema()
 	if s.Query != nil {
-		return db.insertSelect(t, s)
+		return db.insertSelect(ctx, t, s, opts...)
 	}
 	for ri, row := range s.Rows {
 		if len(row) != sch.Len() {
@@ -416,8 +468,8 @@ func (db *DB) update(s *parser.UpdateStmt) (*Result, error) {
 // insertSelect materializes a query and inserts its tuples into the target
 // table (score-confidence pairs are dropped: base tables hold data; scores
 // are query-dependent, as §VI argues against storing them permanently).
-func (db *DB) insertSelect(t *catalog.Table, s *parser.InsertStmt) (*Result, error) {
-	res, err := db.runSelect(s.Query, db.Mode)
+func (db *DB) insertSelect(ctx context.Context, t *catalog.Table, s *parser.InsertStmt, opts ...QueryOption) (*Result, error) {
+	res, err := db.runSelect(ctx, s.Query, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"time"
+
+	"prefdb/internal/exec"
+)
+
+// QueryOption configures one query execution (ExecContext, QueryContext,
+// RunPlanContext, Prepared.RunContext). Options not given fall back to
+// the database's defaults (Mode, Workers) or to "unbounded" for the
+// resource guards.
+type QueryOption func(*queryConfig)
+
+// queryConfig is the resolved per-query configuration.
+type queryConfig struct {
+	mode    Mode
+	workers int
+	timeout time.Duration
+	limits  exec.Limits
+}
+
+// queryConfig resolves the options against the database defaults.
+func (db *DB) queryConfig(opts []QueryOption) queryConfig {
+	cfg := queryConfig{mode: db.Mode, workers: db.Workers}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithMode selects the evaluation strategy for this query, overriding the
+// database default.
+func WithMode(m Mode) QueryOption {
+	return func(c *queryConfig) { c.mode = m }
+}
+
+// WithTimeout bounds the query's wall-clock time: the execution context
+// is wrapped in context.WithTimeout and expiry surfaces as
+// ErrDeadlineExceeded. Non-positive d means no extra deadline (a deadline
+// already on the caller's context still applies).
+func WithTimeout(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.timeout = d }
+}
+
+// WithWorkers sets the executor pool width for this query (0 =
+// GOMAXPROCS, 1 = sequential), overriding the database default.
+func WithWorkers(n int) QueryOption {
+	return func(c *queryConfig) { c.workers = n }
+}
+
+// WithMaxRows caps the tuples the query may materialize (intermediate
+// relations included); exceeding it fails the query with
+// ErrResourceExhausted. 0 means unlimited.
+func WithMaxRows(n int) QueryOption {
+	return func(c *queryConfig) { c.limits.MaxRows = n }
+}
+
+// WithMaxCells caps the attribute values (rows × width) the query may
+// materialize; exceeding it fails with ErrResourceExhausted. 0 means
+// unlimited.
+func WithMaxCells(n int) QueryOption {
+	return func(c *queryConfig) { c.limits.MaxCells = n }
+}
+
+// WithMemoryBudget caps the query's estimated materialized bytes
+// (cells × exec.BytesPerCell); exceeding it fails with
+// ErrResourceExhausted. 0 means unlimited.
+func WithMemoryBudget(bytes int64) QueryOption {
+	return func(c *queryConfig) { c.limits.MemoryBudget = bytes }
+}
+
+// OpenOption configures a database at Open (or Load) time, replacing
+// direct struct-field pokes on DB.
+type OpenOption func(*DB)
+
+// WithDefaultMode sets the default evaluation strategy used by Exec and
+// by queries that pass no WithMode option.
+func WithDefaultMode(m Mode) OpenOption {
+	return func(db *DB) { db.Mode = m }
+}
+
+// WithDefaultWorkers sets the default executor pool width (0 =
+// GOMAXPROCS, 1 = sequential) used by queries that pass no WithWorkers
+// option.
+func WithDefaultWorkers(n int) OpenOption {
+	return func(db *DB) { db.Workers = n }
+}
+
+// WithOptimizer toggles the preference-aware query optimizer (enabled by
+// default).
+func WithOptimizer(enabled bool) OpenOption {
+	return func(db *DB) { db.Optimize = enabled }
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"prefdb/internal/algebra"
 	"prefdb/internal/exec"
 	"prefdb/internal/planner"
@@ -38,24 +40,47 @@ func (db *DB) Prepare(sql string) (*Prepared, error) {
 	return &Prepared{db: db, plan: plan, optimized: optimized}, nil
 }
 
-// Run executes the prepared query with the given mode.
+// Run executes the prepared query with the given mode; it is RunContext
+// under context.Background with WithMode.
 func (p *Prepared) Run(mode Mode) (*Result, error) {
+	return p.RunContext(context.Background(), WithMode(mode))
+}
+
+// RunContext executes the prepared query under ctx and the given options
+// (mode, workers, timeout, resource budgets). The plan is not re-planned
+// or re-optimized; only execution is guarded. See DB.ExecContext for the
+// error contract.
+func (p *Prepared) RunContext(ctx context.Context, opts ...QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := p.db.queryConfig(opts)
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
 	ex := exec.New(p.db.cat)
 	ex.Agg = p.plan.Agg
-	ex.Workers = p.db.Workers
+	ex.Workers = cfg.workers
+	ex.Limits = cfg.limits
 
 	var rel *prel.PRelation
 	var err error
-	switch mode {
+	switch cfg.mode {
 	case ModePluginNaive, ModePluginMerged:
-		runner := &pluginRunner{exec: ex, merged: mode == ModePluginMerged}
+		ex.Begin(ctx)
+		runner := &pluginRunner{exec: ex, merged: cfg.mode == ModePluginMerged}
 		rel, err = runner.run(p.plan.Root)
+		if gErr := ex.GuardErr(); gErr != nil {
+			rel, err = nil, gErr
+		}
 	default:
-		strategy, sErr := execStrategy(mode)
+		strategy, sErr := execStrategy(cfg.mode)
 		if sErr != nil {
 			return nil, sErr
 		}
-		rel, err = ex.Run(p.optimized, strategy)
+		rel, err = ex.RunContext(ctx, p.optimized, strategy)
 	}
 	if err != nil {
 		return nil, err

@@ -16,21 +16,25 @@ func (db *DB) Save(w io.Writer) error {
 }
 
 // Load restores a database previously written by Save, rebuilding all
-// indexes and statistics lazily.
-func Load(r io.Reader) (*DB, error) {
+// indexes and statistics lazily. Options apply as in Open.
+func Load(r io.Reader, opts ...OpenOption) (*DB, error) {
 	cat, err := snapshot.Load(r)
 	if err != nil {
 		return nil, err
 	}
-	return openWith(cat), nil
+	return openWith(cat, opts...), nil
 }
 
-func openWith(cat *catalog.Catalog) *DB {
-	return &DB{
+func openWith(cat *catalog.Catalog, opts ...OpenOption) *DB {
+	db := &DB{
 		cat:      cat,
 		pl:       planner.New(cat),
 		opt:      optimizer.New(cat),
 		Mode:     ModeGBU,
 		Optimize: true,
 	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
 }

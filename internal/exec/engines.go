@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -76,6 +77,25 @@ func Strategies() []Strategy { return []Strategy{Native, BU, GBU, FtP} }
 // operator-at-a-time / per-group drain, and FtP inside the native Q_NP
 // execution and each prefer pass over R_NP.
 func (e *Executor) Run(plan algebra.Node, strategy Strategy) (*prel.PRelation, error) {
+	return e.RunContext(context.Background(), plan, strategy)
+}
+
+// RunContext evaluates a plan with the chosen strategy under ctx and the
+// executor's Limits. Cancellation, deadline expiry and budget trips abort
+// the run cooperatively (see lifecycle.go) and return a *GuardError
+// matching ErrCanceled, ErrDeadlineExceeded or ErrResourceExhausted via
+// errors.Is; the error carries the Stats at failure. When nothing trips,
+// results, order and Stats are identical to an unguarded Run.
+func (e *Executor) RunContext(ctx context.Context, plan algebra.Node, strategy Strategy) (*prel.PRelation, error) {
+	e.arm(ctx, e.Limits)
+	rel, err := e.runStrategy(plan, strategy)
+	if gErr := e.GuardErr(); gErr != nil {
+		return nil, gErr
+	}
+	return rel, err
+}
+
+func (e *Executor) runStrategy(plan algebra.Node, strategy Strategy) (*prel.PRelation, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("exec: nil plan")
 	}

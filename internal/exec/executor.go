@@ -66,6 +66,9 @@ func (s Stats) String() string {
 // Workers != 1 it parallelizes hot pipeline segments internally (see
 // parallel.go); results, order and Stats are identical at every worker
 // count.
+//
+// Executions started through RunContext (or after Begin) observe the
+// given context and the executor's Limits cooperatively: see lifecycle.go.
 type Executor struct {
 	Cat   *catalog.Catalog
 	Funcs *expr.Registry
@@ -75,8 +78,14 @@ type Executor struct {
 	// Workers is the parallel pipeline's pool width: 0 means GOMAXPROCS,
 	// 1 forces the sequential path.
 	Workers int
+	// Limits bounds the next guarded run (RunContext / Begin); the zero
+	// value imposes no bounds.
+	Limits Limits
 
 	stats Stats
+	// gd is the lifecycle guard of the current run; nil (the default)
+	// disables all cancellation and budget checks.
+	gd *guard
 	// limitDepth tracks how many enclosing Limit operators the node being
 	// built sits under; parallel fan-out is disabled there because a limit
 	// stops pulling early (see parallelOK).
@@ -122,6 +131,12 @@ func (e *Executor) Evaluate(n algebra.Node) (*prel.PRelation, error) {
 // drained node is a Prefer, only the rows carrying non-default pairs
 // (the R_P writes) count as materialized.
 func (e *Executor) drain(n algebra.Node) (*prel.PRelation, error) {
+	// Strategy loops re-enter drain once per operator/group, so this entry
+	// check bounds how much work a canceled BU/GBU/FtP run still starts.
+	if err := e.gd.poll(); err != nil {
+		return nil, err
+	}
+
 	// A drain exhausts its whole pipeline regardless of any Limit above it,
 	// so parallel fan-out is safe again inside (blocking operators under a
 	// Limit re-enter here via drainChild).
@@ -134,12 +149,24 @@ func (e *Executor) drain(n algebra.Node) (*prel.PRelation, error) {
 		return nil, err
 	}
 	out := prel.New(s)
+	meter := matTick{g: e.gd, width: s.Len() + 2}
 	for {
 		row, ok := it.next()
 		if !ok {
 			break
 		}
 		out.Append(row)
+		if gErr := meter.row(); gErr != nil {
+			return nil, gErr
+		}
+	}
+	if gErr := meter.flush(); gErr != nil {
+		return nil, gErr
+	}
+	// Inner iterators stop yielding (rather than erroring) when the guard
+	// trips mid-stream; surface that here so no partial rows escape.
+	if gErr := e.gd.poll(); gErr != nil {
+		return nil, gErr
 	}
 	if _, isPrefer := n.(*algebra.Prefer); isPrefer {
 		// R_P rows are (pk, score, conf) triples regardless of the base
@@ -185,7 +212,7 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return &filterIter{in: in, cond: cond}, s, nil
+		return &filterIter{in: in, cond: cond, tick: pollTick{g: e.gd}}, s, nil
 
 	case *algebra.Project:
 		in, s, err := e.build(x.Input)
@@ -224,7 +251,7 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("prefer %s (scoring part): %w", x.P.Label(), err)
 		}
-		return &preferIter{in: in, cond: cond, score: score, conf: x.P.Conf, agg: e.Agg, stats: &e.stats}, s, nil
+		return &preferIter{in: in, cond: cond, score: score, conf: x.P.Conf, agg: e.Agg, stats: &e.stats, tick: pollTick{g: e.gd}}, s, nil
 
 	case *algebra.TopK:
 		rel, err := e.drainChild(x.Input)
@@ -259,7 +286,7 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 		if len(x.Dims) == 0 {
 			return &sliceIter{rows: skyline(rel.Rows)}, rel.Schema, nil
 		}
-		rows, err := attrSkyline(rel, x.Dims)
+		rows, err := attrSkyline(rel, x.Dims, e.gd)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -30,14 +30,19 @@ func (s *sliceIter) next() (prel.Row, bool) {
 	return r, true
 }
 
-// filterIter applies a compiled condition.
+// filterIter applies a compiled condition. The amortized guard tick keeps
+// a highly selective filter cancelable while it spins over rejected rows.
 type filterIter struct {
 	in   iter
 	cond *expr.Compiled
+	tick pollTick
 }
 
 func (f *filterIter) next() (prel.Row, bool) {
 	for {
+		if f.tick.stop() {
+			return prel.Row{}, false
+		}
 		row, ok := f.in.next()
 		if !ok {
 			return prel.Row{}, false
@@ -78,9 +83,13 @@ type preferIter struct {
 	conf  float64
 	agg   pref.Aggregate
 	stats *Stats
+	tick  pollTick
 }
 
 func (p *preferIter) next() (prel.Row, bool) {
+	if p.tick.stop() {
+		return prel.Row{}, false
+	}
 	row, ok := p.in.next()
 	if !ok {
 		return prel.Row{}, false
@@ -171,14 +180,14 @@ func (e *Executor) buildScan(scan *algebra.Scan, conjuncts []expr.Node) (iter, *
 		residual = append(residual, c)
 	}
 	if base == nil {
-		base = &heapScanIter{heap: t.Heap, stats: &e.stats}
+		base = &heapScanIter{heap: t.Heap, stats: &e.stats, tick: pollTick{g: e.gd}}
 	}
 	if len(residual) > 0 {
 		cond, err := expr.CompileCondition(expr.AndAll(residual), s, e.Funcs)
 		if err != nil {
 			return nil, nil, err
 		}
-		base = &filterIter{in: base, cond: cond}
+		base = &filterIter{in: base, cond: cond, tick: pollTick{g: e.gd}}
 	}
 	return base, s, nil
 }
@@ -296,6 +305,7 @@ func flipCmp(op expr.Op) expr.Op {
 type heapScanIter struct {
 	heap  *storage.Heap
 	stats *Stats
+	tick  pollTick
 
 	inited bool
 	rows   []prel.Row
@@ -310,7 +320,7 @@ func (h *heapScanIter) next() (prel.Row, bool) {
 		h.rows = make([]prel.Row, 0, h.heap.Len())
 		h.heap.Scan(func(_ storage.RowID, tuple []types.Value) bool {
 			h.rows = append(h.rows, prel.Row{Tuple: tuple})
-			return true
+			return !h.tick.stop()
 		})
 		h.stats.RowsScanned += len(h.rows)
 		h.inited = true
@@ -368,17 +378,17 @@ func (e *Executor) buildJoin(j *algebra.Join) (iter, *schema.Schema, error) {
 		if e.parallelOK() {
 			base = &parallelHashJoinIter{e: e, left: lIt, right: rIt, eqL: eqL, eqR: eqR}
 		} else {
-			base = newHashJoinIter(lIt, rIt, lS.Len(), eqL, eqR, e.Agg, &e.stats)
+			base = newHashJoinIter(lIt, rIt, lS.Len(), eqL, eqR, e.Agg, &e.stats, e.gd)
 		}
 	} else {
-		base = newNLJoinIter(lIt, rIt, lS.Len(), e.Agg, &e.stats)
+		base = newNLJoinIter(lIt, rIt, lS.Len(), e.Agg, &e.stats, e.gd)
 	}
 	if residual != nil {
 		cond, err := expr.CompileCondition(residual, out, e.Funcs)
 		if err != nil {
 			return nil, nil, err
 		}
-		base = &filterIter{in: base, cond: cond}
+		base = &filterIter{in: base, cond: cond, tick: pollTick{g: e.gd}}
 	}
 	return base, out, nil
 }
@@ -424,6 +434,8 @@ type hashJoinIter struct {
 	eqL, eqR    []int
 	agg         pref.Aggregate
 	stats       *Stats
+	g           *guard
+	tick        pollTick
 
 	built   bool
 	table   map[uint64][]prel.Row
@@ -431,13 +443,17 @@ type hashJoinIter struct {
 	pos     int
 }
 
-func newHashJoinIter(l, r iter, lWidth int, eqL, eqR []int, agg pref.Aggregate, stats *Stats) *hashJoinIter {
-	return &hashJoinIter{left: l, right: r, lWidth: lWidth, eqL: eqL, eqR: eqR, agg: agg, stats: stats}
+func newHashJoinIter(l, r iter, lWidth int, eqL, eqR []int, agg pref.Aggregate, stats *Stats, g *guard) *hashJoinIter {
+	return &hashJoinIter{left: l, right: r, lWidth: lWidth, eqL: eqL, eqR: eqR, agg: agg, stats: stats,
+		g: g, tick: pollTick{g: g}}
 }
 
 func (h *hashJoinIter) next() (prel.Row, bool) {
 	if !h.built {
 		h.table = map[uint64][]prel.Row{}
+		// The build side is buffered state: charge it against the query's
+		// materialization budgets so a runaway build trips before OOM.
+		meter := matTick{g: h.g}
 		for {
 			row, ok := h.left.next()
 			if !ok {
@@ -445,7 +461,14 @@ func (h *hashJoinIter) next() (prel.Row, bool) {
 			}
 			key := hashCols(row.Tuple, h.eqL)
 			h.table[key] = append(h.table[key], row)
+			if meter.width == 0 {
+				meter.width = len(row.Tuple) + 2
+			}
+			if meter.row() != nil {
+				break // trip is recorded in the guard; drain surfaces it
+			}
 		}
+		_ = meter.flush()
 		h.built = true
 	}
 	for {
@@ -453,6 +476,9 @@ func (h *hashJoinIter) next() (prel.Row, bool) {
 			r := h.pending[h.pos]
 			h.pos++
 			return r, true
+		}
+		if h.tick.stop() {
+			return prel.Row{}, false
 		}
 		rRow, ok := h.right.next()
 		if !ok {
@@ -507,6 +533,8 @@ type nlJoinIter struct {
 	lWidth      int
 	agg         pref.Aggregate
 	stats       *Stats
+	g           *guard
+	tick        pollTick
 
 	built bool
 	rRows []prel.Row
@@ -515,24 +543,34 @@ type nlJoinIter struct {
 	rPos  int
 }
 
-func newNLJoinIter(l, r iter, lWidth int, agg pref.Aggregate, stats *Stats) *nlJoinIter {
-	return &nlJoinIter{left: l, right: r, lWidth: lWidth, agg: agg, stats: stats}
+func newNLJoinIter(l, r iter, lWidth int, agg pref.Aggregate, stats *Stats, g *guard) *nlJoinIter {
+	return &nlJoinIter{left: l, right: r, lWidth: lWidth, agg: agg, stats: stats,
+		g: g, tick: pollTick{g: g}}
 }
 
 func (n *nlJoinIter) next() (prel.Row, bool) {
 	if !n.built {
+		// The buffered inner side is materialized state: meter it.
+		meter := matTick{g: n.g}
 		for {
 			row, ok := n.right.next()
 			if !ok {
 				break
 			}
 			n.rRows = append(n.rRows, row)
+			if meter.width == 0 {
+				meter.width = len(row.Tuple) + 2
+			}
+			if meter.row() != nil {
+				break
+			}
 		}
+		_ = meter.flush()
 		n.lRow, n.lOK = n.left.next()
 		n.built = true
 	}
 	for {
-		if !n.lOK {
+		if !n.lOK || n.tick.stop() {
 			return prel.Row{}, false
 		}
 		if n.rPos < len(n.rRows) {
@@ -562,8 +600,8 @@ func (e *Executor) buildSet(s *algebra.Set) (iter, *schema.Schema, error) {
 	if !lS.EqualLayout(rS) {
 		return nil, nil, fmt.Errorf("exec: %s inputs are not union-compatible: %s vs %s", s.Op, lS, rS)
 	}
-	lRows, lKeys, lIndex := dedupByTuple(drainIter(lIt), e.Agg)
-	rRows, rKeys, _ := dedupByTuple(drainIter(rIt), e.Agg)
+	lRows, lKeys, lIndex := dedupByTuple(drainIter(lIt), e.Agg, e.gd)
+	rRows, rKeys, _ := dedupByTuple(drainIter(rIt), e.Agg, e.gd)
 
 	var out []prel.Row
 	switch s.Op {
@@ -610,11 +648,15 @@ func drainIter(it iter) []prel.Row {
 // dedupByTuple collapses duplicate tuples (combining pairs via F, since a
 // p-relation is a set of tuples) and returns the surviving rows, their
 // fingerprints (aligned), and a fingerprint → row-index map.
-func dedupByTuple(rows []prel.Row, agg pref.Aggregate) ([]prel.Row, []string, map[string]int) {
+func dedupByTuple(rows []prel.Row, agg pref.Aggregate, g *guard) ([]prel.Row, []string, map[string]int) {
 	out := make([]prel.Row, 0, len(rows))
 	index := make(map[string]int, len(rows))
 	keys := make([]string, 0, len(rows))
+	tick := pollTick{g: g}
 	for _, row := range rows {
+		if tick.stop() {
+			break // partial: the tripped guard surfaces from drain
+		}
 		k := prel.Fingerprint(row.Tuple)
 		if i, dup := index[k]; dup {
 			out[i].SC = agg.Combine(out[i].SC, row.SC)
@@ -681,7 +723,7 @@ func skyline(rows []prel.Row) []prel.Row {
 // dropped if dominated by a window tuple, replaces any window tuples it
 // dominates, and joins the window otherwise. NULL dimension values rank
 // worse than any number.
-func attrSkyline(rel *prel.PRelation, dims []algebra.SkyDim) ([]prel.Row, error) {
+func attrSkyline(rel *prel.PRelation, dims []algebra.SkyDim, g *guard) ([]prel.Row, error) {
 	ords := make([]int, len(dims))
 	maxes := make([]bool, len(dims))
 	for i, d := range dims {
@@ -726,9 +768,15 @@ func attrSkyline(rel *prel.PRelation, dims []algebra.SkyDim) ([]prel.Row, error)
 		}
 		return strict
 	}
+	// The block-nested-loops sweep is quadratic, so it polls the guard per
+	// candidate (amortized) to stay cancelable on adversarial inputs.
+	tick := pollTick{g: g}
 	var window []prel.Row
 candidates:
 	for _, cand := range rel.Rows {
+		if tick.stop() {
+			return nil, g.failure()
+		}
 		kept := window[:0]
 		for _, w := range window {
 			if dominates(w, cand) {

@@ -162,9 +162,9 @@ func (e *Executor) segmentIter(rows []prel.Row, ops []segOp, stats *Stats) iter 
 	var it iter = &sliceIter{rows: rows}
 	for _, op := range ops {
 		if op.filter != nil {
-			it = &filterIter{in: it, cond: op.filter}
+			it = &filterIter{in: it, cond: op.filter, tick: pollTick{g: e.gd}}
 		} else {
-			it = &preferIter{in: it, cond: op.cond, score: op.score, conf: op.conf, agg: e.Agg, stats: stats}
+			it = &preferIter{in: it, cond: op.cond, score: op.score, conf: op.conf, agg: e.Agg, stats: stats, tick: pollTick{g: e.gd}}
 		}
 	}
 	return it
@@ -182,6 +182,11 @@ type workerStats struct {
 // a global queue); results land in a per-morsel slot and are concatenated
 // in morsel order, so the output order is that of the input. Worker-local
 // stats are merged once at the end.
+//
+// Cancellation: each worker re-checks the lifecycle guard before claiming
+// a morsel and stops claiming once the query tripped, so the pool drains
+// within one morsel of a cancellation; wg.Wait always joins every worker,
+// so no goroutine outlives the call.
 func (e *Executor) runMorsels(rows []prel.Row, apply func(morsel []prel.Row, stats *Stats) []prel.Row) []prel.Row {
 	workers := e.workerCount()
 	morsels := (len(rows) + morselSize - 1) / morselSize
@@ -197,6 +202,12 @@ func (e *Executor) runMorsels(rows []prel.Row, apply func(morsel []prel.Row, sta
 		go func(w int) {
 			defer wg.Done()
 			for {
+				// poll (not just stopped): per-morsel iterators are too
+				// short-lived for their own amortized ticks to fire, so the
+				// claim loop is where parallel workers observe cancellation.
+				if e.gd.poll() != nil {
+					return
+				}
 				m := int(next.Add(1)) - 1
 				if m >= morsels {
 					return
@@ -280,11 +291,20 @@ func (p *parallelHashJoinIter) run() {
 	rRows := drainIter(p.right)
 	if len(lRows) <= morselSize && len(rRows) <= morselSize {
 		seq := newHashJoinIter(&sliceIter{rows: lRows}, &sliceIter{rows: rRows},
-			0, p.eqL, p.eqR, p.e.Agg, &p.e.stats)
+			0, p.eqL, p.eqR, p.e.Agg, &p.e.stats, p.e.gd)
 		p.out = drainIter(seq)
 		return
 	}
 	parts := uint64(p.e.workerCount())
+
+	// The build side is buffered state: charge it against the query's
+	// budgets once (the sequential hash join meters the same total).
+	if g := p.e.gd; g != nil && len(lRows) > 0 {
+		_ = g.add(len(lRows), len(lRows)*(len(lRows[0].Tuple)+2))
+	}
+	if p.e.gd.stopped() {
+		return
+	}
 
 	// Hash every build row once, morsel-parallel.
 	hashes := make([]uint64, len(lRows))
@@ -295,15 +315,20 @@ func (p *parallelHashJoinIter) run() {
 	})
 
 	// Partitioned build: one goroutine per partition, inserting in global
-	// row order.
+	// row order; each partition polls the guard amortized so a mid-build
+	// cancellation drains the pool within one poll interval.
 	tables := make([]map[uint64][]prel.Row, parts)
 	var wg sync.WaitGroup
 	for j := uint64(0); j < parts; j++ {
 		wg.Add(1)
 		go func(j uint64) {
 			defer wg.Done()
+			tick := pollTick{g: p.e.gd}
 			t := map[uint64][]prel.Row{}
 			for i, h := range hashes {
+				if tick.stop() {
+					return
+				}
 				if h%parts == j {
 					t[h] = append(t[h], lRows[i])
 				}
@@ -312,6 +337,9 @@ func (p *parallelHashJoinIter) run() {
 		}(j)
 	}
 	wg.Wait()
+	if p.e.gd.stopped() {
+		return
+	}
 
 	// Morsel-parallel probe against the shared read-only tables; ordered
 	// merge restores the sequential probe order.

@@ -17,6 +17,7 @@
 package optimizer
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -53,30 +54,46 @@ func New(cat *catalog.Catalog) *Optimizer {
 // Optimize applies all rewrite passes and returns the improved plan; the
 // input plan is not modified.
 func (o *Optimizer) Optimize(plan algebra.Node) algebra.Node {
-	n := plan
-	if !o.DisableSelectPushdown {
-		n = o.pushSelections(n)
-	}
-	if !o.DisablePreferPushdown {
-		n = o.pushPrefers(n)
-	}
-	if !o.DisablePreferReorder {
-		n = o.orderPreferChains(n)
-	}
-	if !o.DisableJoinReorder {
-		n = o.reorderJoins(n)
-		// Join reordering can open new pushdown opportunities.
-		if !o.DisablePreferPushdown {
-			n = o.pushPrefers(n)
-		}
-		if !o.DisablePreferReorder {
-			n = o.orderPreferChains(n)
-		}
-	}
-	if !o.DisableProjectionPushdown {
-		n = o.pruneColumns(n)
-	}
+	n, _ := o.OptimizeContext(context.Background(), plan)
 	return n
+}
+
+// OptimizeContext is Optimize under a context: the rewrite passes check
+// ctx between passes (each pass is bounded by the plan size, so
+// between-pass checkpoints bound the abandon latency) and return ctx's
+// error with the best plan so far. The Optimizer itself stays stateless,
+// so concurrent queries sharing one Optimizer can carry different
+// contexts.
+func (o *Optimizer) OptimizeContext(ctx context.Context, plan algebra.Node) (algebra.Node, error) {
+	n := plan
+	step := func(enabled bool, pass func(algebra.Node) algebra.Node) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if enabled {
+			n = pass(n)
+		}
+		return nil
+	}
+	passes := []struct {
+		enabled bool
+		pass    func(algebra.Node) algebra.Node
+	}{
+		{!o.DisableSelectPushdown, o.pushSelections},
+		{!o.DisablePreferPushdown, o.pushPrefers},
+		{!o.DisablePreferReorder, o.orderPreferChains},
+		{!o.DisableJoinReorder, o.reorderJoins},
+		// Join reordering can open new pushdown opportunities.
+		{!o.DisableJoinReorder && !o.DisablePreferPushdown, o.pushPrefers},
+		{!o.DisableJoinReorder && !o.DisablePreferReorder, o.orderPreferChains},
+		{!o.DisableProjectionPushdown, o.pruneColumns},
+	}
+	for _, p := range passes {
+		if err := step(p.enabled, p.pass); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }
 
 // --- heuristic 1: selection pushdown ---

@@ -16,10 +16,17 @@
 //	db := prefdb.Open()
 //	db.Exec(`CREATE TABLE movies (m_id INT, title TEXT, year INT, PRIMARY KEY (m_id))`)
 //	db.Exec(`INSERT INTO movies VALUES (1, 'Gran Torino', 2008)`)
-//	res, err := db.Exec(`
+//	res, err := db.QueryContext(ctx, `
 //	    SELECT title FROM movies
 //	    PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 0.9 ON movies
-//	    TOP 10 BY score`)
+//	    TOP 10 BY score`,
+//	    prefdb.WithTimeout(time.Second), prefdb.WithMaxRows(100_000))
+//
+// Queries run under a context.Context with optional per-query budgets
+// (wall-clock, materialized rows/cells, estimated memory); lifecycle
+// failures match ErrCanceled, ErrDeadlineExceeded and ErrResourceExhausted
+// via errors.Is and carry the execution Stats at failure. Exec and Query
+// remain as context.Background wrappers.
 //
 // See the examples directory for complete programs and EXPERIMENTS.md for
 // the reproduction of the paper's evaluation.
@@ -27,6 +34,7 @@ package prefdb
 
 import (
 	"io"
+	"time"
 
 	"prefdb/internal/catalog"
 	"prefdb/internal/datagen"
@@ -85,8 +93,70 @@ type Stats = exec.Stats
 type DatagenConfig = datagen.Config
 
 // Open creates an empty in-memory database with the GBU strategy and the
-// preference-aware optimizer enabled.
-func Open() *DB { return engine.Open() }
+// preference-aware optimizer enabled; options override the defaults.
+func Open(opts ...OpenOption) *DB { return engine.Open(opts...) }
+
+// --- query lifecycle: options and sentinel errors ---
+
+// QueryOption configures a single query execution on the context-aware
+// entry points (DB.ExecContext, DB.QueryContext, Prepared.RunContext).
+type QueryOption = engine.QueryOption
+
+// OpenOption configures a database at Open or Load time, replacing direct
+// struct-field pokes on DB.
+type OpenOption = engine.OpenOption
+
+// WithMode selects the evaluation strategy for one query, overriding the
+// database default.
+func WithMode(m Mode) QueryOption { return engine.WithMode(m) }
+
+// WithTimeout bounds one query's wall-clock time; expiry fails the query
+// with ErrDeadlineExceeded.
+func WithTimeout(d time.Duration) QueryOption { return engine.WithTimeout(d) }
+
+// WithWorkers sets the executor pool width for one query (0 = GOMAXPROCS,
+// 1 = sequential).
+func WithWorkers(n int) QueryOption { return engine.WithWorkers(n) }
+
+// WithMaxRows caps the tuples one query may materialize (intermediate
+// relations included); exceeding it fails with ErrResourceExhausted.
+func WithMaxRows(n int) QueryOption { return engine.WithMaxRows(n) }
+
+// WithMaxCells caps the attribute values (rows × width) one query may
+// materialize; exceeding it fails with ErrResourceExhausted.
+func WithMaxCells(n int) QueryOption { return engine.WithMaxCells(n) }
+
+// WithMemoryBudget caps one query's estimated materialized bytes;
+// exceeding it fails with ErrResourceExhausted.
+func WithMemoryBudget(bytes int64) QueryOption { return engine.WithMemoryBudget(bytes) }
+
+// WithDefaultMode sets the database's default evaluation strategy.
+func WithDefaultMode(m Mode) OpenOption { return engine.WithDefaultMode(m) }
+
+// WithDefaultWorkers sets the database's default executor pool width.
+func WithDefaultWorkers(n int) OpenOption { return engine.WithDefaultWorkers(n) }
+
+// WithOptimizer toggles the preference-aware query optimizer (on by
+// default).
+func WithOptimizer(enabled bool) OpenOption { return engine.WithOptimizer(enabled) }
+
+// Sentinel errors returned (wrapped in a *GuardError) when a query's
+// lifecycle guard trips; match them with errors.Is. Context-caused
+// failures also match context.Canceled / context.DeadlineExceeded.
+var (
+	// ErrCanceled reports that the query's context was canceled.
+	ErrCanceled = exec.ErrCanceled
+	// ErrDeadlineExceeded reports that the query's deadline passed.
+	ErrDeadlineExceeded = exec.ErrDeadlineExceeded
+	// ErrResourceExhausted reports that a per-query budget (rows, cells,
+	// memory) was exceeded.
+	ErrResourceExhausted = exec.ErrResourceExhausted
+)
+
+// GuardError is the structured lifecycle failure: the tripped limit, the
+// budget and observed value, and the execution Stats at failure. Retrieve
+// it with errors.As.
+type GuardError = exec.GuardError
 
 // ParseMode resolves an evaluation mode by name ("gbu", "ftp",
 // "plugin-naive", ...).
@@ -154,8 +224,9 @@ func ParsePreference(clause string) (Preference, error) {
 // Load.
 func Save(db *DB, w io.Writer) error { return db.Save(w) }
 
-// Load restores a database previously written by Save.
-func Load(r io.Reader) (*DB, error) { return engine.Load(r) }
+// Load restores a database previously written by Save; options apply as
+// in Open.
+func Load(r io.Reader, opts ...OpenOption) (*DB, error) { return engine.Load(r, opts...) }
 
 // QualitativeOrder builds qualitative preference relations ("Comedy is
 // preferred over Drama") and compiles them into the quantitative triples
