@@ -5,11 +5,13 @@
 //
 //	benchrunner -exp all -scale 0.25 -repeats 3
 //	benchrunner -exp prefs
+//	benchrunner -exp scorecache -json BENCH_PR3.json
 //	benchrunner -list
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +32,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel executor workers (0 = GOMAXPROCS, 1 = sequential)")
 		timeout = flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.String("json", "", "write the run's recorded measurements as JSON to this file")
 	)
 	flag.Parse()
 
@@ -82,6 +85,18 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", ex.ID, err))
 		}
 		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(env.Points, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d measurement(s) to %s\n", len(env.Points), *jsonOut)
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	prefdb [-load imdb|dblp] [-scale 0.1] [-mode gbu] [-timeout 5s] [-explain] [-q "SELECT ..."]
+//	prefdb [-load imdb|dblp] [-scale 0.1] [-mode gbu] [-cache auto] [-timeout 5s] [-explain] [-q "SELECT ..."]
 //
 // Without -q it reads statements from stdin, terminated by ';'.
 // SIGINT/SIGTERM cancel the active statement (printing its partial
@@ -42,6 +42,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.1, "dataset scale factor (1.0 ≈ 20k movies)")
 		seed     = flag.Int64("seed", 42, "dataset generator seed")
 		mode     = flag.String("mode", "gbu", "evaluation strategy: native, bu, gbu, ftp, plugin-naive, plugin-merged")
+		cache    = flag.String("cache", "auto", "preference score cache: auto (follow optimizer hints), off, on")
 		workers  = flag.Int("workers", 0, "parallel executor workers (0 = GOMAXPROCS, 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "per-statement wall-clock deadline (0 = none)")
 		rowLimit = flag.Int("max-rows", 0, "per-statement materialized-row budget (0 = unlimited)")
@@ -94,6 +95,11 @@ func main() {
 	}
 	db.Mode = m
 	db.Workers = *workers
+	cm, err := prefdb.ParseCacheMode(*cache)
+	if err != nil {
+		fatal(err)
+	}
+	db.ScoreCache = cm
 
 	switch strings.ToLower(*load) {
 	case "":

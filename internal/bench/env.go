@@ -23,11 +23,19 @@ type Env struct {
 	// call; it is also applied to already-loaded databases.
 	Workers int
 
+	// Points collects the JSON measurements experiments record via
+	// RecordPoint (benchrunner -json writes them out). Experiments run
+	// sequentially, so no locking.
+	Points []Point
+
 	imdb      *engine.DB
 	imdbSizes datagen.Sizes
 	dblp      *engine.DB
 	dblpSizes datagen.Sizes
 }
+
+// RecordPoint appends one JSON measurement to the run's collection.
+func (e *Env) RecordPoint(p Point) { e.Points = append(e.Points, p) }
 
 // NewEnv returns an environment at the given scale with the default seed.
 func NewEnv(scale float64) *Env { return &Env{Scale: scale, Seed: 42} }
@@ -91,6 +99,31 @@ func Measure(ctx context.Context, db *engine.DB, sql string, mode engine.Mode, r
 		elapsed := time.Since(start)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("%v: %w", mode, err)
+		}
+		if i == 0 || elapsed < best.Duration {
+			best.Duration = elapsed
+			best.Stats = res.Stats
+			best.Rows = res.Rel.Len()
+		}
+	}
+	return best, nil
+}
+
+// MeasurePrepared times repeated runs of a prepared statement under the
+// given options (best-of-repeats, like Measure). Repetition matters for
+// the score cache: from the second run on, a prepared statement serves
+// scores from the engine's cross-query dictionary.
+func MeasurePrepared(ctx context.Context, p *engine.Prepared, repeats int, opts ...engine.QueryOption) (Measurement, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var best Measurement
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		res, err := p.RunContext(ctx, opts...)
+		elapsed := time.Since(start)
+		if err != nil {
+			return Measurement{}, err
 		}
 		if i == 0 || elapsed < best.Duration {
 			best.Duration = elapsed

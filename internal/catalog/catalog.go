@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"prefdb/internal/schema"
 	"prefdb/internal/storage"
@@ -24,7 +25,16 @@ type Table struct {
 
 	statsMu sync.Mutex
 	stats   *TableStats
+
+	// version counts DML batches applied to the table; cross-query caches
+	// (e.g. the engine's prepared-statement score dictionaries) snapshot it
+	// and discard their entries when it moves.
+	version atomic.Uint64
 }
+
+// Version returns the table's DML version counter. It is bumped by every
+// Insert, and by DeleteWhere/UpdateWhere when they touch at least one row.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // Schema returns the table schema.
 func (t *Table) Schema() *schema.Schema { return t.Heap.Schema() }
@@ -47,6 +57,7 @@ func (t *Table) Insert(tuple []types.Value) error {
 	t.statsMu.Lock()
 	t.stats = nil // invalidate
 	t.statsMu.Unlock()
+	t.version.Add(1)
 	return nil
 }
 
@@ -68,6 +79,7 @@ func (t *Table) DeleteWhere(pred func(tuple []types.Value) bool) int {
 		t.statsMu.Lock()
 		t.stats = nil
 		t.statsMu.Unlock()
+		t.version.Add(1)
 	}
 	return len(ids)
 }
@@ -112,6 +124,7 @@ func (t *Table) UpdateWhere(pred func(tuple []types.Value) bool, apply func(tupl
 		t.statsMu.Lock()
 		t.stats = nil
 		t.statsMu.Unlock()
+		t.version.Add(1)
 	}
 	return len(changes), nil
 }

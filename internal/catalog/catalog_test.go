@@ -372,3 +372,41 @@ func TestUpdateWhere(t *testing.T) {
 }
 
 var errBoom = fmt.Errorf("boom")
+
+func TestVersionCounter(t *testing.T) {
+	_, tbl := newMovies(t)
+	v0 := tbl.Version()
+	if v0 != 100 {
+		t.Errorf("Version after 100 inserts = %d, want 100", v0)
+	}
+
+	// A delete that matches nothing must not bump the version.
+	if n := tbl.DeleteWhere(func(tuple []types.Value) bool { return false }); n != 0 {
+		t.Fatalf("deleted %d rows, want 0", n)
+	}
+	if got := tbl.Version(); got != v0 {
+		t.Errorf("Version after no-op delete = %d, want %d", got, v0)
+	}
+
+	if n := tbl.DeleteWhere(func(tuple []types.Value) bool { return tuple[0].AsInt() == 0 }); n != 1 {
+		t.Fatalf("deleted %d rows, want 1", n)
+	}
+	v1 := tbl.Version()
+	if v1 <= v0 {
+		t.Errorf("Version after delete = %d, want > %d", v1, v0)
+	}
+
+	n, err := tbl.UpdateWhere(
+		func(tuple []types.Value) bool { return tuple[0].AsInt() == 1 },
+		func(tuple []types.Value) ([]types.Value, error) {
+			out := append([]types.Value(nil), tuple...)
+			out[3] = types.Float(9.9)
+			return out, nil
+		})
+	if err != nil || n != 1 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	if got := tbl.Version(); got <= v1 {
+		t.Errorf("Version after update = %d, want > %d", got, v1)
+	}
+}

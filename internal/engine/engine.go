@@ -99,7 +99,29 @@ type DB struct {
 	// 1 forces sequential execution. Results, order and stats are
 	// identical at every setting; only wall-clock changes.
 	Workers int
+	// ScoreCache is the default preference score-cache mode for queries
+	// that pass no WithScoreCache option: CacheAuto (the zero value)
+	// follows the optimizer's per-operator hints, CacheOff disables
+	// memoization, CacheOn forces it.
+	ScoreCache CacheMode
+
+	// dicts holds the cross-query (level-2) score dictionaries used by
+	// prepared statements; see dicts.go.
+	dicts *dictCache
 }
+
+// CacheMode re-exports the executor's score-cache mode for option values.
+type CacheMode = exec.CacheMode
+
+// Score-cache modes (see exec.CacheMode).
+const (
+	CacheAuto = exec.CacheAuto
+	CacheOff  = exec.CacheOff
+	CacheOn   = exec.CacheOn
+)
+
+// ParseCacheMode resolves a score-cache mode by name ("auto", "off", "on").
+func ParseCacheMode(name string) (CacheMode, error) { return exec.ParseCacheMode(name) }
 
 // Open creates an empty database. Options override the defaults (GBU
 // strategy, optimizer on, Workers = GOMAXPROCS).
@@ -257,6 +279,7 @@ func (db *DB) RunPlanContext(ctx context.Context, plan *planner.Plan, opts ...Qu
 	ex.Agg = plan.Agg
 	ex.Workers = cfg.workers
 	ex.Limits = cfg.limits
+	ex.ScoreCache = cfg.cache
 
 	var rel *prel.PRelation
 	var err error

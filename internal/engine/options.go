@@ -18,11 +18,12 @@ type queryConfig struct {
 	workers int
 	timeout time.Duration
 	limits  exec.Limits
+	cache   CacheMode
 }
 
 // queryConfig resolves the options against the database defaults.
 func (db *DB) queryConfig(opts []QueryOption) queryConfig {
-	cfg := queryConfig{mode: db.Mode, workers: db.Workers}
+	cfg := queryConfig{mode: db.Mode, workers: db.Workers, cache: db.ScoreCache}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -70,6 +71,13 @@ func WithMemoryBudget(bytes int64) QueryOption {
 	return func(c *queryConfig) { c.limits.MemoryBudget = bytes }
 }
 
+// WithScoreCache selects the preference score-cache mode for this query
+// (CacheAuto follows the optimizer's hints, CacheOff disables
+// memoization, CacheOn forces it), overriding the database default.
+func WithScoreCache(m CacheMode) QueryOption {
+	return func(c *queryConfig) { c.cache = m }
+}
+
 // OpenOption configures a database at Open (or Load) time, replacing
 // direct struct-field pokes on DB.
 type OpenOption func(*DB)
@@ -91,4 +99,10 @@ func WithDefaultWorkers(n int) OpenOption {
 // default).
 func WithOptimizer(enabled bool) OpenOption {
 	return func(db *DB) { db.Optimize = enabled }
+}
+
+// WithDefaultScoreCache sets the default score-cache mode used by queries
+// that pass no WithScoreCache option.
+func WithDefaultScoreCache(m CacheMode) OpenOption {
+	return func(db *DB) { db.ScoreCache = m }
 }

@@ -64,6 +64,13 @@ func (p *Prepared) RunContext(ctx context.Context, opts ...QueryOption) (*Result
 	ex.Agg = p.plan.Agg
 	ex.Workers = cfg.workers
 	ex.Limits = cfg.limits
+	ex.ScoreCache = cfg.cache
+	if cfg.cache != CacheOff {
+		// Prepared statements additionally get the engine's cross-query
+		// (level-2) score dictionaries; ad-hoc queries use only the
+		// per-query memo since their compiled plans die with the run.
+		ex.DictFor = p.db.dictFor
+	}
 
 	var rel *prel.PRelation
 	var err error

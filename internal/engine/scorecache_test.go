@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"prefdb/internal/types"
+)
+
+const cachePrefQuery = `SELECT title, year FROM movies
+	PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 0.9 ON movies
+	RANK BY score`
+
+// TestPreparedScoreDictionaryReuse pins the level-2 lifecycle: a prepared
+// statement's second run takes every score from the engine's dictionary
+// (zero misses), and any DML on a referenced table invalidates it.
+func TestPreparedScoreDictionaryReuse(t *testing.T) {
+	db := setupDB(t)
+	p, err := db.Prepare(cachePrefQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		t.Helper()
+		res, err := p.RunContext(context.Background(), WithMode(ModeGBU), WithScoreCache(CacheOn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cold := run()
+	if cold.Stats.CacheMisses == 0 {
+		t.Fatalf("cold run should miss: %+v", cold.Stats)
+	}
+	warm := run()
+	if warm.Stats.CacheMisses != 0 || warm.Stats.ScoreEvals != 0 {
+		t.Errorf("warm run should be all dictionary hits: %+v", warm.Stats)
+	}
+	if diff := cold.Rel.Diff(warm.Rel, 0); diff != "" {
+		t.Errorf("warm run differs: %s", diff)
+	}
+
+	// DML on the referenced table bumps its version; the stale dictionary
+	// must be dropped, and the new row scored fresh.
+	if _, err := db.Exec("INSERT INTO movies VALUES (9, 'Midnight in Paris', 2011, 94, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	after := run()
+	if after.Stats.CacheMisses == 0 {
+		t.Errorf("post-DML run reused a stale dictionary: %+v", after.Stats)
+	}
+	if after.Rel.Len() != warm.Rel.Len()+1 {
+		t.Fatalf("post-DML rows = %d, want %d", after.Rel.Len(), warm.Rel.Len()+1)
+	}
+	// Cached results match an uncached fresh query exactly.
+	ref, err := db.QueryContext(context.Background(), cachePrefQuery, WithMode(ModeGBU), WithScoreCache(CacheOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ref.Rel.Diff(after.Rel, 0); diff != "" {
+		t.Errorf("cached post-DML result differs from uncached: %s", diff)
+	}
+	// 2011 scores recency(2011,2011)=1: the new movie must rank first.
+	if got := after.Rel.Rows[0].Tuple[0].AsString(); got != "Midnight in Paris" {
+		t.Errorf("top row = %q", got)
+	}
+
+	// An UPDATE invalidates too.
+	if _, err := db.Exec("UPDATE movies SET year = 2010 WHERE m_id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	postUpdate := run()
+	if postUpdate.Stats.CacheMisses == 0 {
+		t.Errorf("post-UPDATE run reused a stale dictionary: %+v", postUpdate.Stats)
+	}
+	ref2, err := db.QueryContext(context.Background(), cachePrefQuery, WithMode(ModeGBU), WithScoreCache(CacheOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ref2.Rel.Diff(postUpdate.Rel, 0); diff != "" {
+		t.Errorf("post-UPDATE cached result differs from uncached: %s", diff)
+	}
+}
+
+// TestAdHocQueriesSkipDictionary: only prepared statements get the
+// cross-query dictionary; back-to-back ad-hoc runs each start cold (the
+// per-query memo still works within a run).
+func TestAdHocQueriesSkipDictionary(t *testing.T) {
+	db := setupDB(t)
+	for i := 0; i < 2; i++ {
+		res, err := db.QueryContext(context.Background(), cachePrefQuery, WithMode(ModeGBU), WithScoreCache(CacheOn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.CacheMisses == 0 {
+			t.Errorf("ad-hoc run %d should start cold: %+v", i, res.Stats)
+		}
+	}
+}
+
+// TestScoreCacheModesAgree runs the same query under all three cache modes
+// and every strategy; results must be identical.
+func TestScoreCacheModesAgree(t *testing.T) {
+	db := setupDB(t)
+	ref, err := db.QueryContext(context.Background(), cachePrefQuery, WithMode(ModeGBU), WithScoreCache(CacheOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Modes() {
+		for _, cache := range []CacheMode{CacheAuto, CacheOff, CacheOn} {
+			res, err := db.QueryContext(context.Background(), cachePrefQuery, WithMode(m), WithScoreCache(cache))
+			if err != nil {
+				t.Fatalf("%v cache=%v: %v", m, cache, err)
+			}
+			if diff := ref.Rel.Diff(res.Rel, 1e-9); diff != "" {
+				t.Errorf("%v cache=%v differs: %s", m, cache, diff)
+			}
+		}
+	}
+}
+
+// TestExplainShowsCacheDecision: on a relation past the heuristic's row
+// floor with a low-cardinality key, EXPLAIN reports the optimizer's
+// decision to cache (operator marker with the ndv estimate).
+func TestExplainShowsCacheDecision(t *testing.T) {
+	db := setupDB(t)
+	tbl, err := db.Catalog().Table("movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow movies past scoreCacheMinRows with ~50 distinct years.
+	for i := 0; i < 2000; i++ {
+		err := tbl.Insert([]types.Value{
+			types.Int(int64(100 + i)), types.Str(fmt.Sprintf("bulk-%d", i)),
+			types.Int(int64(1960 + i%50)), types.Int(int64(90 + i%60)), types.Int(int64(1 + i%3)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Exec("EXPLAIN " + cachePrefQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "[cache ndv≈") {
+		t.Errorf("EXPLAIN misses the cache decision:\n%s", res.Message)
+	}
+	// The small genres-keyed query in setupDB stays unannotated.
+	small, err := db.Exec(`EXPLAIN SELECT director FROM directors
+		PREFERRING director = 'W. Allen' SCORE 1 CONF 0.9 ON directors RANK BY score`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(small.Message, "[cache ndv≈") {
+		t.Errorf("small relation wrongly annotated:\n%s", small.Message)
+	}
+}

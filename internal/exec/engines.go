@@ -319,7 +319,9 @@ func (e *Executor) runFtP(plan algebra.Node) (*prel.PRelation, error) {
 	// Evaluate all prefer operators on R_NP.
 	cur := rnp
 	for _, p := range prefers {
-		node := &algebra.Prefer{P: p.P, Input: &algebra.Values{Rel: cur, Label: "R_NP"}}
+		// WithChildren (not a fresh literal) keeps the optimizer's cache
+		// annotations on the rebuilt operator.
+		node := p.WithChildren([]algebra.Node{&algebra.Values{Rel: cur, Label: "R_NP"}})
 		cur, err = e.drain(node)
 		if err != nil {
 			return nil, fmt.Errorf("ftp: evaluating %s on R_NP: %w", p.P.Label(), err)

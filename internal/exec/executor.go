@@ -42,6 +42,17 @@ type Stats struct {
 	// ScoreRelationRows counts rows held in score relations R_P (only
 	// non-default pairs are stored).
 	ScoreRelationRows int
+	// ScoreEvals counts actual score-expression evaluations by prefer
+	// operators (tuples whose conditional part held and whose ⟨S,C⟩ was
+	// computed rather than served from the score cache) — the work the
+	// cache exists to avoid.
+	ScoreEvals int
+	// CacheHits counts prefer tuples whose contribution came from the
+	// score cache (level-1 memo or level-2 dictionary).
+	CacheHits int
+	// CacheMisses counts prefer tuples that probed the score cache and had
+	// to compute.
+	CacheMisses int
 }
 
 // Add accumulates another stats record.
@@ -53,12 +64,21 @@ func (s *Stats) Add(o Stats) {
 	s.IndexProbes += o.IndexProbes
 	s.PreferEvals += o.PreferEvals
 	s.ScoreRelationRows += o.ScoreRelationRows
+	s.ScoreEvals += o.ScoreEvals
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
-// String renders the counters compactly.
+// String renders the counters compactly. The scoring counters only appear
+// when a prefer operator ran, keeping the rendering stable for queries
+// that predate the score cache.
 func (s Stats) String() string {
-	return fmt.Sprintf("scanned=%d materialized=%d cells=%d nativeCalls=%d indexProbes=%d preferEvals=%d scoreRows=%d",
+	out := fmt.Sprintf("scanned=%d materialized=%d cells=%d nativeCalls=%d indexProbes=%d preferEvals=%d scoreRows=%d",
 		s.RowsScanned, s.TuplesMaterialized, s.CellsMaterialized, s.NativeCalls, s.IndexProbes, s.PreferEvals, s.ScoreRelationRows)
+	if s.ScoreEvals != 0 || s.CacheHits != 0 || s.CacheMisses != 0 {
+		out += fmt.Sprintf(" scoreEvals=%d cacheHits=%d cacheMisses=%d", s.ScoreEvals, s.CacheHits, s.CacheMisses)
+	}
+	return out
 }
 
 // Executor evaluates extended query plans against a catalog. An Executor
@@ -81,6 +101,14 @@ type Executor struct {
 	// Limits bounds the next guarded run (RunContext / Begin); the zero
 	// value imposes no bounds.
 	Limits Limits
+	// ScoreCache selects preference score memoization: CacheAuto (the zero
+	// value) follows the optimizer's per-operator hints, CacheOff forces
+	// the direct path, CacheOn memoizes every prefer operator.
+	ScoreCache CacheMode
+	// DictFor, when set (by the engine for prepared statements), supplies
+	// the cross-query level-2 dictionary for a preference; cols are the
+	// canonical key column names. It must be safe for concurrent calls.
+	DictFor func(p pref.Preference, cols []string) *ScoreDict
 
 	stats Stats
 	// gd is the lifecycle guard of the current run; nil (the default)
@@ -251,7 +279,11 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("prefer %s (scoring part): %w", x.P.Label(), err)
 		}
-		return &preferIter{in: in, cond: cond, score: score, conf: x.P.Conf, agg: e.Agg, stats: &e.stats, tick: pollTick{g: e.gd}}, s, nil
+		pi := &preferIter{in: in, cond: cond, score: score, conf: x.P.Conf, agg: e.Agg, stats: &e.stats, tick: pollTick{g: e.gd}}
+		if e.scoreCacheOn(x) {
+			pi.memo = e.newScoreMemo(cond, score, x.P, s)
+		}
+		return pi, s, nil
 
 	case *algebra.TopK:
 		rel, err := e.drainChild(x.Input)

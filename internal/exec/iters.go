@@ -84,6 +84,10 @@ type preferIter struct {
 	agg   pref.Aggregate
 	stats *Stats
 	tick  pollTick
+	// memo, when non-nil, caches the ⟨S,C⟩ contribution per distinct key
+	// projection (see scorecache.go); the direct path below is the
+	// reference semantics it must reproduce exactly.
+	memo *scoreMemo
 }
 
 func (p *preferIter) next() (prel.Row, bool) {
@@ -95,7 +99,14 @@ func (p *preferIter) next() (prel.Row, bool) {
 		return prel.Row{}, false
 	}
 	p.stats.PreferEvals++
+	if p.memo != nil {
+		if sc, has := p.memo.lookupOrCompute(row.Tuple, p.stats); has {
+			row.SC = p.agg.Combine(row.SC, sc)
+		}
+		return row, true
+	}
 	if p.cond.Truthy(row.Tuple) {
+		p.stats.ScoreEvals++
 		if v := p.score.Eval(row.Tuple); !v.IsNull() && v.IsNumeric() {
 			s := pref.Clamp01(v.AsFloat())
 			row.SC = p.agg.Combine(row.SC, types.NewSC(s, p.conf))
@@ -600,33 +611,29 @@ func (e *Executor) buildSet(s *algebra.Set) (iter, *schema.Schema, error) {
 	if !lS.EqualLayout(rS) {
 		return nil, nil, fmt.Errorf("exec: %s inputs are not union-compatible: %s vs %s", s.Op, lS, rS)
 	}
-	lRows, lKeys, lIndex := dedupByTuple(drainIter(lIt), e.Agg, e.gd)
-	rRows, rKeys, _ := dedupByTuple(drainIter(rIt), e.Agg, e.gd)
+	lRows, lIndex := dedupByTuple(drainIter(lIt), e.Agg, e.gd)
+	rRows, rIndex := dedupByTuple(drainIter(rIt), e.Agg, e.gd)
 
 	var out []prel.Row
 	switch s.Op {
 	case algebra.SetUnion:
 		out = append(out, lRows...)
-		for i, row := range rRows {
-			if li, dup := lIndex[rKeys[i]]; dup {
+		for _, row := range rRows {
+			if li, dup := lIndex.lookup(row.Tuple); dup {
 				out[li].SC = e.Agg.Combine(out[li].SC, row.SC)
 			} else {
 				out = append(out, row)
 			}
 		}
 	case algebra.SetIntersect:
-		for i, row := range rRows {
-			if li, hit := lIndex[rKeys[i]]; hit {
+		for _, row := range rRows {
+			if li, hit := lIndex.lookup(row.Tuple); hit {
 				out = append(out, prel.Row{Tuple: lRows[li].Tuple, SC: e.Agg.Combine(lRows[li].SC, row.SC)})
 			}
 		}
 	case algebra.SetDiff:
-		rSet := map[string]bool{}
-		for _, k := range rKeys {
-			rSet[k] = true
-		}
-		for i, row := range lRows {
-			if !rSet[lKeys[i]] {
+		for _, row := range lRows {
+			if _, hit := rIndex.lookup(row.Tuple); !hit {
 				out = append(out, row)
 			}
 		}
@@ -645,28 +652,54 @@ func drainIter(it iter) []prel.Row {
 	}
 }
 
+// tupleIndex maps tuples to indices in a deduplicated row slice, bucketed
+// by types.HashTuple with full-tuple equality confirm — no per-row string
+// key is built (the old implementation fingerprinted every tuple into a
+// string). Equality is types.TupleEqual, matching the hash-join probe and
+// Value.Hash's contract that equal values hash identically.
+type tupleIndex struct {
+	buckets map[uint64][]int
+	rows    []prel.Row
+}
+
+// lookup returns the index of the deduplicated row equal to tuple.
+func (ix *tupleIndex) lookup(tuple []types.Value) (int, bool) {
+	for _, i := range ix.buckets[types.HashTuple(tuple)] {
+		if types.TupleEqual(ix.rows[i].Tuple, tuple) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // dedupByTuple collapses duplicate tuples (combining pairs via F, since a
-// p-relation is a set of tuples) and returns the surviving rows, their
-// fingerprints (aligned), and a fingerprint → row-index map.
-func dedupByTuple(rows []prel.Row, agg pref.Aggregate, g *guard) ([]prel.Row, []string, map[string]int) {
+// p-relation is a set of tuples), preserving first-seen order, and returns
+// the surviving rows plus an index over them.
+func dedupByTuple(rows []prel.Row, agg pref.Aggregate, g *guard) ([]prel.Row, *tupleIndex) {
 	out := make([]prel.Row, 0, len(rows))
-	index := make(map[string]int, len(rows))
-	keys := make([]string, 0, len(rows))
+	ix := &tupleIndex{buckets: make(map[uint64][]int, len(rows))}
 	tick := pollTick{g: g}
 	for _, row := range rows {
 		if tick.stop() {
 			break // partial: the tripped guard surfaces from drain
 		}
-		k := prel.Fingerprint(row.Tuple)
-		if i, dup := index[k]; dup {
-			out[i].SC = agg.Combine(out[i].SC, row.SC)
+		h := types.HashTuple(row.Tuple)
+		dup := false
+		for _, i := range ix.buckets[h] {
+			if types.TupleEqual(out[i].Tuple, row.Tuple) {
+				out[i].SC = agg.Combine(out[i].SC, row.SC)
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		index[k] = len(out)
+		ix.buckets[h] = append(ix.buckets[h], len(out))
 		out = append(out, row)
-		keys = append(keys, k)
 	}
-	return out, keys, index
+	ix.rows = out
+	return out, ix
 }
 
 // skyline keeps rows not dominated in the (score, conf) plane, via a sort

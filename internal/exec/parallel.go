@@ -31,6 +31,7 @@ import (
 
 	"prefdb/internal/algebra"
 	"prefdb/internal/expr"
+	"prefdb/internal/pref"
 	"prefdb/internal/prel"
 	"prefdb/internal/schema"
 )
@@ -68,6 +69,11 @@ type segOp struct {
 	cond  *expr.Compiled // prefer conditional part
 	score *expr.Compiled // prefer scoring part
 	conf  float64
+	// cache marks a prefer whose ⟨S,C⟩ contributions are memoized; each
+	// worker gets a private scoreMemo for it (no lock contention), built
+	// from p (the preference identifies the shared level-2 dictionary).
+	cache bool
+	p     pref.Preference
 }
 
 // trySegment extracts a maximal σ/λ chain rooted at n, builds its leaf
@@ -141,30 +147,60 @@ walk:
 			if sErr != nil {
 				return nil, nil, true, fmt.Errorf("prefer %s (scoring part): %w", x.P.Label(), sErr)
 			}
-			ops = append(ops, segOp{cond: cond, score: score, conf: x.P.Conf})
+			ops = append(ops, segOp{cond: cond, score: score, conf: x.P.Conf, cache: e.scoreCacheOn(x), p: x.P})
 		}
 	}
 
 	rows := drainIter(base)
 	if len(rows) <= morselSize {
-		return e.segmentIter(rows, ops, &e.stats), s, true, nil
+		return e.segmentIter(rows, ops, e.segMemos(ops, s), &e.stats), s, true, nil
 	}
-	out := e.runMorsels(rows, func(morsel []prel.Row, stats *Stats) []prel.Row {
-		return drainIter(e.segmentIter(morsel, ops, stats))
+	// Per-worker memo shards: worker w lazily builds its own scoreMemo per
+	// cached prefer on its first morsel and reuses it across every morsel
+	// it claims, so level-1 lookups stay lock-free while still amortizing
+	// across the worker's whole share of the input. memos[w] is touched
+	// only by worker w (no races).
+	memos := make([][]*scoreMemo, e.workerCount())
+	out := e.runMorsels(rows, func(morsel []prel.Row, stats *Stats, w int) []prel.Row {
+		if memos[w] == nil {
+			memos[w] = e.segMemos(ops, s)
+		}
+		return drainIter(e.segmentIter(morsel, ops, memos[w], stats))
 	})
 	return &sliceIter{rows: out}, s, true, nil
 }
 
+// segMemos builds the scoreMemo slice (aligned with ops; nil for filters
+// and uncached prefers) for one owner — the sequential pipeline or one
+// parallel worker. Returns nil when no op caches.
+func (e *Executor) segMemos(ops []segOp, s *schema.Schema) []*scoreMemo {
+	var memos []*scoreMemo
+	for i, op := range ops {
+		if !op.cache {
+			continue
+		}
+		if memos == nil {
+			memos = make([]*scoreMemo, len(ops))
+		}
+		memos[i] = e.newScoreMemo(op.cond, op.score, op.p, s)
+	}
+	return memos
+}
+
 // segmentIter chains the sequential per-row iterators over a row slice;
-// the parallel path runs it per morsel with a worker-private Stats, so
-// per-row behavior is identical at every worker count.
-func (e *Executor) segmentIter(rows []prel.Row, ops []segOp, stats *Stats) iter {
+// the parallel path runs it per morsel with a worker-private Stats and
+// memo shard, so per-row behavior is identical at every worker count.
+func (e *Executor) segmentIter(rows []prel.Row, ops []segOp, memos []*scoreMemo, stats *Stats) iter {
 	var it iter = &sliceIter{rows: rows}
-	for _, op := range ops {
+	for i, op := range ops {
 		if op.filter != nil {
 			it = &filterIter{in: it, cond: op.filter, tick: pollTick{g: e.gd}}
 		} else {
-			it = &preferIter{in: it, cond: op.cond, score: op.score, conf: op.conf, agg: e.Agg, stats: stats, tick: pollTick{g: e.gd}}
+			pi := &preferIter{in: it, cond: op.cond, score: op.score, conf: op.conf, agg: e.Agg, stats: stats, tick: pollTick{g: e.gd}}
+			if memos != nil {
+				pi.memo = memos[i]
+			}
+			it = pi
 		}
 	}
 	return it
@@ -187,7 +223,7 @@ type workerStats struct {
 // a morsel and stops claiming once the query tripped, so the pool drains
 // within one morsel of a cancellation; wg.Wait always joins every worker,
 // so no goroutine outlives the call.
-func (e *Executor) runMorsels(rows []prel.Row, apply func(morsel []prel.Row, stats *Stats) []prel.Row) []prel.Row {
+func (e *Executor) runMorsels(rows []prel.Row, apply func(morsel []prel.Row, stats *Stats, worker int) []prel.Row) []prel.Row {
 	workers := e.workerCount()
 	morsels := (len(rows) + morselSize - 1) / morselSize
 	if workers > morsels {
@@ -214,7 +250,7 @@ func (e *Executor) runMorsels(rows []prel.Row, apply func(morsel []prel.Row, sta
 				}
 				lo := m * morselSize
 				hi := min(lo+morselSize, len(rows))
-				outs[m] = apply(rows[lo:hi:hi], &locals[w].Stats)
+				outs[m] = apply(rows[lo:hi:hi], &locals[w].Stats, w)
 			}
 		}(w)
 	}
@@ -343,7 +379,7 @@ func (p *parallelHashJoinIter) run() {
 
 	// Morsel-parallel probe against the shared read-only tables; ordered
 	// merge restores the sequential probe order.
-	p.out = p.e.runMorsels(rRows, func(morsel []prel.Row, _ *Stats) []prel.Row {
+	p.out = p.e.runMorsels(rRows, func(morsel []prel.Row, _ *Stats, _ int) []prel.Row {
 		var out []prel.Row
 		for _, rRow := range morsel {
 			key := hashCols(rRow.Tuple, p.eqR)

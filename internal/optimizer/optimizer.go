@@ -44,6 +44,9 @@ type Optimizer struct {
 	DisablePreferReorder bool
 	// DisableJoinReorder keeps the query's join order.
 	DisableJoinReorder bool
+	// DisableScoreCache skips the score-cache annotation pass (the
+	// executor's CacheAuto mode then never memoizes).
+	DisableScoreCache bool
 }
 
 // New returns an optimizer over the catalog.
@@ -87,6 +90,8 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, plan algebra.Node) (alg
 		{!o.DisableJoinReorder && !o.DisablePreferPushdown, o.pushPrefers},
 		{!o.DisableJoinReorder && !o.DisablePreferReorder, o.orderPreferChains},
 		{!o.DisableProjectionPushdown, o.pruneColumns},
+		// Annotation passes run last so rewrites cannot drop their marks.
+		{!o.DisableScoreCache, o.annotateScoreCache},
 	}
 	for _, p := range passes {
 		if err := step(p.enabled, p.pass); err != nil {

@@ -1,0 +1,107 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/datagen"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/types"
+)
+
+// imdbDB is large enough (≈5 000 movies) for the score-cache heuristic's
+// row floor; year has a few dozen distinct values, m_id saturates the
+// distinct tracker.
+func imdbDB(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	if _, err := datagen.LoadIMDB(c, datagen.Config{Scale: 0.25, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func findPrefer(t *testing.T, n algebra.Node) *algebra.Prefer {
+	t.Helper()
+	var found *algebra.Prefer
+	algebra.Transform(n, func(x algebra.Node) algebra.Node {
+		if p, ok := x.(*algebra.Prefer); ok {
+			found = p
+		}
+		return x
+	})
+	if found == nil {
+		t.Fatalf("no Prefer in plan:\n%s", algebra.Format(n))
+	}
+	return found
+}
+
+// TestScoreCacheAnnotated: a low-cardinality key (year) over a large
+// relation gets the cache hint, an ndv estimate, and an EXPLAIN marker.
+func TestScoreCacheAnnotated(t *testing.T) {
+	c := imdbDB(t)
+	o := New(c)
+	p := pref.New("recent", "movies", expr.Cmp("year", expr.OpGe, types.Int(2000)), pref.Recency("year", 2011), 0.9)
+	out := o.Optimize(&algebra.Prefer{P: p, Input: &algebra.Scan{Table: "movies"}})
+	pr := findPrefer(t, out)
+	if !pr.CacheHint {
+		t.Fatalf("low-ndv prefer not annotated:\n%s", algebra.Format(out))
+	}
+	if pr.CacheNDV < 1 || pr.CacheNDV > scoreCacheMaxNDV {
+		t.Errorf("CacheNDV = %d", pr.CacheNDV)
+	}
+	if !strings.Contains(algebra.Format(out), "[cache ndv≈") {
+		t.Errorf("EXPLAIN misses cache marker:\n%s", algebra.Format(out))
+	}
+}
+
+// TestScoreCacheRefusals: the heuristic must not annotate when the input
+// is small, when the key's cardinality tracker saturated (unknown-large
+// ndv), or when a key column cannot be resolved.
+func TestScoreCacheRefusals(t *testing.T) {
+	big := imdbDB(t)
+	small := testDB(t) // 120 movies, below the row floor
+
+	recency := func(on string) pref.Preference {
+		return pref.New("recent", on, expr.Cmp("year", expr.OpGe, types.Int(2000)), pref.Recency("year", 2011), 0.9)
+	}
+	cases := []struct {
+		name string
+		cat  *catalog.Catalog
+		p    pref.Preference
+	}{
+		{"small-input", small, recency("movies")},
+		{"saturated-ndv", big, pref.New("ids", "movies", expr.TrueLiteral(), expr.ColRef("m_id"), 0.9)},
+		{"unresolvable-table", big, pref.New("ghost", "nope", expr.TrueLiteral(), pref.Recency("year", 2011), 0.9)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := New(tc.cat)
+			// Annotate directly: Optimize would reject the unresolvable
+			// preference earlier for other reasons.
+			out := o.annotateScoreCache(&algebra.Prefer{P: tc.p, Input: &algebra.Scan{Table: "movies"}})
+			if pr := findPrefer(t, out); pr.CacheHint {
+				t.Errorf("prefer wrongly annotated (ndv≈%d):\n%s", pr.CacheNDV, algebra.Format(out))
+			}
+		})
+	}
+}
+
+// TestScoreCacheHintSurvivesRewrites: annotation runs last, and every
+// rewrite preserves operator annotations through WithChildren, so a hinted
+// prefer above a join keeps its mark after pushdown reshuffles the tree.
+func TestScoreCacheHintSurvivesRewrites(t *testing.T) {
+	c := imdbDB(t)
+	o := New(c)
+	p := pref.New("recent", "movies", expr.Cmp("year", expr.OpGe, types.Int(2000)), pref.Recency("year", 2011), 0.9)
+	plan := &algebra.TopK{K: 10, By: algebra.ByScore, Input: &algebra.Prefer{P: p, Input: joinOn(
+		&algebra.Scan{Table: "movies"}, &algebra.Scan{Table: "genres"}, "movies.m_id", "genres.m_id",
+	)}}
+	out := o.Optimize(plan)
+	if pr := findPrefer(t, out); !pr.CacheHint {
+		t.Errorf("hint lost through rewrites:\n%s", algebra.Format(out))
+	}
+}

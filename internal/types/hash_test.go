@@ -1,0 +1,97 @@
+package types
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// refHash is the pre-inlining implementation of Value.Hash built on
+// hash/fnv; the inlined loop must stay byte-identical to it so digests
+// (and therefore hash-join buckets and cache keys) are stable.
+func refHash(v Value) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.Kind() {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt, KindFloat:
+		buf[0] = 1
+		f := v.AsFloat()
+		var bits uint64
+		if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e18 {
+			bits = uint64(int64(f))
+		} else {
+			bits = math.Float64bits(f)
+		}
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 2
+		h.Write(buf[:1])
+		h.Write([]byte(v.AsString()))
+	case KindBool:
+		buf[0] = 3
+		if v.AsBool() {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	}
+	return h.Sum64()
+}
+
+func TestHashMatchesFNVReference(t *testing.T) {
+	cases := []Value{
+		Null(),
+		Int(0), Int(1), Int(-1), Int(42), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(1), Float(-1.5), Float(3.14159), Float(1e30),
+		Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)),
+		Str(""), Str("a"), Str("hello world"), Str("ünïcödé"),
+		Bool(true), Bool(false),
+	}
+	for _, v := range cases {
+		if got, want := v.Hash(), refHash(v); got != want {
+			t.Errorf("Hash(%v) = %#x, want %#x (fnv reference)", v, got, want)
+		}
+	}
+}
+
+func TestHashZeroAlloc(t *testing.T) {
+	vals := []Value{Int(7), Float(2.5), Str("some string key"), Bool(true), Null()}
+	tuple := vals
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, v := range vals {
+			_ = v.Hash()
+		}
+		_ = HashTuple(tuple)
+	})
+	if allocs != 0 {
+		t.Errorf("Hash/HashTuple allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkValueHash(b *testing.B) {
+	bench := func(name string, v Value) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = v.Hash()
+			}
+		})
+	}
+	bench("int", Int(123456))
+	bench("float", Float(3.14159))
+	bench("string", Str("a medium length string key"))
+	bench("bool", Bool(true))
+}
+
+func BenchmarkHashTuple(b *testing.B) {
+	tuple := []Value{Int(42), Str("drama"), Float(7.5), Bool(true)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = HashTuple(tuple)
+	}
+}

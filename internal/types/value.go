@@ -5,7 +5,6 @@ package types
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
@@ -222,56 +221,55 @@ func cmpInt(a, b int64) int {
 	}
 }
 
+// FNV-1a constants (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // Hash returns a 64-bit hash of the value, such that Equal values hash
 // identically (ints and floats representing the same number collide, since
 // they compare equal).
+//
+// The digest is the FNV-1a hash of a tag byte followed by the payload
+// (little-endian for numerics), inlined so the hot paths — hash joins,
+// dedup, the preference score cache — never allocate a hasher.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
+	h := fnvOffset64
 	switch v.kind {
 	case KindNull:
-		buf[0] = 0
-		h.Write(buf[:1])
+		h = (h ^ 0) * fnvPrime64
 	case KindInt, KindFloat:
 		// Normalize numerics: integral floats hash as ints.
-		buf[0] = 1
 		f := v.AsFloat()
+		var bits uint64
 		if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e18 {
-			putUint64(buf[1:], uint64(int64(f)))
+			bits = uint64(int64(f))
 		} else {
-			putUint64(buf[1:], math.Float64bits(f))
+			bits = math.Float64bits(f)
 		}
-		h.Write(buf[:9])
+		h = (h ^ 1) * fnvPrime64
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (bits >> i & 0xff)) * fnvPrime64
+		}
 	case KindString:
-		buf[0] = 2
-		h.Write(buf[:1])
-		h.Write([]byte(v.s))
+		h = (h ^ 2) * fnvPrime64
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime64
+		}
 	case KindBool:
-		buf[0] = 3
-		buf[1] = byte(v.i)
-		h.Write(buf[:2])
+		h = (h ^ 3) * fnvPrime64
+		h = (h ^ uint64(byte(v.i))) * fnvPrime64
 	}
-	return h.Sum64()
-}
-
-func putUint64(b []byte, v uint64) {
-	_ = b[7]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
+	return h
 }
 
 // HashTuple hashes a sequence of values (order-sensitive).
 func HashTuple(vs []Value) uint64 {
-	h := uint64(1469598103934665603) // FNV offset basis
+	h := uint64(1469598103934665603) // seed (kept from the original implementation)
 	for _, v := range vs {
 		h ^= v.Hash()
-		h *= 1099511628211
+		h *= fnvPrime64
 	}
 	return h
 }

@@ -130,6 +130,27 @@ func WithMaxCells(n int) QueryOption { return engine.WithMaxCells(n) }
 // exceeding it fails with ErrResourceExhausted.
 func WithMemoryBudget(bytes int64) QueryOption { return engine.WithMemoryBudget(bytes) }
 
+// CacheMode selects whether prefer operators memoize per-key score
+// contributions (the preference score cache).
+type CacheMode = engine.CacheMode
+
+// Score-cache modes.
+const (
+	// CacheAuto follows the optimizer's per-operator hints (default).
+	CacheAuto = engine.CacheAuto
+	// CacheOff disables score memoization.
+	CacheOff = engine.CacheOff
+	// CacheOn forces score memoization on every prefer operator.
+	CacheOn = engine.CacheOn
+)
+
+// ParseCacheMode resolves a score-cache mode by name ("auto", "off", "on").
+func ParseCacheMode(name string) (CacheMode, error) { return engine.ParseCacheMode(name) }
+
+// WithScoreCache selects the preference score-cache mode for one query,
+// overriding the database default.
+func WithScoreCache(m CacheMode) QueryOption { return engine.WithScoreCache(m) }
+
 // WithDefaultMode sets the database's default evaluation strategy.
 func WithDefaultMode(m Mode) OpenOption { return engine.WithDefaultMode(m) }
 
@@ -139,6 +160,9 @@ func WithDefaultWorkers(n int) OpenOption { return engine.WithDefaultWorkers(n) 
 // WithOptimizer toggles the preference-aware query optimizer (on by
 // default).
 func WithOptimizer(enabled bool) OpenOption { return engine.WithOptimizer(enabled) }
+
+// WithDefaultScoreCache sets the database's default score-cache mode.
+func WithDefaultScoreCache(m CacheMode) OpenOption { return engine.WithDefaultScoreCache(m) }
 
 // Sentinel errors returned (wrapped in a *GuardError) when a query's
 // lifecycle guard trips; match them with errors.Is. Context-caused
