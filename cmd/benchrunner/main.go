@@ -6,6 +6,7 @@
 //	benchrunner -exp all -scale 0.25 -repeats 3
 //	benchrunner -exp prefs
 //	benchrunner -exp scorecache -json BENCH_PR3.json
+//	benchrunner -exp vectorization -json BENCH_PR4.json -cpuprofile cpu.pprof
 //	benchrunner -list
 package main
 
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"text/tabwriter"
 
@@ -33,8 +36,38 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "overall wall-clock budget for the run (0 = none)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.String("json", "", "write the run's recorded measurements as JSON to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile reflects live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	// SIGINT/SIGTERM cancel the run's context: the active query drains
 	// its workers and the runner exits cleanly instead of dying

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	prefdb [-load imdb|dblp] [-scale 0.1] [-mode gbu] [-cache auto] [-timeout 5s] [-explain] [-q "SELECT ..."]
+//	prefdb [-load imdb|dblp] [-scale 0.1] [-mode gbu] [-cache auto] [-batch on] [-timeout 5s] [-explain] [-q "SELECT ..."] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Without -q it reads statements from stdin, terminated by ';'.
 // SIGINT/SIGTERM cancel the active statement (printing its partial
@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -43,6 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "dataset generator seed")
 		mode     = flag.String("mode", "gbu", "evaluation strategy: native, bu, gbu, ftp, plugin-naive, plugin-merged")
 		cache    = flag.String("cache", "auto", "preference score cache: auto (follow optimizer hints), off, on")
+		batch    = flag.String("batch", "on", "vectorized batch execution: on, off")
 		workers  = flag.Int("workers", 0, "parallel executor workers (0 = GOMAXPROCS, 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "per-statement wall-clock deadline (0 = none)")
 		rowLimit = flag.Int("max-rows", 0, "per-statement materialized-row budget (0 = unlimited)")
@@ -51,8 +54,38 @@ func main() {
 		maxRows  = flag.Int("rows", 25, "maximum rows to display")
 		open     = flag.String("open", "", "restore a database snapshot before running")
 		save     = flag.String("save", "", "write a database snapshot on exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prefdb:", err)
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile reflects live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prefdb:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	// SIGINT/SIGTERM cancel the active statement's context; the shell
 	// survives and prints the partial stats (see runStatement).
@@ -100,6 +133,11 @@ func main() {
 		fatal(err)
 	}
 	db.ScoreCache = cm
+	bm, err := prefdb.ParseBatchMode(*batch)
+	if err != nil {
+		fatal(err)
+	}
+	db.Batch = bm
 
 	switch strings.ToLower(*load) {
 	case "":

@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{ID: "aggregates", Title: "Aggregate-function ablation", Paper: "§IV-A (F_S vs F_max)", Run: runAggregates},
 		{ID: "optablation", Title: "Optimizer heuristic ablation", Paper: "§VI-A (heuristics 1-5)", Run: runOptimizerAblation},
 		{ID: "scorecache", Title: "Preference score cache: mode × selectivity × key cardinality", Paper: "§IV/VI (scoring; E12)", Run: runScoreCache},
+		{ID: "vectorization", Title: "Vectorized batch execution: style × block size × selectivity", Paper: "§V (execution; E13)", Run: runVectorization},
 	}
 }
 

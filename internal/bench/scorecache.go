@@ -17,17 +17,23 @@ import (
 type Point struct {
 	Experiment  string  `json:"experiment"`
 	Label       string  `json:"label"`
-	Cache       string  `json:"cache"`
+	Cache       string  `json:"cache,omitempty"`
 	TableRows   int     `json:"tableRows"`
-	NDV         int     `json:"ndv"`
+	NDV         int     `json:"ndv,omitempty"`
 	Selectivity float64 `json:"selectivity"`
-	AutoHint    bool    `json:"autoHint"`
+	AutoHint    bool    `json:"autoHint,omitempty"`
 	Millis      float64 `json:"millis"`
 	ResultRows  int     `json:"resultRows"`
 	PreferEvals int     `json:"preferEvals"`
 	ScoreEvals  int     `json:"scoreEvals"`
-	CacheHits   int     `json:"cacheHits"`
-	CacheMisses int     `json:"cacheMisses"`
+	CacheHits   int     `json:"cacheHits,omitempty"`
+	CacheMisses int     `json:"cacheMisses,omitempty"`
+	// Vectorization fields (E13): execution style, rows per batch, and the
+	// number of batches the executor produced ("" / 0 on the row path).
+	Batch     string  `json:"batch,omitempty"`
+	BatchSize int     `json:"batchSize,omitempty"`
+	Batches   int     `json:"batches,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
 }
 
 // scoreCacheBaseRows sizes the synthetic relation at scale 1.0; the

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"prefdb/internal/engine"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// vectorBaseRows sizes the synthetic relation at scale 1.0; the default
+// benchrunner scale 0.25 yields 100 000 rows.
+const vectorBaseRows = 400_000
+
+// vectorBatchSizes is the rows-per-batch sweep (the default block size is
+// 1024); the row-at-a-time arm is reported separately as the baseline.
+var vectorBatchSizes = []int{64, 256, 1024, 4096}
+
+// vectorDB builds the synthetic single-table database for the
+// vectorization sweep: a key plus a year column the preference scores.
+// The year distribution is deterministic and uniform over 1970..2011, so
+// the preference's conditional part (year >= 2000) accepts a fixed
+// fraction regardless of the WHERE selectivity under sweep.
+func vectorDB(rows int) (*engine.DB, error) {
+	db := engine.Open()
+	tbl, err := db.Catalog().CreateTable("events", schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "year", Kind: types.KindInt},
+	).WithKey("id"))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		year := 1970 + (i*37)%42
+		if err := tbl.Insert([]types.Value{types.Int(int64(i)), types.Int(int64(year))}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// --- E13: vectorized batch execution (PR 4) ---
+
+// runVectorization sweeps execution style (row-at-a-time vs batched at
+// several block sizes) × WHERE selectivity over a filter→prefer→top-k
+// query, the fused-kernel shape the batch executor specializes. Expected
+// shape: throughput rises with the batch size and plateaus around the
+// default block (1024); the win is the per-row closure dispatch and
+// scratch allocation the batch path amortizes, so it holds across
+// selectivities. The score cache stays off so the sweep isolates the
+// execution style.
+func runVectorization(ctx context.Context, e *Env, w io.Writer, repeats int) error {
+	rows := int(vectorBaseRows * e.Scale)
+	if rows < 1000 {
+		rows = 1000
+	}
+	db, err := vectorDB(rows)
+	if err != nil {
+		return err
+	}
+	db.Workers = e.Workers
+	fmt.Fprintf(w, "synthetic events table: %d rows\n", rows)
+	header(w, "sel", "batch", "time", "rows", "scanned", "preferEvals", "batches", "speedup-vs-rows")
+	for _, sel := range []float64{0.01, 0.5, 0.99} {
+		cutoff := int(sel * float64(rows))
+		sql := fmt.Sprintf(`SELECT id FROM events
+			WHERE id <= %d
+			PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 0.9 ON events
+			USING sum TOP 10 BY score`, cutoff)
+		prep, err := db.Prepare(sql)
+		if err != nil {
+			return fmt.Errorf("sel=%g: %w", sel, err)
+		}
+		arms := []struct {
+			label string
+			opts  []engine.QueryOption
+			size  int
+		}{{label: "rows", opts: []engine.QueryOption{engine.WithBatch(engine.BatchOff)}}}
+		for _, size := range vectorBatchSizes {
+			arms = append(arms, struct {
+				label string
+				opts  []engine.QueryOption
+				size  int
+			}{
+				label: fmt.Sprintf("batch=%d", size),
+				opts:  []engine.QueryOption{engine.WithBatch(engine.BatchOn), engine.WithBatchSize(size)},
+				size:  size,
+			})
+		}
+		baseline := 0.0
+		for _, arm := range arms {
+			opts := append([]engine.QueryOption{
+				engine.WithMode(engine.ModeNative), engine.WithScoreCache(engine.CacheOff),
+			}, arm.opts...)
+			m, err := MeasurePrepared(ctx, prep, repeats, opts...)
+			if err != nil {
+				return fmt.Errorf("sel=%g %s: %w", sel, arm.label, err)
+			}
+			ms := float64(m.Duration.Microseconds()) / 1000
+			speedup := 0.0
+			if arm.label == "rows" {
+				baseline = ms
+			} else if ms > 0 {
+				speedup = baseline / ms
+			}
+			speedupCell := "–"
+			if speedup > 0 {
+				speedupCell = fmt.Sprintf("%.2fx", speedup)
+			}
+			fmt.Fprintf(w, "%.2f\t%s\t%.2fms\t%d\t%d\t%d\t%d\t%s\n",
+				sel, arm.label, ms, m.Rows, m.Stats.RowsScanned, m.Stats.PreferEvals, m.Stats.Batches, speedupCell)
+			e.RecordPoint(Point{
+				Experiment:  "vectorization",
+				Label:       fmt.Sprintf("sel=%.2f %s", sel, arm.label),
+				TableRows:   rows,
+				Selectivity: sel,
+				Millis:      ms,
+				ResultRows:  m.Rows,
+				PreferEvals: m.Stats.PreferEvals,
+				ScoreEvals:  m.Stats.ScoreEvals,
+				Batch:       map[bool]string{true: "on", false: "off"}[arm.size > 0],
+				BatchSize:   arm.size,
+				Batches:     m.Stats.Batches,
+				Speedup:     speedup,
+			})
+		}
+	}
+	return nil
+}

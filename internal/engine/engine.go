@@ -104,6 +104,15 @@ type DB struct {
 	// follows the optimizer's per-operator hints, CacheOff disables
 	// memoization, CacheOn forces it.
 	ScoreCache CacheMode
+	// Batch is the default execution style for queries that pass no
+	// WithBatch option: BatchOn (the zero value) evaluates supported
+	// operators vectorized over row batches, BatchOff forces the
+	// row-at-a-time path. Results, order and stats (modulo the diagnostic
+	// batch counter) are identical in both modes.
+	Batch BatchMode
+	// BatchSize overrides the vectorized path's rows-per-batch block size
+	// (0 = the executor default).
+	BatchSize int
 
 	// dicts holds the cross-query (level-2) score dictionaries used by
 	// prepared statements; see dicts.go.
@@ -122,6 +131,19 @@ const (
 
 // ParseCacheMode resolves a score-cache mode by name ("auto", "off", "on").
 func ParseCacheMode(name string) (CacheMode, error) { return exec.ParseCacheMode(name) }
+
+// BatchMode re-exports the executor's execution-style mode for option
+// values.
+type BatchMode = exec.BatchMode
+
+// Batch modes (see exec.BatchMode).
+const (
+	BatchOn  = exec.BatchOn
+	BatchOff = exec.BatchOff
+)
+
+// ParseBatchMode resolves a batch mode by name ("on", "off").
+func ParseBatchMode(name string) (BatchMode, error) { return exec.ParseBatchMode(name) }
 
 // Open creates an empty database. Options override the defaults (GBU
 // strategy, optimizer on, Workers = GOMAXPROCS).
@@ -280,6 +302,8 @@ func (db *DB) RunPlanContext(ctx context.Context, plan *planner.Plan, opts ...Qu
 	ex.Workers = cfg.workers
 	ex.Limits = cfg.limits
 	ex.ScoreCache = cfg.cache
+	ex.Batch = cfg.batch
+	ex.BatchSize = cfg.batchSize
 
 	var rel *prel.PRelation
 	var err error

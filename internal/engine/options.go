@@ -14,16 +14,19 @@ type QueryOption func(*queryConfig)
 
 // queryConfig is the resolved per-query configuration.
 type queryConfig struct {
-	mode    Mode
-	workers int
-	timeout time.Duration
-	limits  exec.Limits
-	cache   CacheMode
+	mode      Mode
+	workers   int
+	timeout   time.Duration
+	limits    exec.Limits
+	cache     CacheMode
+	batch     BatchMode
+	batchSize int
 }
 
 // queryConfig resolves the options against the database defaults.
 func (db *DB) queryConfig(opts []QueryOption) queryConfig {
-	cfg := queryConfig{mode: db.Mode, workers: db.Workers, cache: db.ScoreCache}
+	cfg := queryConfig{mode: db.Mode, workers: db.Workers, cache: db.ScoreCache,
+		batch: db.Batch, batchSize: db.BatchSize}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -78,6 +81,21 @@ func WithScoreCache(m CacheMode) QueryOption {
 	return func(c *queryConfig) { c.cache = m }
 }
 
+// WithBatch selects the executor's evaluation style for this query
+// (BatchOn runs supported operators vectorized over row batches, BatchOff
+// forces the row-at-a-time path), overriding the database default.
+// Results, order and stats (modulo the diagnostic batch counter) are
+// identical in both modes.
+func WithBatch(m BatchMode) QueryOption {
+	return func(c *queryConfig) { c.batch = m }
+}
+
+// WithBatchSize overrides the vectorized path's rows-per-batch block size
+// for this query (0 = the executor default).
+func WithBatchSize(n int) QueryOption {
+	return func(c *queryConfig) { c.batchSize = n }
+}
+
 // OpenOption configures a database at Open (or Load) time, replacing
 // direct struct-field pokes on DB.
 type OpenOption func(*DB)
@@ -105,4 +123,10 @@ func WithOptimizer(enabled bool) OpenOption {
 // that pass no WithScoreCache option.
 func WithDefaultScoreCache(m CacheMode) OpenOption {
 	return func(db *DB) { db.ScoreCache = m }
+}
+
+// WithDefaultBatch sets the default execution style used by queries that
+// pass no WithBatch option.
+func WithDefaultBatch(m BatchMode) OpenOption {
+	return func(db *DB) { db.Batch = m }
 }

@@ -65,6 +65,8 @@ func (p *Prepared) RunContext(ctx context.Context, opts ...QueryOption) (*Result
 	ex.Workers = cfg.workers
 	ex.Limits = cfg.limits
 	ex.ScoreCache = cfg.cache
+	ex.Batch = cfg.batch
+	ex.BatchSize = cfg.batchSize
 	if cfg.cache != CacheOff {
 		// Prepared statements additionally get the engine's cross-query
 		// (level-2) score dictionaries; ad-hoc queries use only the

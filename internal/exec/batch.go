@@ -1,0 +1,668 @@
+// Vectorized batch execution (tentpole of the throughput roadmap).
+//
+// The executor can evaluate a pipeline over morsel-sized row batches
+// (prel.Batch) instead of one row per virtual call: operators with a batch
+// implementation process a whole block per nextBatch call, compacting a
+// selection vector instead of copying rows, so interface dispatch, guard
+// polling and stats accounting amortize over the batch. σ/λ chains fuse
+// into a single kernel (applySegOps) that filters via the conjunct-wise
+// expr.TruthyBatch and scores only surviving rows, consulting the score
+// cache batch-wise.
+//
+// Fallback rules keep the mode transparent:
+//
+//   - buildBatch mirrors build node-by-node. Nodes without a batch
+//     implementation (set ops, skyline, rank, order-by, top-k, limit)
+//     compile through the row-path build; their output is re-adapted into
+//     batches (asBatchIter), and blocking operators re-enter the batch
+//     path for their children through drainChild → drain.
+//   - A batch consumer that needs rows (the hash-join build side, the
+//     morsel fan-out) adapts with batchToRow; a row source that must feed
+//     a batch operator adapts with rowBatchSrc.
+//   - Results, row order and Stats are byte-identical to the row path in
+//     every mode combination; only the diagnostic Batches counter differs.
+//     The equivalence suite (batch_test.go) enforces this across
+//     strategies, worker counts and cache modes.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/schema"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+// BatchMode selects the executor's evaluation style.
+type BatchMode uint8
+
+const (
+	// BatchOn (the zero value) evaluates supported operators vectorized
+	// over row batches with selection vectors.
+	BatchOn BatchMode = iota
+	// BatchOff forces the row-at-a-time volcano path everywhere; the
+	// equivalence suite uses it as the reference semantics.
+	BatchOff
+)
+
+// String implements fmt.Stringer.
+func (m BatchMode) String() string {
+	if m == BatchOff {
+		return "off"
+	}
+	return "on"
+}
+
+// ParseBatchMode resolves a batch mode by name.
+func ParseBatchMode(name string) (BatchMode, error) {
+	switch strings.ToLower(name) {
+	case "on":
+		return BatchOn, nil
+	case "off":
+		return BatchOff, nil
+	default:
+		return 0, fmt.Errorf("exec: unknown batch mode %q (on, off)", name)
+	}
+}
+
+// defaultBatchSize is the rows-per-batch block size when BatchSize is 0:
+// large enough to amortize per-batch overhead, small enough that a batch's
+// tuple pointers and ⟨S,C⟩ column stay cache-resident.
+const defaultBatchSize = 1024
+
+// batchOK reports whether pipelines may take the vectorized path.
+func (e *Executor) batchOK() bool { return e.Batch != BatchOff }
+
+// batchSize resolves the configured rows-per-batch block size.
+func (e *Executor) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return defaultBatchSize
+}
+
+// batchIter is the pull-based batch stream: nextBatch returns a non-empty
+// batch (Live() > 0) or reports exhaustion. The returned batch is valid
+// only until the next call — consumers that buffer rows must copy them out
+// (Batch.AppendRows).
+type batchIter interface {
+	nextBatch() (*prel.Batch, bool)
+}
+
+// --- sources and adapters ---
+
+// sliceBatchSrc serves a materialized row slice in batch-sized blocks,
+// reusing one batch buffer across calls.
+type sliceBatchSrc struct {
+	rows []prel.Row
+	pos  int
+	size int
+	buf  *prel.Batch
+}
+
+func newSliceBatchSrc(rows []prel.Row, size int) *sliceBatchSrc {
+	return &sliceBatchSrc{rows: rows, size: size}
+}
+
+func (s *sliceBatchSrc) nextBatch() (*prel.Batch, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	hi := min(s.pos+s.size, len(s.rows))
+	if s.buf == nil {
+		s.buf = prel.NewBatch(s.size)
+	}
+	s.buf.FillRows(s.rows[s.pos:hi])
+	s.pos = hi
+	return s.buf, true
+}
+
+// heapBatchSrc streams a heap page-by-page into a reused batch, never
+// materializing the table's row slice (the row path's heapScanIter
+// snapshot — the dominant allocation on scan-heavy pipelines). Tuples
+// alias heap pages, which are append-only during execution. The batch
+// pipeline always drains its sources (blocking consumers sit on the row
+// fallback), so the summed per-batch RowsScanned equals the row path's
+// one-shot snapshot count.
+type heapBatchSrc struct {
+	heap  *storage.Heap
+	stats *Stats
+	tick  pollTick
+	size  int
+
+	buf  *prel.Batch
+	page int
+	slot int
+	done bool
+}
+
+func (h *heapBatchSrc) nextBatch() (*prel.Batch, bool) {
+	if h.done {
+		return nil, false
+	}
+	if h.buf == nil {
+		h.buf = prel.NewBatch(h.size)
+	}
+	b := h.buf
+	b.Reset()
+	for b.Cap() < h.size && h.page < h.heap.Blocks() {
+		rows, dead, live := h.heap.Block(h.page)
+		if live == 0 {
+			h.page++
+			h.slot = 0
+			continue
+		}
+		for ; h.slot < len(rows) && b.Cap() < h.size; h.slot++ {
+			if dead[h.slot] {
+				continue
+			}
+			b.PushTuple(rows[h.slot])
+		}
+		if h.slot >= len(rows) {
+			h.page++
+			h.slot = 0
+		}
+	}
+	if b.Cap() == 0 {
+		h.done = true
+		return nil, false
+	}
+	h.stats.RowsScanned += b.Cap()
+	if h.tick.stopN(b.Cap()) {
+		h.done = true // guard tripped: stop producing, like materialize
+	}
+	return b, true
+}
+
+// rowBatchSrc adapts any row iterator into a batch source: the universal
+// bridge that lets operators without a batch implementation feed the
+// vectorized pipeline above them.
+type rowBatchSrc struct {
+	in   iter
+	size int
+	buf  *prel.Batch
+}
+
+func (r *rowBatchSrc) nextBatch() (*prel.Batch, bool) {
+	if r.buf == nil {
+		r.buf = prel.NewBatch(r.size)
+	}
+	r.buf.Reset()
+	for r.buf.Cap() < r.size {
+		row, ok := r.in.next()
+		if !ok {
+			break
+		}
+		r.buf.Push(row)
+	}
+	if r.buf.Cap() == 0 {
+		return nil, false
+	}
+	return r.buf, true
+}
+
+// batchToRow adapts a batch pipeline back into a row iterator for
+// consumers that buffer rows themselves (the hash-join build side, the
+// nested-loop join). Rows returned alias batch tuple storage, which is
+// stable (tuples are immutable and arena-backed); the ⟨S,C⟩ pair is copied
+// by value, so buffering them is safe.
+type batchToRow struct {
+	in  batchIter
+	cur *prel.Batch
+	pos int
+}
+
+func (b *batchToRow) next() (prel.Row, bool) {
+	for {
+		if b.cur != nil && b.pos < b.cur.Live() {
+			r := b.cur.Row(b.pos)
+			b.pos++
+			return r, true
+		}
+		var ok bool
+		b.cur, ok = b.in.nextBatch()
+		b.pos = 0
+		if !ok {
+			return prel.Row{}, false
+		}
+	}
+}
+
+// asBatchIter adapts a row iterator produced by the fallback build path.
+// A materialized sliceIter is served zero-copy in blocks; anything else
+// goes through the row adapter.
+func (e *Executor) asBatchIter(it iter) batchIter {
+	if si, ok := it.(*sliceIter); ok && si.pos == 0 {
+		return newSliceBatchSrc(si.rows, e.batchSize())
+	}
+	return &rowBatchSrc{in: it, size: e.batchSize()}
+}
+
+// --- vectorized operators ---
+
+// filterBatch applies a compiled condition by compacting the selection
+// vector (expr.TruthyBatch); empty batches are skipped, with an amortized
+// guard tick covering the spin over fully rejected blocks.
+type filterBatch struct {
+	in   batchIter
+	cond *expr.Compiled
+	tick pollTick
+}
+
+func (f *filterBatch) nextBatch() (*prel.Batch, bool) {
+	for {
+		b, ok := f.in.nextBatch()
+		if !ok {
+			return nil, false
+		}
+		if f.tick.stopN(b.Live()) {
+			return nil, false
+		}
+		b.Sel = f.cond.TruthyBatch(b.Tuples, b.Sel)
+		if b.Live() > 0 {
+			return b, true
+		}
+	}
+}
+
+// segScratch is the per-caller scratch of the vectorized prefer kernel: a
+// private selection vector for each preference's conditional part and a
+// score column for its batch-evaluated scoring part. Each sequential
+// kernel and each morsel worker owns one, so the shared compiled segOps
+// stay read-only under parallel execution.
+type segScratch struct {
+	sel    []int32
+	scores []types.Value
+}
+
+// applySegOps runs a compiled σ/λ chain over one batch in place: filters
+// compact the selection vector conjunct-wise, prefers fold ⟨S,C⟩
+// contributions into the batch's private SC column for the surviving rows
+// only. A preference's conditional part vectorizes like a filter — but
+// into the scratch selection vector, since a preference scores matching
+// rows rather than dropping the rest — and its scoring part evaluates
+// batch-wise (expr.EvalBatch), hoisting per-row scratch out of the row
+// loop. Per-row semantics — evaluation order, score clamping, cache
+// accounting — are exactly those of filterIter/preferIter, so the batch
+// and row paths produce identical rows and Stats. Shared by the
+// sequential fused segment (segBatchIter) and the morsel-parallel workers
+// (trySegment), which treat each claimed morsel as one batch.
+func applySegOps(b *prel.Batch, ops []segOp, memos []*scoreMemo, agg pref.Aggregate, stats *Stats, scr *segScratch) {
+	for i, op := range ops {
+		if op.filter != nil {
+			b.Sel = op.filter.TruthyBatch(b.Tuples, b.Sel)
+			if len(b.Sel) == 0 {
+				return
+			}
+			continue
+		}
+		stats.PreferEvals += len(b.Sel)
+		if memos != nil && memos[i] != nil {
+			memos[i].combineBatch(b, agg, stats)
+			continue
+		}
+		scr.sel = append(scr.sel[:0], b.Sel...)
+		scr.sel = op.cond.TruthyBatch(b.Tuples, scr.sel)
+		if len(scr.sel) == 0 {
+			continue
+		}
+		stats.ScoreEvals += len(scr.sel)
+		if cap(scr.scores) < len(scr.sel) {
+			scr.scores = make([]types.Value, len(scr.sel))
+		}
+		scores := scr.scores[:len(scr.sel)]
+		op.score.EvalBatch(b.Tuples, scr.sel, scores)
+		for k, j := range scr.sel {
+			if v := scores[k]; !v.IsNull() && v.IsNumeric() {
+				s := pref.Clamp01(v.AsFloat())
+				b.SC[j] = agg.Combine(b.SC[j], types.NewSC(s, op.conf))
+			}
+		}
+	}
+}
+
+// segBatchIter is the fused filter→prefer kernel of the sequential batch
+// path: one virtual call per batch runs the whole compiled chain.
+type segBatchIter struct {
+	in    batchIter
+	ops   []segOp
+	memos []*scoreMemo
+	agg   pref.Aggregate
+	stats *Stats
+	tick  pollTick
+	scr   segScratch
+}
+
+func (s *segBatchIter) nextBatch() (*prel.Batch, bool) {
+	for {
+		b, ok := s.in.nextBatch()
+		if !ok {
+			return nil, false
+		}
+		if s.tick.stopN(b.Live()) {
+			return nil, false
+		}
+		applySegOps(b, s.ops, s.memos, s.agg, s.stats, &s.scr)
+		if b.Live() > 0 {
+			return b, true
+		}
+	}
+}
+
+// projectBatch narrows the selected rows of each batch into a private
+// output batch, drawing output tuples from the same chunked arena the row
+// path uses (one allocation per projectChunkRows rows; see projectArena
+// for the aliasing contract).
+type projectBatch struct {
+	in    batchIter
+	ords  []int
+	out   *prel.Batch
+	arena projectArena
+}
+
+func (p *projectBatch) nextBatch() (*prel.Batch, bool) {
+	for {
+		b, ok := p.in.nextBatch()
+		if !ok {
+			return nil, false
+		}
+		if p.out == nil {
+			p.out = prel.NewBatch(b.Live())
+		}
+		p.out.Reset()
+		for _, j := range b.Sel {
+			t := p.arena.tuple()
+			src := b.Tuples[j]
+			for i, o := range p.ords {
+				t[i] = src[o]
+			}
+			p.out.Push(prel.Row{Tuple: t, SC: b.SC[j]})
+		}
+		if p.out.Live() > 0 {
+			return p.out, true
+		}
+	}
+}
+
+// thresholdBatch filters on the score or confidence dimension by
+// compacting the selection vector (same semantics as thresholdIter: a ⊥
+// pair fails every score comparison, confidence is always defined).
+type thresholdBatch struct {
+	in    batchIter
+	by    algebra.RankBy
+	op    expr.Op
+	value float64
+}
+
+func (t *thresholdBatch) nextBatch() (*prel.Batch, bool) {
+	for {
+		b, ok := t.in.nextBatch()
+		if !ok {
+			return nil, false
+		}
+		out := b.Sel[:0]
+		for _, j := range b.Sel {
+			sc := b.SC[j]
+			var v float64
+			if t.by == algebra.ByConf {
+				v = sc.Conf
+			} else {
+				if !sc.Known {
+					continue
+				}
+				v = sc.Score
+			}
+			if cmpFloat(v, t.op, t.value) {
+				out = append(out, j)
+			}
+		}
+		b.Sel = out
+		if b.Live() > 0 {
+			return b, true
+		}
+	}
+}
+
+// hashJoinBatch is the vectorized extended hash join: the build side is
+// buffered row-at-a-time (it is buffered state either way), the probe side
+// streams batches, emitting combined rows into a private output batch in
+// the same (probe order, build-insert order) sequence as hashJoinIter.
+type hashJoinBatch struct {
+	left     iter
+	right    batchIter
+	eqL, eqR []int
+	agg      pref.Aggregate
+	g        *guard
+	tick     pollTick
+
+	built bool
+	table map[uint64][]prel.Row
+	out   *prel.Batch
+}
+
+func (h *hashJoinBatch) nextBatch() (*prel.Batch, bool) {
+	if !h.built {
+		h.table = map[uint64][]prel.Row{}
+		// The build side is buffered state: charge it against the query's
+		// materialization budgets so a runaway build trips before OOM.
+		meter := matTick{g: h.g}
+		for {
+			row, ok := h.left.next()
+			if !ok {
+				break
+			}
+			key := hashCols(row.Tuple, h.eqL)
+			h.table[key] = append(h.table[key], row)
+			if meter.width == 0 {
+				meter.width = len(row.Tuple) + 2
+			}
+			if meter.row() != nil {
+				break // trip is recorded in the guard; drain surfaces it
+			}
+		}
+		_ = meter.flush()
+		h.built = true
+	}
+	for {
+		b, ok := h.right.nextBatch()
+		if !ok {
+			return nil, false
+		}
+		if h.tick.stopN(b.Live()) {
+			return nil, false
+		}
+		if h.out == nil {
+			h.out = prel.NewBatch(b.Live())
+		}
+		h.out.Reset()
+		for _, j := range b.Sel {
+			rRow := prel.Row{Tuple: b.Tuples[j], SC: b.SC[j]}
+			key := hashCols(rRow.Tuple, h.eqR)
+			candidates := h.table[key]
+			if len(candidates) == 0 {
+				continue
+			}
+			for _, lRow := range candidates {
+				if equalOn(lRow.Tuple, rRow.Tuple, h.eqL, h.eqR) {
+					h.out.Push(combineRows(lRow, rRow, h.agg))
+				}
+			}
+		}
+		if h.out.Live() > 0 {
+			return h.out, true
+		}
+	}
+}
+
+// --- pipeline construction ---
+
+// buildBatch compiles a plan node into a batch pipeline, mirroring build's
+// node dispatch. Supported operators get native batch implementations;
+// everything else compiles through the row-path build and is re-adapted
+// (see the package comment for the fallback rules).
+func (e *Executor) buildBatch(n algebra.Node) (batchIter, *schema.Schema, error) {
+	switch x := n.(type) {
+	case *algebra.Select, *algebra.Prefer:
+		return e.buildBatchSegment(n)
+
+	case *algebra.Values:
+		return newSliceBatchSrc(x.Rel.Rows, e.batchSize()), x.Rel.Schema, nil
+
+	case *algebra.Scan:
+		return e.buildBatchScan(x, nil)
+
+	case *algebra.Project:
+		in, s, err := e.buildBatch(x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		ords := make([]int, len(x.Cols))
+		for i, c := range x.Cols {
+			idx, err := s.IndexOf(c.Table, c.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			ords[i] = idx
+		}
+		pb := &projectBatch{in: in, ords: ords}
+		pb.arena.width = len(ords)
+		return pb, s.Project(ords), nil
+
+	case *algebra.Join:
+		return e.buildBatchJoin(x)
+
+	case *algebra.Threshold:
+		in, s, err := e.buildBatch(x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !x.Op.IsComparison() {
+			return nil, nil, fmt.Errorf("exec: threshold operator %s is not a comparison", x.Op)
+		}
+		return &thresholdBatch{in: in, by: x.By, op: x.Op, value: x.Value}, s, nil
+
+	default:
+		// Row-path fallback: blocking operators in this subtree still
+		// re-enter the batch path for their children via drainChild.
+		it, s, err := e.build(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e.asBatchIter(it), s, nil
+	}
+}
+
+// buildBatchScan compiles a base-table access for the batch path: the same
+// access-path selection as buildScan (shared scanAccess), with the
+// residual conjuncts applied as a selection-vector kernel instead of a
+// row-at-a-time filter.
+func (e *Executor) buildBatchScan(scan *algebra.Scan, conjuncts []expr.Node) (batchIter, *schema.Schema, error) {
+	base, residual, s, err := e.scanAccess(scan, conjuncts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var bi batchIter
+	if h, ok := base.(*heapScanIter); ok {
+		bi = &heapBatchSrc{heap: h.heap, stats: h.stats, tick: h.tick, size: e.batchSize()}
+	} else {
+		bi = &rowBatchSrc{in: base, size: e.batchSize()}
+	}
+	if residual != nil {
+		bi = &filterBatch{in: bi, cond: residual, tick: pollTick{g: e.gd}}
+	}
+	return bi, s, nil
+}
+
+// buildBatchSegment compiles a σ/λ chain. With multiple workers it engages
+// the morsel-parallel segment exactly as the row path does (trySegment,
+// whose workers already run the batch kernel per morsel when batch mode is
+// on); sequentially the whole chain fuses into one segBatchIter kernel
+// over the leaf's batch source.
+func (e *Executor) buildBatchSegment(n algebra.Node) (batchIter, *schema.Schema, error) {
+	if e.parallelOK() {
+		it, s, handled, err := e.trySegment(n)
+		if handled {
+			if err != nil {
+				return nil, nil, err
+			}
+			return e.asBatchIter(it), s, nil
+		}
+	}
+
+	chain, cur := collectChain(n)
+	var base batchIter
+	var s *schema.Schema
+	var err error
+	switch leaf := cur.(type) {
+	case *algebra.Scan:
+		// A select directly over a scan keeps its shot at an index access
+		// path, exactly as in the row-path build.
+		var conjuncts []expr.Node
+		if sel, ok := chain[len(chain)-1].(*algebra.Select); ok {
+			conjuncts = expr.Conjuncts(sel.Cond)
+			chain = chain[:len(chain)-1]
+		}
+		base, s, err = e.buildBatchScan(leaf, conjuncts)
+	case *algebra.Values:
+		base, s = newSliceBatchSrc(leaf.Rel.Rows, e.batchSize()), leaf.Rel.Schema
+	default:
+		base, s, err = e.buildBatch(leaf)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	ops, err := e.compileSegOps(chain, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ops) == 0 {
+		return base, s, nil
+	}
+	return &segBatchIter{in: base, ops: ops, memos: e.segMemos(ops, s), agg: e.Agg,
+		stats: &e.stats, tick: pollTick{g: e.gd}}, s, nil
+}
+
+// buildBatchJoin compiles the extended inner join for the batch path: the
+// probe side streams batches through hashJoinBatch; the parallel and
+// nested-loop variants reuse the row-path implementations (they buffer
+// everything anyway) behind adapters. Residual conditions run vectorized.
+func (e *Executor) buildBatchJoin(j *algebra.Join) (batchIter, *schema.Schema, error) {
+	lBi, lS, err := e.buildBatch(j.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rBi, rS, err := e.buildBatch(j.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := lS.Concat(rS)
+
+	eqL, eqR, residual := splitEquiJoin(j.Cond, lS, rS)
+	var base batchIter
+	if len(eqL) > 0 {
+		if e.parallelOK() {
+			it := &parallelHashJoinIter{e: e, left: &batchToRow{in: lBi}, right: &batchToRow{in: rBi},
+				eqL: eqL, eqR: eqR}
+			base = &rowBatchSrc{in: it, size: e.batchSize()}
+		} else {
+			base = &hashJoinBatch{left: &batchToRow{in: lBi}, right: rBi, eqL: eqL, eqR: eqR,
+				agg: e.Agg, g: e.gd, tick: pollTick{g: e.gd}}
+		}
+	} else {
+		it := newNLJoinIter(&batchToRow{in: lBi}, &batchToRow{in: rBi}, lS.Len(), e.Agg, &e.stats, e.gd)
+		base = &rowBatchSrc{in: it, size: e.batchSize()}
+	}
+	if residual != nil {
+		cond, cErr := expr.CompileCondition(residual, out, e.Funcs)
+		if cErr != nil {
+			return nil, nil, cErr
+		}
+		base = &filterBatch{in: base, cond: cond, tick: pollTick{g: e.gd}}
+	}
+	return base, out, nil
+}

@@ -53,6 +53,11 @@ type Stats struct {
 	// CacheMisses counts prefer tuples that probed the score cache and had
 	// to compute.
 	CacheMisses int
+	// Batches counts the row batches processed by the vectorized execution
+	// path (0 on the row-at-a-time path). It is a diagnostic counter, not a
+	// cost driver: the equivalence contract between the batch and row paths
+	// is "identical Stats modulo Batches".
+	Batches int
 }
 
 // Add accumulates another stats record.
@@ -67,6 +72,7 @@ func (s *Stats) Add(o Stats) {
 	s.ScoreEvals += o.ScoreEvals
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	s.Batches += o.Batches
 }
 
 // String renders the counters compactly. The scoring counters only appear
@@ -78,14 +84,17 @@ func (s Stats) String() string {
 	if s.ScoreEvals != 0 || s.CacheHits != 0 || s.CacheMisses != 0 {
 		out += fmt.Sprintf(" scoreEvals=%d cacheHits=%d cacheMisses=%d", s.ScoreEvals, s.CacheHits, s.CacheMisses)
 	}
+	if s.Batches != 0 {
+		out += fmt.Sprintf(" batches=%d", s.Batches)
+	}
 	return out
 }
 
 // Executor evaluates extended query plans against a catalog. An Executor
 // is not safe for concurrent use — create one per query — but with
 // Workers != 1 it parallelizes hot pipeline segments internally (see
-// parallel.go); results, order and Stats are identical at every worker
-// count.
+// parallel.go); results, order and Stats (modulo the diagnostic Batches
+// counter) are identical at every worker count.
 //
 // Executions started through RunContext (or after Begin) observe the
 // given context and the executor's Limits cooperatively: see lifecycle.go.
@@ -105,6 +114,15 @@ type Executor struct {
 	// value) follows the optimizer's per-operator hints, CacheOff forces
 	// the direct path, CacheOn memoizes every prefer operator.
 	ScoreCache CacheMode
+	// Batch selects the execution path: BatchOn (the zero value) runs
+	// supported operators vectorized over row batches with selection
+	// vectors (see batch.go), BatchOff forces the row-at-a-time path.
+	// Results, order and Stats (modulo the Batches counter) are identical
+	// in both modes.
+	Batch BatchMode
+	// BatchSize overrides the rows-per-batch block size of the vectorized
+	// path (0 = defaultBatchSize).
+	BatchSize int
 	// DictFor, when set (by the engine for prepared statements), supplies
 	// the cross-query level-2 dictionary for a preference; cols are the
 	// canonical key column names. It must be safe for concurrent calls.
@@ -172,24 +190,9 @@ func (e *Executor) drain(n algebra.Node) (*prel.PRelation, error) {
 	e.limitDepth = 0
 	defer func() { e.limitDepth = saved }()
 
-	it, s, err := e.build(n)
+	out, s, err := e.drainPipeline(n)
 	if err != nil {
 		return nil, err
-	}
-	out := prel.New(s)
-	meter := matTick{g: e.gd, width: s.Len() + 2}
-	for {
-		row, ok := it.next()
-		if !ok {
-			break
-		}
-		out.Append(row)
-		if gErr := meter.row(); gErr != nil {
-			return nil, gErr
-		}
-	}
-	if gErr := meter.flush(); gErr != nil {
-		return nil, gErr
 	}
 	// Inner iterators stop yielding (rather than erroring) when the guard
 	// trips mid-stream; surface that here so no partial rows escape.
@@ -207,6 +210,56 @@ func (e *Executor) drain(n algebra.Node) (*prel.PRelation, error) {
 	}
 	e.stats.ScoreRelationRows += out.ScoredCount()
 	return out, nil
+}
+
+// drainPipeline builds n as a pipeline — vectorized when the executor's
+// batch mode allows — and exhausts it into a fresh relation, metering
+// materialization against the lifecycle guard. Both paths produce
+// byte-identical rows, order and Stats (modulo the Batches counter).
+func (e *Executor) drainPipeline(n algebra.Node) (*prel.PRelation, *schema.Schema, error) {
+	if e.batchOK() {
+		bi, s, err := e.buildBatch(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := prel.New(s)
+		meter := matTick{g: e.gd, width: s.Len() + 2}
+		for {
+			b, ok := bi.nextBatch()
+			if !ok {
+				break
+			}
+			e.stats.Batches++
+			out.Rows = b.AppendRows(out.Rows)
+			if gErr := meter.rows(b.Live()); gErr != nil {
+				return nil, nil, gErr
+			}
+		}
+		if gErr := meter.flush(); gErr != nil {
+			return nil, nil, gErr
+		}
+		return out, s, nil
+	}
+	it, s, err := e.build(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := prel.New(s)
+	meter := matTick{g: e.gd, width: s.Len() + 2}
+	for {
+		row, ok := it.next()
+		if !ok {
+			break
+		}
+		out.Append(row)
+		if gErr := meter.row(); gErr != nil {
+			return nil, nil, gErr
+		}
+	}
+	if gErr := meter.flush(); gErr != nil {
+		return nil, nil, gErr
+	}
+	return out, s, nil
 }
 
 // build compiles a plan node into an iterator pipeline. Filter/prefer
@@ -255,7 +308,9 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 			}
 			ords[i] = idx
 		}
-		return &projectIter{in: in, ords: ords}, s.Project(ords), nil
+		pi := &projectIter{in: in, ords: ords}
+		pi.arena.width = len(ords)
+		return pi, s.Project(ords), nil
 
 	case *algebra.Join:
 		return e.buildJoin(x)

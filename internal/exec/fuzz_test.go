@@ -58,6 +58,19 @@ func (g *planGen) genPlan() algebra.Node {
 		core = &algebra.Set{Op: op, Left: mine, Right: other}
 	}
 
+	// Occasionally narrow single-relation plans below the preferences —
+	// where the planner puts π (prefers and filtering operators above it,
+	// FtP's contract). Projection preserves ⟨S,C⟩ and the kept columns
+	// cover every preference and ordering key the generator can emit, so
+	// the plan stays deterministic while exercising the project paths
+	// (row arena and batch kernel).
+	if len(rels) == 1 && g.r.Intn(4) == 0 {
+		core = &algebra.Project{Cols: []expr.Col{
+			expr.ColRef("movies.m_id"), expr.ColRef("movies.year"),
+			expr.ColRef("movies.duration"), expr.ColRef("movies.d_id"),
+		}, Input: core}
+	}
+
 	// Random preferences, anywhere above the core (baseline placement).
 	for i, n := 0, g.r.Intn(5); i < n; i++ {
 		core = &algebra.Prefer{P: g.genPref(rels, i), Input: core}

@@ -53,10 +53,42 @@ func (f *filterIter) next() (prel.Row, bool) {
 	}
 }
 
+// projectChunkRows sizes the arena chunks projection iterators allocate:
+// one allocation serves this many output tuples, replacing the old
+// per-row make([]types.Value, …).
+const projectChunkRows = 256
+
+// projectArena hands out fixed-width tuple slices carved from chunked
+// backing arrays. Chunks are allocated as needed and never recycled, so
+// every tuple it returns has stable storage for the life of the query.
+//
+// Aliasing contract: tuples from the same arena share a backing array per
+// chunk. Each tuple is sliced with a full slice expression (capacity
+// pinned to its width), so appends cannot spill into a neighbour; the
+// pipeline never mutates tuples in place, so sharing is safe.
+type projectArena struct {
+	width int
+	buf   []types.Value
+}
+
+// tuple returns a zeroed slice of the arena's width.
+func (a *projectArena) tuple() []types.Value {
+	if cap(a.buf)-len(a.buf) < a.width {
+		a.buf = make([]types.Value, 0, projectChunkRows*a.width)
+	}
+	start := len(a.buf)
+	a.buf = a.buf[:start+a.width]
+	return a.buf[start : start+a.width : start+a.width]
+}
+
 // projectIter narrows tuples to the selected ordinals, preserving ⟨S,C⟩.
+// Output tuples come from a chunked arena (see projectArena), so the
+// per-row allocation of the old implementation amortizes to one
+// allocation per projectChunkRows rows.
 type projectIter struct {
-	in   iter
-	ords []int
+	in    iter
+	ords  []int
+	arena projectArena
 }
 
 func (p *projectIter) next() (prel.Row, bool) {
@@ -64,7 +96,7 @@ func (p *projectIter) next() (prel.Row, bool) {
 	if !ok {
 		return prel.Row{}, false
 	}
-	out := make([]types.Value, len(p.ords))
+	out := p.arena.tuple()
 	for i, o := range p.ords {
 		out[i] = row.Tuple[o]
 	}
@@ -171,9 +203,25 @@ func cmpFloat(v float64, op expr.Op, ref float64) bool {
 // conjuncts allow, an index access path replaces the sequential scan; the
 // remaining conjuncts become a residual filter.
 func (e *Executor) buildScan(scan *algebra.Scan, conjuncts []expr.Node) (iter, *schema.Schema, error) {
-	t, err := e.Cat.Table(scan.Table)
+	base, residual, s, err := e.scanAccess(scan, conjuncts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if residual != nil {
+		base = &filterIter{in: base, cond: residual, tick: pollTick{g: e.gd}}
+	}
+	return base, s, nil
+}
+
+// scanAccess resolves the access path for a (possibly filtered) base-table
+// scan: the base iterator (heap scan or index path) plus the compiled
+// residual condition (nil when every conjunct was absorbed by an index).
+// buildScan applies the residual row-at-a-time; the vectorized path
+// (batch.go) applies it as a selection-vector kernel instead.
+func (e *Executor) scanAccess(scan *algebra.Scan, conjuncts []expr.Node) (iter, *expr.Compiled, *schema.Schema, error) {
+	t, err := e.Cat.Table(scan.Table)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	s := t.Schema().Rename(scan.AliasName())
 
@@ -193,14 +241,14 @@ func (e *Executor) buildScan(scan *algebra.Scan, conjuncts []expr.Node) (iter, *
 	if base == nil {
 		base = &heapScanIter{heap: t.Heap, stats: &e.stats, tick: pollTick{g: e.gd}}
 	}
+	var cond *expr.Compiled
 	if len(residual) > 0 {
-		cond, err := expr.CompileCondition(expr.AndAll(residual), s, e.Funcs)
+		cond, err = expr.CompileCondition(expr.AndAll(residual), s, e.Funcs)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		base = &filterIter{in: base, cond: cond, tick: pollTick{g: e.gd}}
 	}
-	return base, s, nil
+	return base, cond, s, nil
 }
 
 // tryIndexPath returns an index-backed iterator for a single conjunct of
@@ -323,7 +371,10 @@ type heapScanIter struct {
 	pos    int
 }
 
-func (h *heapScanIter) next() (prel.Row, bool) {
+// materialize snapshots the heap into the cursor on first use and returns
+// the row slice; both the row path (next) and the vectorized path
+// (heapBatchSrc) share it, so RowsScanned accounting is identical.
+func (h *heapScanIter) materialize() []prel.Row {
 	if !h.inited {
 		// Snapshot RowIDs lazily into a cursor; heaps are append-only during
 		// query execution so a direct page walk is safe and allocation-free
@@ -336,6 +387,11 @@ func (h *heapScanIter) next() (prel.Row, bool) {
 		h.stats.RowsScanned += len(h.rows)
 		h.inited = true
 	}
+	return h.rows
+}
+
+func (h *heapScanIter) next() (prel.Row, bool) {
+	h.materialize()
 	if h.pos >= len(h.rows) {
 		return prel.Row{}, false
 	}

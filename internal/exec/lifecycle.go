@@ -284,6 +284,20 @@ func (t *pollTick) stop() bool {
 	return t.g.poll() != nil
 }
 
+// stopN is the batch-granular tick: it advances the countdown by n rows at
+// once so vectorized kernels poll with the same amortized frequency as the
+// row-at-a-time iterators while paying a single branch per batch.
+func (t *pollTick) stopN(n int) bool {
+	if t.g == nil {
+		return false
+	}
+	if t.n += n; t.n < guardInterval {
+		return false
+	}
+	t.n = 0
+	return t.g.poll() != nil
+}
+
 // matTick is the amortized materialization meter used by loops that build
 // relations: it charges the guard every guardStep rows.
 type matTick struct {
@@ -304,6 +318,20 @@ func (t *matTick) row() error {
 	n := t.pending
 	t.pending = 0
 	return t.g.add(n, n*t.width)
+}
+
+// rows records n materialized rows at once (batch materialization); it
+// returns the trip error when the query must stop.
+func (t *matTick) rows(n int) error {
+	if t.g == nil || n == 0 {
+		return nil
+	}
+	if t.pending += n; t.pending < guardStep {
+		return nil
+	}
+	m := t.pending
+	t.pending = 0
+	return t.g.add(m, m*t.width)
 }
 
 // flush charges any remainder below the amortization step.

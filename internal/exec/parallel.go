@@ -12,7 +12,9 @@
 //     their order do not depend on scheduling.
 //  2. Exact stats: each worker accumulates a private Stats that is merged
 //     once when the pipeline ends, so counters stay exact without per-row
-//     atomics.
+//     atomics. (The diagnostic Batches counter reflects block sizing —
+//     morsel-sized batches here — and is the one field excluded from the
+//     worker-count identity.)
 //  3. Identical per-row code: workers execute the same filterIter /
 //     preferIter implementations over their morsels that the sequential
 //     path uses, so Workers=1 and Workers=N produce byte-identical rows.
@@ -76,17 +78,13 @@ type segOp struct {
 	p     pref.Preference
 }
 
-// trySegment extracts a maximal σ/λ chain rooted at n, builds its leaf
-// with the sequential machinery (preserving index access-path selection),
-// and evaluates the chain morsel-parallel over the materialized leaf.
-// It reports handled=false when the node should take the sequential path.
-func (e *Executor) trySegment(n algebra.Node) (iter, *schema.Schema, bool, error) {
-	if !e.parallelOK() {
-		return nil, nil, false, nil
-	}
+// collectChain walks the maximal σ/λ chain rooted at n, returning the
+// chain nodes (outermost first) and the leaf below them. Shared by the
+// morsel-parallel segment extraction here and the fused vectorized
+// segment in batch.go.
+func collectChain(n algebra.Node) ([]algebra.Node, algebra.Node) {
 	var chain []algebra.Node
 	cur := n
-walk:
 	for {
 		switch x := cur.(type) {
 		case *algebra.Select:
@@ -96,9 +94,51 @@ walk:
 			chain = append(chain, x)
 			cur = x.Input
 		default:
-			break walk
+			return chain, cur
 		}
 	}
+}
+
+// compileSegOps compiles a collected σ/λ chain against s into per-row
+// segment ops, innermost-first (matching sequential build order, including
+// its error wrapping).
+func (e *Executor) compileSegOps(chain []algebra.Node, s *schema.Schema) ([]segOp, error) {
+	ops := make([]segOp, 0, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		switch x := chain[i].(type) {
+		case *algebra.Select:
+			cond, cErr := expr.CompileCondition(x.Cond, s, e.Funcs)
+			if cErr != nil {
+				return nil, cErr
+			}
+			ops = append(ops, segOp{filter: cond})
+		case *algebra.Prefer:
+			if vErr := x.P.Validate(); vErr != nil {
+				return nil, vErr
+			}
+			cond, cErr := expr.CompileCondition(x.P.Cond, s, e.Funcs)
+			if cErr != nil {
+				return nil, fmt.Errorf("prefer %s (conditional part): %w", x.P.Label(), cErr)
+			}
+			score, sErr := expr.Compile(x.P.Score, s, e.Funcs)
+			if sErr != nil {
+				return nil, fmt.Errorf("prefer %s (scoring part): %w", x.P.Label(), sErr)
+			}
+			ops = append(ops, segOp{cond: cond, score: score, conf: x.P.Conf, cache: e.scoreCacheOn(x), p: x.P})
+		}
+	}
+	return ops, nil
+}
+
+// trySegment extracts a maximal σ/λ chain rooted at n, builds its leaf
+// with the sequential machinery (preserving index access-path selection),
+// and evaluates the chain morsel-parallel over the materialized leaf.
+// It reports handled=false when the node should take the sequential path.
+func (e *Executor) trySegment(n algebra.Node) (iter, *schema.Schema, bool, error) {
+	if !e.parallelOK() {
+		return nil, nil, false, nil
+	}
+	chain, cur := collectChain(n)
 
 	// Build the leaf exactly as the sequential build would: a select
 	// directly over a scan keeps its shot at an index access path.
@@ -124,31 +164,9 @@ walk:
 		return nil, nil, true, err
 	}
 
-	// Compile the chain innermost-first (matching sequential build order,
-	// including its error wrapping).
-	ops := make([]segOp, 0, len(chain))
-	for i := len(chain) - 1; i >= 0; i-- {
-		switch x := chain[i].(type) {
-		case *algebra.Select:
-			cond, cErr := expr.CompileCondition(x.Cond, s, e.Funcs)
-			if cErr != nil {
-				return nil, nil, true, cErr
-			}
-			ops = append(ops, segOp{filter: cond})
-		case *algebra.Prefer:
-			if vErr := x.P.Validate(); vErr != nil {
-				return nil, nil, true, vErr
-			}
-			cond, cErr := expr.CompileCondition(x.P.Cond, s, e.Funcs)
-			if cErr != nil {
-				return nil, nil, true, fmt.Errorf("prefer %s (conditional part): %w", x.P.Label(), cErr)
-			}
-			score, sErr := expr.Compile(x.P.Score, s, e.Funcs)
-			if sErr != nil {
-				return nil, nil, true, fmt.Errorf("prefer %s (scoring part): %w", x.P.Label(), sErr)
-			}
-			ops = append(ops, segOp{cond: cond, score: score, conf: x.P.Conf, cache: e.scoreCacheOn(x), p: x.P})
-		}
+	ops, err := e.compileSegOps(chain, s)
+	if err != nil {
+		return nil, nil, true, err
 	}
 
 	rows := drainIter(base)
@@ -161,12 +179,33 @@ walk:
 	// across the worker's whole share of the input. memos[w] is touched
 	// only by worker w (no races).
 	memos := make([][]*scoreMemo, e.workerCount())
-	out := e.runMorsels(rows, func(morsel []prel.Row, stats *Stats, w int) []prel.Row {
-		if memos[w] == nil {
-			memos[w] = e.segMemos(ops, s)
+	var apply func(morsel []prel.Row, stats *Stats, w int) []prel.Row
+	if e.batchOK() {
+		// Vectorized morsel kernel: each worker reuses one private batch,
+		// treating every claimed morsel as a whole batch. Per-row semantics
+		// (and hence Stats) match segmentIter exactly — see applySegOps.
+		bufs := make([]*prel.Batch, e.workerCount())
+		scrs := make([]segScratch, e.workerCount())
+		apply = func(morsel []prel.Row, stats *Stats, w int) []prel.Row {
+			if memos[w] == nil {
+				memos[w] = e.segMemos(ops, s)
+				bufs[w] = prel.NewBatch(morselSize)
+			}
+			b := bufs[w]
+			b.FillRows(morsel)
+			stats.Batches++
+			applySegOps(b, ops, memos[w], e.Agg, stats, &scrs[w])
+			return b.AppendRows(nil)
 		}
-		return drainIter(e.segmentIter(morsel, ops, memos[w], stats))
-	})
+	} else {
+		apply = func(morsel []prel.Row, stats *Stats, w int) []prel.Row {
+			if memos[w] == nil {
+				memos[w] = e.segMemos(ops, s)
+			}
+			return drainIter(e.segmentIter(morsel, ops, memos[w], stats))
+		}
+	}
+	out := e.runMorsels(rows, apply)
 	return &sliceIter{rows: out}, s, true, nil
 }
 

@@ -94,8 +94,13 @@ func TestParallelIdenticalToSequential(t *testing.T) {
 					}
 					label := fmt.Sprintf("%v workers=%d", strategy, workers)
 					mustIdentical(t, want, got, label)
-					if ref.Stats() != e.Stats() {
-						t.Fatalf("%s: stats %+v, want %+v", label, e.Stats(), ref.Stats())
+					// Batches is diagnostic and depends on block sizing
+					// (morsel-sized batches in parallel mode, drain-sized
+					// otherwise); every cost counter must match exactly.
+					refStats, gotStats := ref.Stats(), e.Stats()
+					refStats.Batches, gotStats.Batches = 0, 0
+					if refStats != gotStats {
+						t.Fatalf("%s: stats %+v, want %+v", label, gotStats, refStats)
 					}
 				}
 			}

@@ -34,6 +34,7 @@ import (
 	"prefdb/internal/algebra"
 	"prefdb/internal/expr"
 	"prefdb/internal/pref"
+	"prefdb/internal/prel"
 	"prefdb/internal/schema"
 	"prefdb/internal/types"
 )
@@ -152,6 +153,19 @@ func (m *scoreMemo) lookupOrCompute(tuple []types.Value, stats *Stats) (types.SC
 		m.dict.publish(h, e)
 	}
 	return e.sc, e.has
+}
+
+// combineBatch is the vectorized consultation of the memo: it folds the
+// memoized ⟨S,C⟩ contribution into every selected row of b, writing the
+// batch's private SC column in place. Per-row it is exactly
+// lookupOrCompute + Combine, so hit/miss/eval accounting matches the
+// row-at-a-time preferIter.
+func (m *scoreMemo) combineBatch(b *prel.Batch, agg pref.Aggregate, stats *Stats) {
+	for _, j := range b.Sel {
+		if sc, has := m.lookupOrCompute(b.Tuples[j], stats); has {
+			b.SC[j] = agg.Combine(b.SC[j], sc)
+		}
+	}
 }
 
 func (m *scoreMemo) insert(h uint64, e memoEntry) {

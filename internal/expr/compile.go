@@ -26,6 +26,23 @@ type Compiled struct {
 	kind types.Kind
 	cols []int
 	src  string
+	// conj holds the separately compiled top-level conjuncts of an AND
+	// condition (set by CompileCondition); TruthyBatch evaluates them
+	// conjunct-by-conjunct over a shrinking selection vector instead of
+	// re-entering the full evaluator per row. Empty for non-AND roots.
+	conj []*Compiled
+	// evalB, when set, is the vectorized evaluator: one call computes the
+	// expression for every selected tuple, hoisting the scalar closures'
+	// per-row scratch allocations (function-call argument slices) out of
+	// the row loop. Set for function calls and for arithmetic with a
+	// vectorizable operand; EvalBatch falls back to eval per row otherwise.
+	evalB func(tuples [][]types.Value, sel []int32, out []types.Value)
+	// filterB, when set, is a specialized condition kernel for the batch
+	// filter path: it compacts the selection vector directly with typed
+	// comparisons, skipping the closure evaluator and the generic
+	// types.Compare dispatch per row. Set for column-vs-literal
+	// comparisons; semantics are identical to Truthy.
+	filterB func(tuples [][]types.Value, sel []int32) []int32
 }
 
 // Eval evaluates the expression over a tuple.
@@ -46,6 +63,62 @@ func (c *Compiled) Truthy(row []types.Value) bool {
 	return v.Kind() == types.KindBool && v.AsBool()
 }
 
+// TruthyBatch applies the expression as a condition over a batch of
+// tuples, compacting the selection vector in place: the returned slice
+// (a prefix reuse of sel's backing array) holds, in order, the indices of
+// the tuples the condition accepts.
+//
+// A condition compiled by CompileCondition whose root is an AND evaluates
+// conjunct-by-conjunct: each conjunct filters the surviving selection
+// vector, so later conjuncts never run on tuples an earlier one rejected
+// and the per-row closure dispatch for the AND node itself disappears.
+// This matches Truthy exactly — Truthy(a AND b) holds iff Truthy(a) and
+// Truthy(b) hold (three-valued logic only accepts TRUE) — and relies on
+// registered functions being pure, which expr already requires.
+func (c *Compiled) TruthyBatch(tuples [][]types.Value, sel []int32) []int32 {
+	if len(c.conj) > 1 {
+		for _, p := range c.conj {
+			sel = p.truthyFilter(tuples, sel)
+			if len(sel) == 0 {
+				break
+			}
+		}
+		return sel
+	}
+	return c.truthyFilter(tuples, sel)
+}
+
+// EvalBatch evaluates the expression for each selected tuple, writing the
+// result for tuple sel[k] into out[k] (out must have len(sel) slots).
+// Nodes with a vectorized form (function calls, arithmetic over them)
+// amortize their scratch allocations over the batch; anything else falls
+// back to the scalar evaluator per row, so results are always identical
+// to Eval.
+func (c *Compiled) EvalBatch(tuples [][]types.Value, sel []int32, out []types.Value) {
+	if c.evalB != nil {
+		c.evalB(tuples, sel, out)
+		return
+	}
+	for k, i := range sel {
+		out[k] = c.eval(tuples[i])
+	}
+}
+
+// truthyFilter compacts sel to the tuples this expression accepts.
+func (c *Compiled) truthyFilter(tuples [][]types.Value, sel []int32) []int32 {
+	if c.filterB != nil {
+		return c.filterB(tuples, sel)
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		v := c.eval(tuples[i])
+		if v.Kind() == types.KindBool && v.AsBool() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Compile binds n to s, resolving columns and functions and type-checking
 // operator applications.
 func Compile(n Node, s *schema.Schema, funcs *Registry) (*Compiled, error) {
@@ -59,7 +132,10 @@ func Compile(n Node, s *schema.Schema, funcs *Registry) (*Compiled, error) {
 	return out, nil
 }
 
-// CompileCondition compiles n and verifies it yields a boolean.
+// CompileCondition compiles n and verifies it yields a boolean. When the
+// condition's root is a conjunction, the top-level conjuncts are also
+// compiled individually so TruthyBatch can evaluate them one at a time
+// over a shrinking selection vector.
 func CompileCondition(n Node, s *schema.Schema, funcs *Registry) (*Compiled, error) {
 	out, err := Compile(n, s, funcs)
 	if err != nil {
@@ -67,6 +143,18 @@ func CompileCondition(n Node, s *schema.Schema, funcs *Registry) (*Compiled, err
 	}
 	if out.kind != types.KindBool && out.kind != types.KindNull {
 		return nil, fmt.Errorf("expr: condition %s has non-boolean type %s", n, out.kind)
+	}
+	if parts := Conjuncts(n); len(parts) > 1 {
+		out.conj = make([]*Compiled, len(parts))
+		for i, p := range parts {
+			// The whole condition compiled, so each conjunct compiles too;
+			// a fresh compiler keeps the main column-set untouched.
+			cp, cErr := Compile(p, s, funcs)
+			if cErr != nil {
+				return nil, cErr
+			}
+			out.conj[i] = cp
+		}
 	}
 	return out, nil
 }
@@ -145,7 +233,7 @@ func (c *compiler) compileBin(x Bin) (*Compiled, error) {
 	switch {
 	case x.Op.IsComparison():
 		op := x.Op
-		return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
+		out := &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
 			lv, rv := l.eval(row), r.eval(row)
 			if lv.IsNull() || rv.IsNull() {
 				return types.Null()
@@ -168,7 +256,9 @@ func (c *compiler) compileBin(x Bin) (*Compiled, error) {
 			default:
 				return types.Bool(cmp >= 0)
 			}
-		}}, nil
+		}}
+		out.filterB = c.compareFilter(x)
+		return out, nil
 
 	case x.Op == OpAnd:
 		return &Compiled{kind: types.KindBool, eval: func(row []types.Value) types.Value {
@@ -206,52 +296,210 @@ func (c *compiler) compileBin(x Bin) (*Compiled, error) {
 		if err := wantNumeric(x.Op, l.kind, r.kind); err != nil {
 			return nil, err
 		}
-		op := x.Op
 		kind := types.KindFloat
-		if l.kind == types.KindInt && r.kind == types.KindInt && op != OpDiv {
+		if l.kind == types.KindInt && r.kind == types.KindInt && x.Op != OpDiv {
 			kind = types.KindInt
 		}
-		return &Compiled{kind: kind, eval: func(row []types.Value) types.Value {
-			lv, rv := l.eval(row), r.eval(row)
-			if lv.IsNull() || rv.IsNull() {
-				return types.Null()
-			}
-			if kind == types.KindInt {
-				a, b := lv.AsInt(), rv.AsInt()
-				switch op {
-				case OpAdd:
-					return types.Int(a + b)
-				case OpSub:
-					return types.Int(a - b)
-				case OpMul:
-					return types.Int(a * b)
-				default: // OpMod
-					if b == 0 {
-						return types.Null()
-					}
-					return types.Int(a % b)
+		apply := arithApply(x.Op, kind)
+		out := &Compiled{kind: kind, eval: func(row []types.Value) types.Value {
+			return apply(l.eval(row), r.eval(row))
+		}}
+		if l.evalB != nil || r.evalB != nil {
+			// Vectorize only when an operand benefits: both sides evaluate
+			// column-wise (hoisting nested call scratch out of the row
+			// loop), then the scalar kernel combines per row. Pure
+			// column/literal arithmetic stays on the allocation-free
+			// fallback loop.
+			out.evalB = func(tuples [][]types.Value, sel []int32, res []types.Value) {
+				lcol := make([]types.Value, len(sel))
+				rcol := make([]types.Value, len(sel))
+				l.EvalBatch(tuples, sel, lcol)
+				r.EvalBatch(tuples, sel, rcol)
+				for k := range lcol {
+					res[k] = apply(lcol[k], rcol[k])
 				}
 			}
-			a, b := lv.AsFloat(), rv.AsFloat()
-			switch op {
-			case OpAdd:
-				return types.Float(a + b)
-			case OpSub:
-				return types.Float(a - b)
-			case OpMul:
-				return types.Float(a * b)
-			case OpDiv:
-				if b == 0 {
-					return types.Null()
-				}
-				return types.Float(a / b)
-			default: // OpMod over floats: undefined, NULL
-				return types.Null()
-			}
-		}}, nil
+		}
+		return out, nil
 
 	default:
 		return nil, fmt.Errorf("expr: unsupported binary operator %s", x.Op)
+	}
+}
+
+// compareFilter builds the typed batch-filter kernel for a column-vs-literal
+// comparison (either orientation), or returns nil when the operands don't
+// match that shape. The kernel mirrors the scalar evaluator exactly: a NULL
+// operand or incomparable kinds reject the tuple (three-valued logic only
+// accepts TRUE), numerics compare int-wise when both sides are INT and
+// float-wise otherwise, strings and bools compare within their own kind.
+func (c *compiler) compareFilter(x Bin) func(tuples [][]types.Value, sel []int32) []int32 {
+	col, okC := x.L.(Col)
+	lit, okL := x.R.(Lit)
+	flip := false
+	if !okC || !okL {
+		col, okC = x.R.(Col)
+		lit, okL = x.L.(Lit)
+		if !okC || !okL {
+			return nil
+		}
+		flip = true // literal on the left: Compare's sign is mirrored
+	}
+	idx, err := c.schema.IndexOf(col.Table, col.Name)
+	if err != nil {
+		return nil
+	}
+	v := lit.Val
+	if v.IsNull() {
+		// NULL comparand: the comparison is NULL for every row, so the
+		// condition accepts nothing.
+		return func(_ [][]types.Value, sel []int32) []int32 { return sel[:0] }
+	}
+	// Decompose the operator into which Compare signs it accepts; flipping
+	// the orientation swaps the lt/gt accept bits.
+	var ltOK, eqOK, gtOK bool
+	switch x.Op {
+	case OpEq:
+		eqOK = true
+	case OpNe:
+		ltOK, gtOK = true, true
+	case OpLt:
+		ltOK = true
+	case OpLe:
+		ltOK, eqOK = true, true
+	case OpGt:
+		gtOK = true
+	default: // OpGe
+		eqOK, gtOK = true, true
+	}
+	if flip {
+		ltOK, gtOK = gtOK, ltOK
+	}
+	switch v.Kind() {
+	case types.KindInt, types.KindFloat:
+		ri := int64(0)
+		litInt := v.Kind() == types.KindInt
+		if litInt {
+			ri = v.AsInt()
+		}
+		rf := v.AsFloat()
+		return func(tuples [][]types.Value, sel []int32) []int32 {
+			out := sel[:0]
+			for _, i := range sel {
+				lv := tuples[i][idx]
+				cmp := 0
+				switch {
+				case lv.Kind() == types.KindInt && litInt:
+					switch a := lv.AsInt(); {
+					case a < ri:
+						cmp = -1
+					case a > ri:
+						cmp = 1
+					}
+				case lv.IsNumeric():
+					switch a := lv.AsFloat(); {
+					case a < rf:
+						cmp = -1
+					case a > rf:
+						cmp = 1
+					}
+				default: // NULL or non-numeric kind: incomparable, reject
+					continue
+				}
+				if (cmp < 0 && ltOK) || (cmp == 0 && eqOK) || (cmp > 0 && gtOK) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	case types.KindString:
+		rs := v.AsString()
+		return func(tuples [][]types.Value, sel []int32) []int32 {
+			out := sel[:0]
+			for _, i := range sel {
+				lv := tuples[i][idx]
+				if lv.Kind() != types.KindString {
+					continue
+				}
+				cmp := 0
+				switch a := lv.AsString(); {
+				case a < rs:
+					cmp = -1
+				case a > rs:
+					cmp = 1
+				}
+				if (cmp < 0 && ltOK) || (cmp == 0 && eqOK) || (cmp > 0 && gtOK) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	case types.KindBool:
+		rb := v.AsBool()
+		return func(tuples [][]types.Value, sel []int32) []int32 {
+			out := sel[:0]
+			for _, i := range sel {
+				lv := tuples[i][idx]
+				if lv.Kind() != types.KindBool {
+					continue
+				}
+				cmp := 0
+				switch a := lv.AsBool(); {
+				case !a && rb:
+					cmp = -1 // false sorts before true
+				case a && !rb:
+					cmp = 1
+				}
+				if (cmp < 0 && ltOK) || (cmp == 0 && eqOK) || (cmp > 0 && gtOK) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	default:
+		return nil
+	}
+}
+
+// arithApply returns the scalar arithmetic kernel for op at the given
+// result kind; NULL operands (and division/modulo by zero) yield NULL.
+func arithApply(op Op, kind types.Kind) func(lv, rv types.Value) types.Value {
+	return func(lv, rv types.Value) types.Value {
+		if lv.IsNull() || rv.IsNull() {
+			return types.Null()
+		}
+		if kind == types.KindInt {
+			a, b := lv.AsInt(), rv.AsInt()
+			switch op {
+			case OpAdd:
+				return types.Int(a + b)
+			case OpSub:
+				return types.Int(a - b)
+			case OpMul:
+				return types.Int(a * b)
+			default: // OpMod
+				if b == 0 {
+					return types.Null()
+				}
+				return types.Int(a % b)
+			}
+		}
+		a, b := lv.AsFloat(), rv.AsFloat()
+		switch op {
+		case OpAdd:
+			return types.Float(a + b)
+		case OpSub:
+			return types.Float(a - b)
+		case OpMul:
+			return types.Float(a * b)
+		case OpDiv:
+			if b == 0 {
+				return types.Null()
+			}
+			return types.Float(a / b)
+		default: // OpMod over floats: undefined, NULL
+			return types.Null()
+		}
 	}
 }
 
@@ -315,13 +563,52 @@ func (c *compiler) compileCall(x Call) (*Compiled, error) {
 		args[i] = ca
 	}
 	fn := f.Eval
-	return &Compiled{kind: f.Kind, eval: func(row []types.Value) types.Value {
-		vals := make([]types.Value, len(args))
-		for i, a := range args {
-			vals[i] = a.eval(row)
-		}
-		return fn(vals)
-	}}, nil
+	ff := f.Floats
+	nargs := len(args)
+	return &Compiled{kind: f.Kind,
+		eval: func(row []types.Value) types.Value {
+			vals := make([]types.Value, len(args))
+			for i, a := range args {
+				vals[i] = a.eval(row)
+			}
+			return fn(vals)
+		},
+		evalB: func(tuples [][]types.Value, sel []int32, out []types.Value) {
+			// Arguments evaluate column-wise (vectorizing nested calls);
+			// the argument scratch lives for the batch, not one row.
+			cols := make([][]types.Value, nargs)
+			for j, a := range args {
+				col := make([]types.Value, len(sel))
+				a.EvalBatch(tuples, sel, col)
+				cols[j] = col
+			}
+			if ff != nil {
+				// Float-kernel fast path (Func.Floats): skips Eval's
+				// per-row []types.Value → []float64 conversion allocation.
+				fvals := make([]float64, nargs)
+			rows:
+				for k := range sel {
+					for j := range cols {
+						v := cols[j][k]
+						if v.IsNull() || !v.IsNumeric() {
+							out[k] = types.Null()
+							continue rows
+						}
+						fvals[j] = v.AsFloat()
+					}
+					out[k] = types.Float(ff(fvals))
+				}
+				return
+			}
+			vals := make([]types.Value, nargs)
+			for k := range sel {
+				for j := range cols {
+					vals[j] = cols[j][k]
+				}
+				out[k] = fn(vals)
+			}
+		},
+	}, nil
 }
 
 func (c *compiler) compileIn(x In) (*Compiled, error) {

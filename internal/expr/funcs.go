@@ -20,6 +20,13 @@ type Func struct {
 	// Eval computes the result; args are already evaluated. NULL inputs
 	// should normally yield NULL.
 	Eval func(args []types.Value) types.Value
+	// Floats, when non-nil, declares Eval to follow the standard float
+	// kernel convention — any NULL or non-numeric argument yields NULL,
+	// otherwise the result is exactly Float(Floats(argsAsFloats)) — and
+	// provides that kernel. The compiler's vectorized path (EvalBatch)
+	// uses it to hoist the per-row float conversion out of the row loop;
+	// Eval remains authoritative for the scalar path.
+	Floats func(args []float64) float64
 }
 
 // Registry maps function names to implementations. The zero Registry is

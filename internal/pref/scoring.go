@@ -46,6 +46,9 @@ func Functions() *expr.Registry {
 				}
 				return types.Float(Clamp01(f(fs)))
 			},
+			// The clamp belongs to the kernel so the vectorized path
+			// (expr.Func.Floats convention) matches Eval exactly.
+			Floats: func(a []float64) float64 { return Clamp01(f(a)) },
 		})
 	}
 	register("linear", 2, 2, func(a []float64) float64 { return a[0] * a[1] })

@@ -1,0 +1,89 @@
+package prel
+
+import "prefdb/internal/types"
+
+// Batch is a morsel-sized block of rows in batch layout: the tuple
+// pointers, the ⟨S,C⟩ pairs as a separate column, and a selection vector
+// of live row indices. Vectorized operators (internal/exec) process one
+// Batch per call instead of one row per call, so dynamic dispatch, guard
+// polling and stats accounting amortize over the whole block.
+//
+// Layout invariants:
+//
+//   - len(Tuples) == len(SC) == the batch capacity actually filled; Sel
+//     holds indices into that range, strictly increasing, so selected rows
+//     keep their input order.
+//   - Tuples aliases the producer's tuple storage and is never mutated
+//     through the batch; tuples are immutable by pipeline contract.
+//   - SC is a private column (copied at fill time), so prefer kernels may
+//     combine pairs in place without touching shared row storage.
+//
+// Aliasing contract: a Batch returned by a batch iterator is valid only
+// until the next nextBatch call on the same iterator. Consumers that keep
+// rows across calls must copy them out first (AppendRows); the Row copies
+// share tuple storage, which is safe because tuples are immutable.
+type Batch struct {
+	Tuples [][]types.Value
+	SC     []types.SC
+	Sel    []int32
+}
+
+// NewBatch returns a batch with capacity for n rows.
+func NewBatch(n int) *Batch {
+	return &Batch{
+		Tuples: make([][]types.Value, 0, n),
+		SC:     make([]types.SC, 0, n),
+		Sel:    make([]int32, 0, n),
+	}
+}
+
+// Reset empties the batch for refilling, keeping the backing arrays.
+func (b *Batch) Reset() {
+	b.Tuples = b.Tuples[:0]
+	b.SC = b.SC[:0]
+	b.Sel = b.Sel[:0]
+}
+
+// Push appends one row to the batch and selects it.
+func (b *Batch) Push(r Row) {
+	b.Sel = append(b.Sel, int32(len(b.Tuples)))
+	b.Tuples = append(b.Tuples, r.Tuple)
+	b.SC = append(b.SC, r.SC)
+}
+
+// PushTuple appends one tuple with the default ⟨⊥,0⟩ pair and selects it
+// (the shape base-table scans produce).
+func (b *Batch) PushTuple(t []types.Value) {
+	b.Sel = append(b.Sel, int32(len(b.Tuples)))
+	b.Tuples = append(b.Tuples, t)
+	b.SC = append(b.SC, types.SC{})
+}
+
+// FillRows resets the batch and fills it from a row slice (all selected).
+func (b *Batch) FillRows(rows []Row) {
+	b.Reset()
+	for _, r := range rows {
+		b.Push(r)
+	}
+}
+
+// Live returns the number of selected rows.
+func (b *Batch) Live() int { return len(b.Sel) }
+
+// Cap returns the number of rows the batch holds (selected or not).
+func (b *Batch) Cap() int { return len(b.Tuples) }
+
+// Row returns the i-th selected row (a value copy sharing tuple storage).
+func (b *Batch) Row(i int) Row {
+	j := b.Sel[i]
+	return Row{Tuple: b.Tuples[j], SC: b.SC[j]}
+}
+
+// AppendRows copies the selected rows out of the batch, appending to dst.
+// The copies remain valid after the batch is reused.
+func (b *Batch) AppendRows(dst []Row) []Row {
+	for _, j := range b.Sel {
+		dst = append(dst, Row{Tuple: b.Tuples[j], SC: b.SC[j]})
+	}
+	return dst
+}

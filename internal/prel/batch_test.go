@@ -1,0 +1,70 @@
+package prel
+
+import (
+	"testing"
+
+	"prefdb/internal/types"
+)
+
+func batchRow(id int64, score float64) Row {
+	return Row{Tuple: []types.Value{types.Int(id)}, SC: types.SC{Known: true, Score: score, Conf: 1}}
+}
+
+func TestBatchFillAndDrain(t *testing.T) {
+	b := NewBatch(4)
+	rows := []Row{batchRow(1, 0.1), batchRow(2, 0.2), batchRow(3, 0.3)}
+	b.FillRows(rows)
+	if b.Live() != 3 || b.Cap() != 3 {
+		t.Fatalf("Live=%d Cap=%d, want 3/3", b.Live(), b.Cap())
+	}
+	for i := range rows {
+		got := b.Row(i)
+		if !got.Tuple[0].Equal(rows[i].Tuple[0]) || got.SC != rows[i].SC {
+			t.Fatalf("Row(%d) = %+v, want %+v", i, got, rows[i])
+		}
+	}
+	out := b.AppendRows(nil)
+	if len(out) != 3 || !out[2].Tuple[0].Equal(types.Int(3)) {
+		t.Fatalf("AppendRows = %+v", out)
+	}
+}
+
+func TestBatchSelectionCompaction(t *testing.T) {
+	b := NewBatch(4)
+	b.FillRows([]Row{batchRow(1, 0), batchRow(2, 0), batchRow(3, 0), batchRow(4, 0)})
+	// Drop rows 0 and 2 the way a filter kernel would: compact Sel in place.
+	b.Sel = append(b.Sel[:0], 1, 3)
+	if b.Live() != 2 || b.Cap() != 4 {
+		t.Fatalf("Live=%d Cap=%d after compaction, want 2/4", b.Live(), b.Cap())
+	}
+	out := b.AppendRows(nil)
+	if len(out) != 2 || !out[0].Tuple[0].Equal(types.Int(2)) || !out[1].Tuple[0].Equal(types.Int(4)) {
+		t.Fatalf("selected rows = %+v, want ids 2 and 4 in input order", out)
+	}
+}
+
+func TestBatchResetKeepsCapacity(t *testing.T) {
+	b := NewBatch(2)
+	b.FillRows([]Row{batchRow(1, 0), batchRow(2, 0)})
+	tupCap, selCap := cap(b.Tuples), cap(b.Sel)
+	b.Reset()
+	if b.Live() != 0 || b.Cap() != 0 {
+		t.Fatalf("Reset left Live=%d Cap=%d", b.Live(), b.Cap())
+	}
+	if cap(b.Tuples) != tupCap || cap(b.Sel) != selCap {
+		t.Fatal("Reset dropped the backing arrays")
+	}
+}
+
+func TestBatchSCIsPrivate(t *testing.T) {
+	src := batchRow(1, 0.5)
+	b := NewBatch(1)
+	b.FillRows([]Row{src})
+	b.SC[0] = types.SC{Known: true, Score: 0.9, Conf: 1}
+	if src.SC.Score != 0.5 {
+		t.Fatalf("mutating batch SC column changed the source row: %+v", src.SC)
+	}
+	if got := b.Row(0).SC.Score; got != 0.9 {
+		t.Fatalf("batch SC column lost the kernel's write: %v", got)
+	}
+}

@@ -99,6 +99,18 @@ func (h *Heap) Delete(id RowID) bool {
 	return true
 }
 
+// Blocks returns the number of pages, the unit of block-wise access via
+// Block.
+func (h *Heap) Blocks() int { return len(h.pages) }
+
+// Block returns page i's tuple slab, its tombstone flags and its live
+// count, for block-wise readers (the executor's vectorized scan). Callers
+// must not mutate the returned slices; both alias heap storage.
+func (h *Heap) Block(i int) (rows [][]types.Value, dead []bool, live int) {
+	p := h.pages[i]
+	return p.rows, p.dead, p.live
+}
+
 // Scan visits every live tuple in storage order; the visitor returns false
 // to stop early.
 func (h *Heap) Scan(visit func(id RowID, tuple []types.Value) bool) {

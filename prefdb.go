@@ -151,6 +151,30 @@ func ParseCacheMode(name string) (CacheMode, error) { return engine.ParseCacheMo
 // overriding the database default.
 func WithScoreCache(m CacheMode) QueryOption { return engine.WithScoreCache(m) }
 
+// BatchMode selects the executor's evaluation style: vectorized over row
+// batches with selection vectors, or row-at-a-time.
+type BatchMode = engine.BatchMode
+
+// Batch modes.
+const (
+	// BatchOn evaluates supported operators vectorized (default).
+	BatchOn = engine.BatchOn
+	// BatchOff forces the row-at-a-time path.
+	BatchOff = engine.BatchOff
+)
+
+// ParseBatchMode resolves a batch mode by name ("on", "off").
+func ParseBatchMode(name string) (BatchMode, error) { return engine.ParseBatchMode(name) }
+
+// WithBatch selects the execution style for one query, overriding the
+// database default. Results, order and stats (modulo the diagnostic batch
+// counter) are identical in both modes.
+func WithBatch(m BatchMode) QueryOption { return engine.WithBatch(m) }
+
+// WithBatchSize overrides the vectorized path's rows-per-batch block size
+// for one query (0 = the executor default).
+func WithBatchSize(n int) QueryOption { return engine.WithBatchSize(n) }
+
 // WithDefaultMode sets the database's default evaluation strategy.
 func WithDefaultMode(m Mode) OpenOption { return engine.WithDefaultMode(m) }
 
@@ -163,6 +187,9 @@ func WithOptimizer(enabled bool) OpenOption { return engine.WithOptimizer(enable
 
 // WithDefaultScoreCache sets the database's default score-cache mode.
 func WithDefaultScoreCache(m CacheMode) OpenOption { return engine.WithDefaultScoreCache(m) }
+
+// WithDefaultBatch sets the database's default execution style.
+func WithDefaultBatch(m BatchMode) OpenOption { return engine.WithDefaultBatch(m) }
 
 // Sentinel errors returned (wrapped in a *GuardError) when a query's
 // lifecycle guard trips; match them with errors.Is. Context-caused
