@@ -1,0 +1,82 @@
+// Command prefdbvet runs prefdb's custom static-analysis suite over the
+// repository: five analyzers enforcing the executor invariants that the
+// compiler cannot see (atomic counter access, lifecycle ticks in pull
+// loops, selection-vector aliasing, hashed Value equality, %w-wrapped
+// typed errors). See DESIGN.md §11 for the invariant catalog.
+//
+// Usage:
+//
+//	go run ./cmd/prefdbvet ./...
+//	go run ./cmd/prefdbvet -run atomicfield,wrapcheck ./internal/exec
+//
+// The exit status is 1 when any diagnostic is reported, so the command
+// gates CI exactly like go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefdb/internal/lint"
+)
+
+func main() {
+	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("analyzers", false, "list the available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: prefdbvet [-run names] [packages]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *runFilter != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*runFilter, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "prefdbvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prefdbvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.NewLoader(wd).LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prefdbvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

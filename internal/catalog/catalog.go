@@ -24,12 +24,12 @@ type Table struct {
 	btreeIdx map[string]*storage.BTreeIndex
 
 	statsMu sync.Mutex
-	stats   *TableStats
+	stats   *TableStats // prefdb:guarded-by statsMu
 
 	// version counts DML batches applied to the table; cross-query caches
 	// (e.g. the engine's prepared-statement score dictionaries) snapshot it
 	// and discard their entries when it moves.
-	version atomic.Uint64
+	version atomic.Uint64 // prefdb:atomic
 }
 
 // Version returns the table's DML version counter. It is bumped by every

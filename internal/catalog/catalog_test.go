@@ -126,8 +126,8 @@ func TestStats(t *testing.T) {
 	if genreStats.Distinct != 3 {
 		t.Errorf("genre distinct = %d", genreStats.Distinct)
 	}
-	if genreStats.MCV[types.Str("Drama")] != 60 {
-		t.Errorf("Drama MCV = %d", genreStats.MCV[types.Str("Drama")])
+	if freq, _ := genreStats.MCVFreq(types.Str("Drama")); freq != 60 {
+		t.Errorf("Drama MCV = %d", freq)
 	}
 	// Stats are cached then invalidated on insert.
 	if tbl.Stats() != st {

@@ -23,6 +23,13 @@ const histBuckets = 32
 // histSampleCap bounds the values collected for histogram construction.
 const histSampleCap = 100000
 
+// ValueFreq is one most-common-value entry: a distinct value and its
+// occurrence count.
+type ValueFreq struct {
+	Value types.Value
+	Freq  int
+}
+
 // ColumnStats summarizes one column's value distribution.
 type ColumnStats struct {
 	Count    int
@@ -31,11 +38,27 @@ type ColumnStats struct {
 	// Min/Max are set for numeric columns.
 	HasRange bool
 	Min, Max float64
-	// MCV maps the most common values to their frequencies.
-	MCV map[types.Value]int
+	// MCV lists the most common values with their frequencies, most
+	// frequent first. Lookups go through MCVFreq, which applies
+	// Value.Equal semantics (ints match integral floats) — the reason
+	// this is a short slice rather than a Value-keyed map (see the
+	// valueconv convention, DESIGN.md §11).
+	MCV []ValueFreq
 	// Hist holds equi-depth histogram boundaries for numeric columns
 	// (len = buckets+1, ascending); empty when too few values were seen.
 	Hist []float64
+}
+
+// MCVFreq returns the tracked frequency of v among the most common
+// values, matching with Value.Equal (a linear scan over at most mcvKeep
+// entries).
+func (cs *ColumnStats) MCVFreq(v types.Value) (int, bool) {
+	for _, e := range cs.MCV {
+		if e.Value.Equal(v) {
+			return e.Freq, true
+		}
+	}
+	return 0, false
 }
 
 // DistinctSaturated reports whether the column hit the distinct-tracking
@@ -86,14 +109,48 @@ type TableStats struct {
 	Columns []ColumnStats
 }
 
+// valueCounter counts occurrences per distinct value. Buckets are keyed
+// by Value.Hash and confirmed with Value.Equal, so integral floats and
+// ints collapse into one distinct value exactly as they compare equal —
+// a Value-keyed map would split them (and strand NaN keys forever).
+type valueCounter struct {
+	buckets map[uint64][]ValueFreq
+	n       int
+}
+
+// add counts one occurrence of v, returning the number of distinct values
+// tracked so far.
+func (c *valueCounter) add(v types.Value) int {
+	if c.buckets == nil {
+		c.buckets = map[uint64][]ValueFreq{}
+	}
+	h := v.Hash()
+	bucket := c.buckets[h]
+	for i := range bucket {
+		if bucket[i].Value.Equal(v) {
+			bucket[i].Freq++
+			return c.n
+		}
+	}
+	c.buckets[h] = append(bucket, ValueFreq{Value: v, Freq: 1})
+	c.n++
+	return c.n
+}
+
+// entries flattens the counter into an unordered ValueFreq slice.
+func (c *valueCounter) entries() []ValueFreq {
+	out := make([]ValueFreq, 0, c.n)
+	for _, bucket := range c.buckets {
+		out = append(out, bucket...)
+	}
+	return out
+}
+
 func analyze(t *Table) *TableStats {
 	s := t.Schema()
 	st := &TableStats{Columns: make([]ColumnStats, s.Len())}
-	counts := make([]map[types.Value]int, s.Len())
+	counts := make([]valueCounter, s.Len())
 	samples := make([][]float64, s.Len())
-	for i := range counts {
-		counts[i] = map[types.Value]int{}
-	}
 	t.Heap.Scan(func(_ storage.RowID, tuple []types.Value) bool {
 		st.Rows++
 		for i, v := range tuple {
@@ -119,64 +176,36 @@ func analyze(t *Table) *TableStats {
 					samples[i] = append(samples[i], f)
 				}
 			}
-			if len(counts[i]) < maxDistinctTracked {
-				counts[i][normalizeVal(v)]++
+			if counts[i].n < maxDistinctTracked {
+				counts[i].add(v)
 			}
 		}
 		return true
 	})
 	for i := range st.Columns {
 		cs := &st.Columns[i]
-		cs.Distinct = len(counts[i])
-		cs.MCV = topK(counts[i], mcvKeep)
+		cs.Distinct = counts[i].n
+		cs.MCV = topK(counts[i].entries(), mcvKeep)
 		cs.Hist = equiDepth(samples[i], histBuckets)
 	}
 	return st
 }
 
-// normalizeVal folds integral floats into ints so MCV lookups behave like
-// Value.Equal.
-func normalizeVal(v types.Value) types.Value {
-	if v.Kind() == types.KindFloat {
-		f := v.AsFloat()
-		if f == float64(int64(f)) {
-			return types.Int(int64(f))
+// topK keeps the k highest-frequency entries, most frequent first (ties
+// broken by value order so the result is deterministic across map
+// iteration orders).
+func topK(all []ValueFreq, k int) []ValueFreq {
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Freq != all[j].Freq {
+			return all[i].Freq > all[j].Freq
 		}
+		c, _ := types.Compare(all[i].Value, all[j].Value)
+		return c < 0
+	})
+	if len(all) > k {
+		all = all[:k]
 	}
-	return v
-}
-
-func topK(m map[types.Value]int, k int) map[types.Value]int {
-	if len(m) <= k {
-		out := make(map[types.Value]int, len(m))
-		for v, c := range m {
-			out[v] = c
-		}
-		return out
-	}
-	type vc struct {
-		v types.Value
-		c int
-	}
-	all := make([]vc, 0, len(m))
-	for v, c := range m {
-		all = append(all, vc{v, c})
-	}
-	// Partial selection: simple sort is fine at analyze time.
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(all); j++ {
-			if all[j].c > all[best].c {
-				best = j
-			}
-		}
-		all[i], all[best] = all[best], all[i]
-	}
-	out := make(map[types.Value]int, k)
-	for _, e := range all[:k] {
-		out[e.v] = e.c
-	}
-	return out
+	return all
 }
 
 // equiDepth builds equi-depth histogram boundaries from a value sample:
@@ -286,7 +315,7 @@ func selCompare(t *Table, st *TableStats, n expr.Bin) float64 {
 	}
 	switch op {
 	case expr.OpEq:
-		if freq, ok := cs.MCV[normalizeVal(lit)]; ok && cs.Count > 0 {
+		if freq, ok := cs.MCVFreq(lit); ok && cs.Count > 0 {
 			return float64(freq) / float64(cs.Count)
 		}
 		if cs.Distinct > 0 {

@@ -70,7 +70,7 @@ func TestLoadIMDBDistributions(t *testing.T) {
 	genres, _ := cat.Table("genres")
 	gst := genres.Stats()
 	gIdx := genres.Schema().MustIndexOf("genre")
-	drama := gst.Columns[gIdx].MCV[types.Str("Drama")]
+	drama, _ := gst.Columns[gIdx].MCVFreq(types.Str("Drama"))
 	if drama == 0 || float64(drama) < 0.25*float64(gst.Rows) {
 		t.Errorf("Drama frequency = %d of %d, want skewed head", drama, gst.Rows)
 	}
@@ -109,7 +109,7 @@ func TestLoadDBLP(t *testing.T) {
 	pubs, _ := cat.Table("publications")
 	st := pubs.Stats()
 	tIdx := pubs.Schema().MustIndexOf("pub_type")
-	if st.Columns[tIdx].MCV[types.Str("inproceedings")] == 0 {
+	if freq, _ := st.Columns[tIdx].MCVFreq(types.Str("inproceedings")); freq == 0 {
 		t.Error("no inproceedings rows")
 	}
 	// Conference p_ids reference publications of the right type.

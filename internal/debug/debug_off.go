@@ -1,0 +1,17 @@
+//go:build !prefdbdebug
+
+package debug
+
+// Enabled reports whether assertions are compiled in. In normal builds it
+// is a false constant, so `if debug.Enabled { … }` blocks are dead code
+// and every function below inlines to nothing.
+const Enabled = false
+
+// Assertf is a no-op in normal builds.
+func Assertf(bool, string, ...any) {}
+
+// SelValid is a no-op in normal builds.
+func SelValid([]int32, int) {}
+
+// SameLen is a no-op in normal builds.
+func SameLen(string, int, int) {}

@@ -1,0 +1,61 @@
+package debug
+
+import "testing"
+
+// expectPanic runs fn and reports whether it panicked.
+func panics(fn func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	fn()
+	return false
+}
+
+// TestAssertions pins both build flavors with one file: under prefdbdebug
+// violations panic, in normal builds every call is a no-op. Enabled tells
+// the test which contract to hold the package to.
+func TestAssertions(t *testing.T) {
+	cases := []struct {
+		name    string
+		violate func()
+		hold    func()
+	}{
+		{
+			name:    "Assertf",
+			violate: func() { Assertf(false, "boom %d", 1) },
+			hold:    func() { Assertf(true, "fine") },
+		},
+		{
+			name:    "SelValid/unsorted",
+			violate: func() { SelValid([]int32{2, 1}, 4) },
+			hold:    func() { SelValid([]int32{0, 1, 3}, 4) },
+		},
+		{
+			name:    "SelValid/duplicate",
+			violate: func() { SelValid([]int32{1, 1}, 4) },
+			hold:    func() { SelValid(nil, 0) },
+		},
+		{
+			name:    "SelValid/out-of-bounds",
+			violate: func() { SelValid([]int32{0, 4}, 4) },
+			hold:    func() { SelValid([]int32{3}, 4) },
+		},
+		{
+			name:    "SameLen",
+			violate: func() { SameLen("cols", 2, 3) },
+			hold:    func() { SameLen("cols", 3, 3) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if panics(tc.hold) {
+				t.Error("assertion panicked on a holding invariant")
+			}
+			if got := panics(tc.violate); got != Enabled {
+				t.Errorf("violation panicked = %v, want %v (Enabled)", got, Enabled)
+			}
+		})
+	}
+}

@@ -188,6 +188,7 @@ type rowBatchSrc struct {
 	buf  *prel.Batch
 }
 
+// prefdb:nolifecycle loop is bounded by r.size; the wrapped row iterator carries the tick
 func (r *rowBatchSrc) nextBatch() (*prel.Batch, bool) {
 	if r.buf == nil {
 		r.buf = prel.NewBatch(r.size)
@@ -217,6 +218,7 @@ type batchToRow struct {
 	pos int
 }
 
+// prefdb:nolifecycle each inner pull yields a non-empty batch, so the loop advances every second iteration; the batch producer ticks
 func (b *batchToRow) next() (prel.Row, bool) {
 	for {
 		if b.cur != nil && b.pos < b.cur.Live() {
@@ -264,6 +266,7 @@ func (f *filterBatch) nextBatch() (*prel.Batch, bool) {
 			return nil, false
 		}
 		b.Sel = f.cond.TruthyBatch(b.Tuples, b.Sel)
+		b.Check()
 		if b.Live() > 0 {
 			return b, true
 		}
@@ -348,6 +351,7 @@ func (s *segBatchIter) nextBatch() (*prel.Batch, bool) {
 			return nil, false
 		}
 		applySegOps(b, s.ops, s.memos, s.agg, s.stats, &s.scr)
+		b.Check()
 		if b.Live() > 0 {
 			return b, true
 		}
@@ -365,6 +369,7 @@ type projectBatch struct {
 	arena projectArena
 }
 
+// prefdb:nolifecycle projection drops no rows, so the loop iterates at most twice per call; the input pipeline ticks
 func (p *projectBatch) nextBatch() (*prel.Batch, bool) {
 	for {
 		b, ok := p.in.nextBatch()
@@ -383,6 +388,7 @@ func (p *projectBatch) nextBatch() (*prel.Batch, bool) {
 			}
 			p.out.Push(prel.Row{Tuple: t, SC: b.SC[j]})
 		}
+		p.out.Check()
 		if p.out.Live() > 0 {
 			return p.out, true
 		}
@@ -397,12 +403,16 @@ type thresholdBatch struct {
 	by    algebra.RankBy
 	op    expr.Op
 	value float64
+	tick  pollTick
 }
 
 func (t *thresholdBatch) nextBatch() (*prel.Batch, bool) {
 	for {
 		b, ok := t.in.nextBatch()
 		if !ok {
+			return nil, false
+		}
+		if t.tick.stopN(b.Live()) {
 			return nil, false
 		}
 		out := b.Sel[:0]
@@ -422,6 +432,7 @@ func (t *thresholdBatch) nextBatch() (*prel.Batch, bool) {
 			}
 		}
 		b.Sel = out
+		b.Check()
 		if b.Live() > 0 {
 			return b, true
 		}
@@ -544,7 +555,7 @@ func (e *Executor) buildBatch(n algebra.Node) (batchIter, *schema.Schema, error)
 		if !x.Op.IsComparison() {
 			return nil, nil, fmt.Errorf("exec: threshold operator %s is not a comparison", x.Op)
 		}
-		return &thresholdBatch{in: in, by: x.By, op: x.Op, value: x.Value}, s, nil
+		return &thresholdBatch{in: in, by: x.By, op: x.Op, value: x.Value, tick: pollTick{g: e.gd}}, s, nil
 
 	default:
 		// Row-path fallback: blocking operators in this subtree still

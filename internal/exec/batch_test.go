@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -167,11 +168,7 @@ func TestBatchGuardTrips(t *testing.T) {
 }
 
 func asGuardError(err error, target **GuardError) bool {
-	ge, ok := err.(*GuardError)
-	if ok {
-		*target = ge
-	}
-	return ok
+	return errors.As(err, target)
 }
 
 // TestSegBatchKernelFusesFilterPrefer pins the fused kernel directly:

@@ -363,7 +363,7 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 		if !x.Op.IsComparison() {
 			return nil, nil, fmt.Errorf("exec: threshold operator %s is not a comparison", x.Op)
 		}
-		return &thresholdIter{in: in, by: x.By, op: x.Op, value: x.Value}, s, nil
+		return &thresholdIter{in: in, by: x.By, op: x.Op, value: x.Value, tick: pollTick{g: e.gd}}, s, nil
 
 	case *algebra.Skyline:
 		rel, err := e.drainChild(x.Input)

@@ -163,6 +163,53 @@ func contains(ss []string, s string) bool {
 	return false
 }
 
+// FuzzBatchRowEquivalence fuzzes the batch≡row contract (DESIGN.md §10):
+// for any generated plan and any strategy, the vectorized path must
+// produce the row path's exact rows, order and Stats (modulo the
+// diagnostic Batches counter) at every batch size — including degenerate
+// size 1, where every compaction edge case fires. Run it under
+// `-tags prefdbdebug` to layer the runtime assertions (selection-vector
+// shape, column alignment) over the equivalence check.
+func FuzzBatchRowEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 42, 7777, 20120401} {
+		f.Add(seed, uint8(0))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, strategyPick uint8) {
+		g := &planGen{r: rand.New(rand.NewSource(seed))}
+		plan := g.genPlan()
+		strategies := Strategies()
+		s := strategies[int(strategyPick)%len(strategies)]
+
+		eRow := New(movieDB(t))
+		eRow.Batch = BatchOff
+		ref, err := eRow.Run(plan, s)
+		if err != nil {
+			t.Fatalf("row path (%v) failed on\n%s\n%v", s, algebra.Format(plan), err)
+		}
+		refStats := eRow.Stats()
+		refStats.Batches = 0
+
+		for _, size := range []int{1, 3, 1024} {
+			eBatch := New(movieDB(t))
+			eBatch.Batch = BatchOn
+			eBatch.BatchSize = size
+			got, err := eBatch.Run(plan, s)
+			if err != nil {
+				t.Fatalf("batch path (%v, size %d) failed on\n%s\n%v", s, size, algebra.Format(plan), err)
+			}
+			if diff := ref.Diff(got, 1e-9); diff != "" {
+				t.Fatalf("batch path (%v, size %d) differs on\n%s\n%s", s, size, algebra.Format(plan), diff)
+			}
+			gotStats := eBatch.Stats()
+			gotStats.Batches = 0
+			if gotStats != refStats {
+				t.Fatalf("batch path (%v, size %d) Stats differ on\n%s\nrow:   %v\nbatch: %v",
+					s, size, algebra.Format(plan), refStats, gotStats)
+			}
+		}
+	})
+}
+
 // TestRandomPlansAllStrategiesAgree cross-checks 150 random plans: every
 // strategy, with and without the optimizer, must return the native
 // reference result.

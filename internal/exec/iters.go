@@ -7,6 +7,7 @@ import (
 
 	"prefdb/internal/algebra"
 	"prefdb/internal/catalog"
+	"prefdb/internal/debug"
 	"prefdb/internal/expr"
 	"prefdb/internal/pref"
 	"prefdb/internal/prel"
@@ -73,6 +74,7 @@ type projectArena struct {
 
 // tuple returns a zeroed slice of the arena's width.
 func (a *projectArena) tuple() []types.Value {
+	debug.Assertf(a.width > 0, "projectArena used before its width was set")
 	if cap(a.buf)-len(a.buf) < a.width {
 		a.buf = make([]types.Value, 0, projectChunkRows*a.width)
 	}
@@ -155,10 +157,14 @@ type thresholdIter struct {
 	by    algebra.RankBy
 	op    expr.Op
 	value float64
+	tick  pollTick
 }
 
 func (t *thresholdIter) next() (prel.Row, bool) {
 	for {
+		if t.tick.stop() {
+			return prel.Row{}, false
+		}
 		row, ok := t.in.next()
 		if !ok {
 			return prel.Row{}, false
@@ -889,6 +895,7 @@ type limitIter struct {
 	yielded int
 }
 
+// prefdb:nolifecycle skip loop is bounded by the plan's OFFSET; the input iterator ticks
 func (l *limitIter) next() (prel.Row, bool) {
 	for l.skipped < l.offset {
 		if _, ok := l.in.next(); !ok {

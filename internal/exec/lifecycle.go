@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"prefdb/internal/debug"
 )
 
 // Sentinel errors for query-lifecycle failures; match them with errors.Is.
@@ -150,11 +152,11 @@ type guard struct {
 
 	limits Limits
 
-	rows, cells atomic.Int64
-	tripped     atomic.Bool
+	rows, cells atomic.Int64 // prefdb:atomic
+	tripped     atomic.Bool  // prefdb:atomic
 
 	mu  sync.Mutex
-	err *GuardError
+	err *GuardError // prefdb:guarded-by mu
 }
 
 // arm installs the query's context and limits on the executor, replacing
@@ -247,6 +249,8 @@ func (g *guard) add(rows, cells int) error {
 	if g == nil {
 		return nil
 	}
+	debug.Assertf(rows >= 0 && cells >= 0,
+		"guard charged a negative amount (%d rows, %d cells); a tick counter underflowed", rows, cells)
 	r := g.rows.Add(int64(rows))
 	c := g.cells.Add(int64(cells))
 	l := g.limits

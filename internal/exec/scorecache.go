@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"prefdb/internal/algebra"
+	"prefdb/internal/debug"
 	"prefdb/internal/expr"
 	"prefdb/internal/pref"
 	"prefdb/internal/prel"
@@ -124,6 +125,7 @@ func (m *scoreMemo) lookupOrCompute(tuple []types.Value, stats *Stats) (types.SC
 		key = append(key, tuple[c])
 	}
 	m.scratch = key
+	debug.SameLen("memo key vs column set", len(key), len(m.cols))
 	h := types.HashTuple(key)
 	for _, e := range m.buckets[h] {
 		if types.TupleEqual(e.key, key) {

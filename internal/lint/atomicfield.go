@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces the access discipline of annotated shared fields.
+//
+// Grammar (comment on the struct field declaration):
+//
+//	// prefdb:atomic
+//	    The field is shared across goroutines. If its type comes from
+//	    sync/atomic, it may only be used through its methods or by
+//	    address (never copied or reassigned); if it is a plain integer,
+//	    every access must be an &field argument to a sync/atomic call.
+//
+//	// prefdb:guarded-by <mutexField>
+//	    The field may only be touched inside functions that lock the
+//	    named sibling mutex (flow-insensitive: the enclosing function
+//	    must contain a <mutexField>.Lock() call).
+//
+// Catalog version counters, lifecycle-guard trip state and index probe
+// counters carry these annotations; the analyzer turns a careless direct
+// read — which the race detector only catches if a test happens to race —
+// into a compile-gate failure.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields annotated prefdb:atomic must be accessed via sync/atomic; prefdb:guarded-by fields only under their mutex",
+	Run:  runAtomicField,
+}
+
+type fieldRule struct {
+	// guard is the sibling mutex field name for guarded-by, "" for atomic.
+	guard string
+	// atomicType is true when the field's type lives in sync/atomic and
+	// method calls are the sanctioned access.
+	atomicType bool
+}
+
+func runAtomicField(pass *Pass) error {
+	rules := map[types.Object]fieldRule{}
+
+	// Collect annotated fields from struct declarations.
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, ok := pass.Marker(field.Pos(), "atomic", field.Doc, field.Comment); ok {
+					_, pkgName := namedOf(obj.Type())
+					rules[obj] = fieldRule{atomicType: pkgName == "atomic"}
+				}
+				if mu, ok := pass.Marker(field.Pos(), "guarded-by", field.Doc, field.Comment); ok && mu != "" {
+					rules[obj] = fieldRule{guard: mu}
+				}
+			}
+		}
+	})
+	if len(rules) == 0 {
+		return nil
+	}
+
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return
+		}
+		rule, annotated := rules[selection.Obj()]
+		if !annotated {
+			return
+		}
+		if _, ok := pass.Marker(sel.Pos(), "atomic-ok"); ok {
+			return
+		}
+		parent := ast.Node(nil)
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		// x.f.g — this match is the x.f prefix of a longer selection; the
+		// walk visits the outer selector separately.
+		if outer, ok := parent.(*ast.SelectorExpr); ok && outer.X == sel {
+			if rule.atomicType {
+				return // x.f.Load() etc.: method access is the sanctioned form
+			}
+			// Selecting through a plain guarded/atomic field: treat as a read.
+		}
+
+		switch {
+		case rule.guard != "":
+			fn := EnclosingFunc(stack)
+			if fn == nil || !callsLock(fn, rule.guard) {
+				pass.Reportf(sel.Pos(),
+					"access to %s.%s outside %s.Lock (annotated prefdb:guarded-by %s)",
+					typeNameOf(selection), sel.Sel.Name, rule.guard, rule.guard)
+			}
+		case rule.atomicType:
+			switch p := parent.(type) {
+			case *ast.SelectorExpr:
+				// handled above
+			case *ast.UnaryExpr:
+				if p.Op.String() != "&" {
+					pass.Reportf(sel.Pos(), "atomic field %s used as a value; use its methods", sel.Sel.Name)
+				}
+			default:
+				pass.Reportf(sel.Pos(),
+					"atomic field %s copied or reassigned; sync/atomic values must not be moved after first use",
+					sel.Sel.Name)
+			}
+		default:
+			// Plain integer with prefdb:atomic: only &x.f directly inside a
+			// sync/atomic call is allowed.
+			if !isAtomicCallArg(pass, sel, stack) {
+				pass.Reportf(sel.Pos(),
+					"direct access to %s (annotated prefdb:atomic); use sync/atomic", sel.Sel.Name)
+			}
+		}
+	})
+	return nil
+}
+
+// typeNameOf renders the receiver type name of a field selection for
+// diagnostics.
+func typeNameOf(selection *types.Selection) string {
+	name, _ := namedOf(selection.Recv())
+	if name == "" {
+		return "?"
+	}
+	return name
+}
+
+// callsLock reports whether the function body contains a `<mu>.Lock()` or
+// `<mu>.RLock()` call on a selector ending in the named mutex field.
+func callsLock(fn ast.Node, mu string) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (method.Sel.Name != "Lock" && method.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := method.X.(type) {
+		case *ast.SelectorExpr:
+			if recv.Sel.Name == mu {
+				found = true
+			}
+		case *ast.Ident:
+			if recv.Name == mu {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAtomicCallArg reports whether sel occurs as &sel directly in the
+// argument list of a sync/atomic function call.
+func isAtomicCallArg(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	addr, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || addr.Op.String() != "&" || addr.X != sel {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := fun.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName); ok {
+		return obj.Imported().Name() == "atomic"
+	}
+	return false
+}

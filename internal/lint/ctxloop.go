@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxLoop enforces the cooperative-cancellation discipline of the
+// executor's pull loops (DESIGN.md §8): any `next`/`nextBatch` method
+// that loops pulling from an upstream iterator can spin unboundedly over
+// rejected rows, so the loop must consult the amortized lifecycle tick —
+// a pollTick.stop/stopN, matTick.row/rows/flush or guard.poll/add call —
+// or the method must be annotated:
+//
+//	// prefdb:nolifecycle <reason>
+//
+// for loops that are provably bounded (offset skips, batch refills capped
+// by the block size). An annotation without a reason is itself a finding.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "iterator next/nextBatch pull loops must tick the lifecycle guard or carry prefdb:nolifecycle <reason>",
+	Run:  runCtxLoop,
+}
+
+// tickMethods maps sanctioned lifecycle-helper receivers to their methods.
+var tickMethods = map[string]map[string]bool{
+	"pollTick": {"stop": true, "stopN": true},
+	"matTick":  {"row": true, "rows": true, "flush": true},
+	"guard":    {"poll": true, "add": true},
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			if fn.Name.Name != "next" && fn.Name.Name != "nextBatch" {
+				continue
+			}
+			reason, annotated := pass.Marker(fn.Pos(), "nolifecycle", fn.Doc)
+			if annotated && reason == "" {
+				pass.Reportf(fn.Pos(), "prefdb:nolifecycle annotation on %s needs a reason", fn.Name.Name)
+				continue
+			}
+			if !hasPullLoop(pass, fn.Body) {
+				continue
+			}
+			if annotated {
+				continue
+			}
+			if !ticksGuard(pass, fn.Body) {
+				pass.Reportf(fn.Pos(),
+					"%s pulls from an upstream iterator in a loop without a lifecycle tick; call pollTick.stop/stopN (or annotate // prefdb:nolifecycle <reason>)",
+					fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// hasPullLoop reports whether body contains a for/range loop whose body
+// calls an upstream next/nextBatch — the shape that can spin unboundedly.
+func hasPullLoop(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var loopBody *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody = l.Body
+		case *ast.RangeStmt:
+			loopBody = l.Body
+		default:
+			return true
+		}
+		ast.Inspect(loopBody, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "next" || sel.Sel.Name == "nextBatch" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+// ticksGuard reports whether body contains a call to one of the lifecycle
+// tick helpers (matched by receiver type name and method name, so test
+// fixtures can declare stand-ins).
+func ticksGuard(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		typeName, _ := NamedType(pass.TypesInfo, sel.X)
+		if methods, ok := tickMethods[typeName]; ok && methods[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,260 @@
+// Package lint is prefdb's custom static-analysis suite: five analyzers
+// that machine-check the executor invariants PRs 1–4 established by
+// convention (atomic-only counter access, amortized lifecycle ticks in
+// pull loops, no escaping selection-vector/scratch aliases, hashed Value
+// equality, %w-wrapped typed errors). See DESIGN.md §11 for the invariant
+// catalog and the annotation grammar.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis
+// shapes (Analyzer, Pass, Diagnostic, want-comment fixtures) but is built
+// on the standard library alone — prefdb has no module dependencies, and
+// the analyzers only need parsed+typechecked syntax, which go/parser and
+// go/types provide. Packages are enumerated and resolved with `go list`
+// (load.go), so the driver sees exactly the files a build would.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check over a typechecked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description shown by `prefdbvet -help`.
+	Doc string
+	// Run reports diagnostics through the pass. The error return is for
+	// analyzer malfunction, not findings.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass provides one analyzer with one typechecked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	// lineComments maps file name → line → the comment text on that line,
+	// built lazily for annotation lookups (suppressions, prefdb: markers).
+	lineComments map[string]map[int]string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// CommentOnLine returns the comment text (without the // or /* markers)
+// attached to the given line of the file containing pos, or "".
+func (p *Pass) CommentOnLine(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	if p.lineComments == nil {
+		p.lineComments = map[string]map[int]string{}
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			m := map[int]string{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					line := p.Fset.Position(c.Pos()).Line
+					m[line] = strings.TrimSpace(strings.TrimPrefix(
+						strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/"), "//"))
+				}
+			}
+			p.lineComments[name] = m
+		}
+	}
+	return p.lineComments[position.Filename][position.Line]
+}
+
+// Marker returns the arguments of a `prefdb:<name>` annotation attached to
+// pos — on the same line, the line above, or in the given doc comment —
+// and whether the annotation is present. An annotation with no arguments
+// yields ("", true).
+func (p *Pass) Marker(pos token.Pos, name string, doc ...*ast.CommentGroup) (string, bool) {
+	needle := "prefdb:" + name
+	try := func(text string) (string, bool) {
+		for _, line := range strings.Split(text, "\n") {
+			line = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "//"))
+			if line == needle {
+				return "", true
+			}
+			if strings.HasPrefix(line, needle+" ") {
+				return strings.TrimSpace(strings.TrimPrefix(line, needle)), true
+			}
+		}
+		return "", false
+	}
+	if args, ok := try(p.CommentOnLine(pos)); ok {
+		return args, true
+	}
+	// The line above (annotation written on its own line).
+	position := p.Fset.Position(pos)
+	if m := p.lineComments[position.Filename]; m != nil {
+		if args, ok := try(m[position.Line-1]); ok {
+			return args, true
+		}
+	}
+	for _, d := range doc {
+		if d == nil {
+			continue
+		}
+		if args, ok := try(d.Text()); ok {
+			return args, true
+		}
+	}
+	return "", false
+}
+
+// WalkStack traverses every file of the pass depth-first, calling fn with
+// each node and the stack of its ancestors (outermost first, not
+// including the node itself).
+func (p *Pass) WalkStack(fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration or literal in
+// the stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// NamedType returns the name and package of an expression's type after
+// stripping pointers and aliases, or ("", "") when it has no named type.
+// Matching is by type name and *package name* (not import path) so the
+// analyzers work identically on the real tree and on small test fixtures
+// that declare stand-in types.
+func NamedType(info *types.Info, e ast.Expr) (typeName, pkgName string) {
+	tv, ok := info.Types[e]
+	if !ok {
+		return "", ""
+	}
+	return namedOf(tv.Type)
+}
+
+func namedOf(t types.Type) (typeName, pkgName string) {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			obj := x.Obj()
+			pkg := ""
+			if obj.Pkg() != nil {
+				pkg = obj.Pkg().Name()
+			}
+			return obj.Name(), pkg
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return "", ""
+		}
+	}
+}
+
+// IsErrorType reports whether t is the error interface or implements it
+// (directly or through a pointer receiver).
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("analyzer error: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// A base package and its test variant share non-test files: drop exact
+	// duplicate findings.
+	out := diags[:0]
+	for _, d := range diags {
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Analyzers returns the full prefdbvet suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{AtomicField, CtxLoop, ScratchAlias, ValueConv, WrapCheck}
+}
+
+// wantRe matches one expectation inside a `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// analyzerFixtures pairs each analyzer with its testdata directory.
+var analyzerFixtures = []struct {
+	analyzer *Analyzer
+	dir      string
+}{
+	{AtomicField, "atomicfield"},
+	{CtxLoop, "ctxloop"},
+	{ScratchAlias, "scratchalias"},
+	{ValueConv, "valueconv"},
+	{WrapCheck, "wrapcheck"},
+}
+
+// repoRoot returns the module root (two levels above internal/lint), the
+// directory `go list` must run in so fixture imports of prefdb packages
+// resolve.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestAnalyzerFixtures runs each analyzer over its fixture package and
+// checks the findings against the `// want "regexp"` comments, in the
+// style of analysistest: every diagnostic must be wanted on its line, and
+// every want must be matched by a diagnostic.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, tc := range analyzerFixtures {
+		t.Run(tc.dir, func(t *testing.T) {
+			root := repoRoot(t)
+			loader := NewLoader(root)
+			dir := filepath.Join(root, "internal", "lint", "testdata", tc.dir)
+			pkg, err := loader.CheckDir(dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			checkWants(t, pkg, diags)
+		})
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses `// want "…"` (or backquoted) comments from the
+// fixture files, keyed by file:line.
+func collectWants(t *testing.T, pkg *Package) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey(pos)
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// checkWants cross-checks diagnostics against want comments.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := posKey(d.Pos)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: want %q not reported", key, w.re)
+			}
+		}
+	}
+}
+
+// TestSuppressionsNeedAnnotations flips the fixtures' suppression lines
+// sanity check: the fixtures above contain prefdb:*-ok annotated lines
+// that must NOT be reported; checkWants already fails on any unexpected
+// diagnostic, so this test just pins that each fixture has at least one
+// want (a fixture with zero wants would silently test nothing).
+func TestSuppressionsNeedAnnotations(t *testing.T) {
+	root := repoRoot(t)
+	loader := NewLoader(root)
+	for _, tc := range analyzerFixtures {
+		dir := filepath.Join(root, "internal", "lint", "testdata", tc.dir)
+		pkg, err := loader.CheckDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.dir, err)
+		}
+		if wants := collectWants(t, pkg); len(wants) == 0 {
+			t.Errorf("fixture %s has no want comments; it would pass vacuously", tc.dir)
+		}
+	}
+}
+
+// TestPrefdbvetRepoClean is the smoke test the CI gate relies on: the full
+// analyzer suite over the whole repository (tests included) must be
+// silent. Any true positive is fixed at the source; any sanctioned
+// exception carries its annotation.
+func TestPrefdbvetRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole repository")
+	}
+	root := repoRoot(t)
+	pkgs, err := NewLoader(root).LoadPatterns("./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader lost targets", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoaderTestVariants pins the loader's package-selection rules: test
+// variants supersede the plain package, external test packages load, and
+// the fixture loader refuses an empty directory.
+func TestLoaderTestVariants(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := NewLoader(root).LoadPatterns("./internal/prel/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	joined := strings.Join(paths, " ")
+	if !strings.Contains(joined, "prefdb/internal/prel [prefdb/internal/prel.test]") {
+		t.Errorf("test variant missing from %q", joined)
+	}
+	for _, p := range pkgs {
+		if p.ImportPath == "prefdb/internal/prel" {
+			t.Errorf("plain package not superseded by its test variant")
+		}
+	}
+	if _, err := NewLoader(root).CheckDir(filepath.Join(root, "internal", "lint", "testdata")); err == nil {
+		t.Error("CheckDir on a directory with no .go files should fail")
+	}
+}

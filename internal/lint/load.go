@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	ForTest    string
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and typechecks packages with the standard library only:
+// `go list` supplies the build-tag-filtered file sets and the import
+// graph, go/parser and go/types do the rest. Every package — the standard
+// library included — is typechecked from source, so no export data or
+// compiled artifacts are required.
+type Loader struct {
+	// Dir is the directory `go list` runs in (the module root or below).
+	Dir string
+
+	fset *token.FileSet
+	meta map[string]*listPkg
+	pkgs map[string]*types.Package
+	// loading guards against import cycles (which would indicate corrupt
+	// metadata; the go command rejects real cycles).
+	loading map[string]bool
+	// forTest is the test-variant suffix of the package currently being
+	// typechecked, so its imports resolve to test variants first.
+	forTest string
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		meta:    map[string]*listPkg{},
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// list runs `go list -e -json` with the given arguments and folds the
+// resulting package metadata into the loader.
+func (l *Loader) list(args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	// CGO off keeps every listed package pure Go, so source typechecking
+	// never meets a cgo-generated file.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if _, have := l.meta[p.ImportPath]; !have {
+			cp := p
+			l.meta[p.ImportPath] = &cp
+		}
+		pkgs = append(pkgs, l.meta[p.ImportPath])
+	}
+	return pkgs, nil
+}
+
+// Import implements types.Importer by typechecking the named package on
+// demand (memoized). While typechecking a test variant, imports resolve to
+// sibling test variants first, so external test packages observe the
+// in-package test declarations (the export_test.go idiom).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.forTest != "" {
+		variant := path + " [" + l.forTest + "]"
+		if _, ok := l.meta[variant]; ok {
+			path = variant
+		}
+	}
+	return l.typecheck(path)
+}
+
+// typecheck parses and checks one package by import path, loading its
+// metadata through `go list` if it has not been seen yet.
+func (l *Loader) typecheck(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	lp, ok := l.meta[path]
+	if !ok {
+		if _, err := l.list("-deps", "--", path); err != nil {
+			return nil, err
+		}
+		if lp, ok = l.meta[path]; !ok {
+			return nil, fmt.Errorf("lint: package %q not found by go list", path)
+		}
+	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("lint: loading %s: %s", path, lp.Error.Err)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pkg, _, _, err := l.check(lp, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// check parses lp's files (plus any extra files) and typechecks them. The
+// returned info is non-nil only when wantInfo is.
+func (l *Loader) check(lp *listPkg, wantInfo *types.Info) (*types.Package, []*ast.File, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	savedForTest := l.forTest
+	if i := strings.IndexByte(lp.ImportPath, '['); i >= 0 {
+		l.forTest = strings.TrimSuffix(lp.ImportPath[i+1:], "]")
+	} else {
+		l.forTest = ""
+	}
+	defer func() { l.forTest = savedForTest }()
+
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		// Dependency packages only need their exported shape; tolerate
+		// benign errors (e.g. platform-conditional declarations) instead of
+		// aborting the whole run.
+		Error:            func(error) {},
+		IgnoreFuncBodies: false,
+	}
+	info := wantInfo
+	basePath := lp.ImportPath
+	if i := strings.IndexByte(basePath, ' '); i >= 0 {
+		basePath = basePath[:i]
+	}
+	pkg, err := conf.Check(basePath, l.fset, files, info)
+	if err != nil && pkg == nil {
+		return nil, nil, nil, fmt.Errorf("lint: typechecking %s: %w", lp.ImportPath, err)
+	}
+	return pkg, files, info, nil
+}
+
+// newInfo allocates the typechecker fact tables the analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadPatterns loads the packages matched by the go list patterns —
+// including their in-package and external test files — typechecked and
+// ready for analysis. When a package has a test variant (test files
+// present), the variant supersedes the plain package so annotations and
+// findings in test helpers are covered.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	listed, err := l.list(append([]string{"-deps", "-test", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick analysis targets: pattern-matched entries, preferring the test
+	// variant "p [p.test]" over the plain "p" it shadows.
+	shadowed := map[string]bool{}
+	var targets []*listPkg
+	for _, lp := range listed {
+		if lp.DepOnly || strings.HasSuffix(lp.ImportPath, ".test") || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.ForTest != "" && !strings.Contains(lp.ImportPath, "_test [") {
+			shadowed[lp.ForTest] = true
+		}
+		targets = append(targets, lp)
+	}
+	var out []*Package
+	for _, lp := range targets {
+		if lp.ForTest == "" && shadowed[lp.ImportPath] {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, files, info, err := l.check(lp, newInfo())
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[lp.ImportPath] = pkg
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Fset:       l.fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// CheckDir typechecks every .go file in one directory as a single package
+// — the fixture loader for analyzer tests (testdata packages are invisible
+// to go list patterns, so they are parsed directly; their imports resolve
+// through the normal loader).
+func (l *Loader) CheckDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	lp := &listPkg{Dir: dir, ImportPath: "fixture/" + filepath.Base(dir), GoFiles: names}
+	pkg, files, info, err := l.check(lp, newInfo())
+	if err != nil {
+		return nil, err
+	}
+	return &Package{ImportPath: lp.ImportPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ScratchAlias enforces the batch-path aliasing contract (DESIGN.md §10):
+// a Batch's selection vector, the per-caller segScratch buffers, and
+// projectArena tuples are reused across nextBatch calls, so values derived
+// from them must not outlive the operator. Concretely:
+//
+//   - no store of a derived value into a struct field, except back into
+//     the scratch fields themselves (Batch.Sel, segScratch.sel/.scores,
+//     projectArena.buf);
+//   - no send of a derived value on a channel;
+//   - no returning a raw selection vector or scratch buffer (arena tuples
+//     are exempt: handing them out wrapped in a Row is their purpose, and
+//     their storage is stable for the query's lifetime).
+//
+// Derivation is tracked syntactically through parentheses, slicing,
+// append-in-place and local variables. Escapes the contract permits
+// knowingly are annotated on the offending line:
+//
+//	// prefdb:alias-ok <reason>
+var ScratchAlias = &Analyzer{
+	Name: "scratchalias",
+	Doc:  "selection vectors, segScratch buffers and arena tuples must not escape their operator without a copy",
+	Run:  runScratchAlias,
+}
+
+type trackKind int
+
+const (
+	trackNone trackKind = iota
+	// trackScratch marks selection vectors and scratch buffers (strict:
+	// no field store, send, or return).
+	trackScratch
+	// trackArena marks arena-backed tuples (no field store or send;
+	// returning them inside rows is sanctioned).
+	trackArena
+)
+
+// blessedFields are the scratch fields a derived value may be stored back
+// into, keyed by receiver type name.
+var blessedFields = map[string]map[string]bool{
+	"Batch":        {"Sel": true},
+	"segScratch":   {"sel": true, "scores": true},
+	"projectArena": {"buf": true},
+}
+
+func runScratchAlias(pass *Pass) error {
+	// Flow-insensitive pre-pass: locals ever assigned from a tracked
+	// expression are tracked everywhere in the package.
+	tracked := map[types.Object]trackKind{}
+	classify := func(e ast.Expr) trackKind { return classifyExpr(pass, tracked, e) }
+	for changed := true; changed; { // fixpoint: chains of local assignments
+		changed = false
+		pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var obj types.Object
+				if assign.Tok == token.DEFINE {
+					obj = pass.TypesInfo.Defs[id]
+				} else {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, isVar := obj.(*types.Var); !isVar {
+					continue
+				}
+				if k := classify(assign.Rhs[i]); k != trackNone && tracked[obj] < k {
+					tracked[obj] = k
+					changed = true
+				}
+			}
+		})
+	}
+
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return
+			}
+			for i, lhs := range x.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				selection := pass.TypesInfo.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					continue
+				}
+				k := classify(x.Rhs[i])
+				if k == trackNone {
+					continue
+				}
+				recvName, _ := namedOf(selection.Recv())
+				if blessedFields[recvName][sel.Sel.Name] {
+					continue
+				}
+				if _, ok := pass.Marker(x.Pos(), "alias-ok"); ok {
+					continue
+				}
+				pass.Reportf(x.Pos(),
+					"%s stored into field %s.%s outlives the operator; copy it first (aliasing contract, DESIGN.md §10)",
+					kindNoun(k), recvName, sel.Sel.Name)
+			}
+		case *ast.SendStmt:
+			if k := classify(x.Value); k != trackNone {
+				if _, ok := pass.Marker(x.Pos(), "alias-ok"); ok {
+					return
+				}
+				pass.Reportf(x.Pos(), "%s sent on a channel escapes the operator; copy it first", kindNoun(k))
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if k := classify(res); k == trackScratch {
+					if _, ok := pass.Marker(x.Pos(), "alias-ok"); ok {
+						continue
+					}
+					pass.Reportf(x.Pos(), "%s returned raw; the caller would alias reused scratch storage", kindNoun(k))
+				}
+			}
+		}
+	})
+	return nil
+}
+
+func kindNoun(k trackKind) string {
+	if k == trackArena {
+		return "arena tuple"
+	}
+	return "selection-vector/scratch slice"
+}
+
+// classifyExpr reports whether e derives from a tracked scratch source.
+func classifyExpr(pass *Pass, tracked map[types.Object]trackKind, e ast.Expr) trackKind {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return classifyExpr(pass, tracked, x.X)
+	case *ast.SliceExpr:
+		return classifyExpr(pass, tracked, x.X)
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil {
+			return tracked[obj]
+		}
+		return trackNone
+	case *ast.SelectorExpr:
+		selection := pass.TypesInfo.Selections[x]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return trackNone
+		}
+		recvName, recvPkg := namedOf(selection.Recv())
+		switch {
+		case recvName == "Batch" && recvPkg == "prel" && x.Sel.Name == "Sel":
+			return trackScratch
+		case recvName == "segScratch" && (x.Sel.Name == "sel" || x.Sel.Name == "scores"):
+			return trackScratch
+		}
+		return trackNone
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+			// append writes into its first argument's storage; the result
+			// aliases it (element spreads of tracked slices copy values and
+			// are therefore fine).
+			return classifyExpr(pass, tracked, x.Args[0])
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "tuple" {
+			if recvName, _ := NamedType(pass.TypesInfo, sel.X); recvName == "projectArena" {
+				return trackArena
+			}
+		}
+		return trackNone
+	default:
+		return trackNone
+	}
+}

@@ -1,0 +1,43 @@
+// Fixture for the atomicfield analyzer: annotated shared fields must be
+// accessed through sync/atomic (or under their guarding mutex).
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits atomic.Int64 // prefdb:atomic
+	raw  int64        // prefdb:atomic
+
+	mu    sync.Mutex
+	cache map[string]int // prefdb:guarded-by mu
+
+	plain int // unannotated: free access
+}
+
+// good exercises every sanctioned access form.
+func good(c *counter) int64 {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.raw, 1)
+	c.mu.Lock()
+	c.cache["x"]++
+	c.mu.Unlock()
+	c.plain++
+	return c.hits.Load() + atomic.LoadInt64(&c.raw)
+}
+
+// bad violates each rule once.
+func bad(c *counter) int64 {
+	v := c.raw     // want `direct access to raw`
+	c.cache["x"]++ // want `access to counter.cache outside mu.Lock`
+	w := c.hits    // want `atomic field hits copied or reassigned`
+	_ = w
+	return v
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(c *counter) int64 {
+	return c.raw // prefdb:atomic-ok single-goroutine constructor, no reader yet
+}

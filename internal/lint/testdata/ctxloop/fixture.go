@@ -1,0 +1,81 @@
+// Fixture for the ctxloop analyzer: next/nextBatch pull loops must tick
+// the lifecycle guard or carry a reasoned prefdb:nolifecycle annotation.
+package ctxloop
+
+type row struct{ v int }
+
+type iter interface {
+	next() (row, bool)
+}
+
+// pollTick is a stand-in for the executor's amortized cancellation tick;
+// the analyzer matches it by type name and method name.
+type pollTick struct{ n int }
+
+func (t *pollTick) stop() bool { t.n++; return false }
+
+// tickedIter polls the guard inside its pull loop: clean.
+type tickedIter struct {
+	in   iter
+	tick pollTick
+}
+
+func (f *tickedIter) next() (row, bool) {
+	for {
+		if f.tick.stop() {
+			return row{}, false
+		}
+		r, ok := f.in.next()
+		if !ok {
+			return row{}, false
+		}
+		if r.v > 0 {
+			return r, true
+		}
+	}
+}
+
+// spinIter pulls unboundedly with no tick: flagged.
+type spinIter struct{ in iter }
+
+func (s *spinIter) next() (row, bool) { // want `pulls from an upstream iterator in a loop without a lifecycle tick`
+	for {
+		r, ok := s.in.next()
+		if !ok {
+			return row{}, false
+		}
+		if r.v > 0 {
+			return r, true
+		}
+	}
+}
+
+// offsetIter's loop is bounded by the plan's offset; the annotation
+// records the argument.
+type offsetIter struct {
+	in            iter
+	skip, skipped int
+}
+
+// prefdb:nolifecycle bounded by the plan's OFFSET; the input iterator ticks
+func (o *offsetIter) next() (row, bool) {
+	for o.skipped < o.skip {
+		if _, ok := o.in.next(); !ok {
+			return row{}, false
+		}
+		o.skipped++
+	}
+	return o.in.next()
+}
+
+// bareIter annotates without saying why: flagged.
+type bareIter struct{ in iter }
+
+// prefdb:nolifecycle
+func (l *bareIter) next() (row, bool) { // want `annotation on next needs a reason`
+	for {
+		if r, ok := l.in.next(); ok {
+			return r, true
+		}
+	}
+}

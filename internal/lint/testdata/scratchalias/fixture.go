@@ -1,0 +1,53 @@
+// Fixture for the scratchalias analyzer: selection vectors and scratch
+// buffers must not escape their operator without a copy.
+package scratchalias
+
+import "prefdb/internal/prel"
+
+// segScratch is a stand-in for the executor's per-caller scratch; the
+// analyzer matches it by type name.
+type segScratch struct {
+	sel    []int32
+	scores []float64
+}
+
+type op struct {
+	stash []int32
+	scr   segScratch
+}
+
+// goodCopy hands out a defensive copy: clean.
+func goodCopy(b *prel.Batch) []int32 {
+	out := make([]int32, len(b.Sel))
+	copy(out, b.Sel)
+	return out
+}
+
+// goodBlessed writes derived values back into the scratch fields the
+// contract reserves for them: clean.
+func goodBlessed(o *op, b *prel.Batch) {
+	o.scr.sel = append(o.scr.sel[:0], b.Sel...)
+}
+
+// badStash parks a live selection vector in operator state.
+func badStash(o *op, b *prel.Batch) {
+	o.stash = b.Sel // want `stored into field`
+}
+
+// badReturn leaks the raw selection vector to the caller, through a
+// local-variable chain.
+func badReturn(b *prel.Batch) []int32 {
+	sel := b.Sel
+	trimmed := sel[:1]
+	return trimmed // want `returned raw`
+}
+
+// badSend ships scratch storage across a goroutine boundary.
+func badSend(scr *segScratch, ch chan []float64) {
+	ch <- scr.scores // want `sent on a channel`
+}
+
+// sanctioned documents a deliberate handoff.
+func sanctioned(b *prel.Batch) []int32 {
+	return b.Sel // prefdb:alias-ok caller consumes before the next pull, documented in its contract
+}

@@ -1,0 +1,54 @@
+// Fixture for the wrapcheck analyzer: typed errors are wrapped with %w
+// and matched with errors.Is/As.
+package wrapcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is a sentinel in the repo's Err… convention.
+var ErrBudget = errors.New("budget exhausted")
+
+type guardFailure struct{ limit string }
+
+func (g *guardFailure) Error() string { return g.limit }
+
+// good matches through the errors package and wraps with %w.
+func good(err error) error {
+	if errors.Is(err, ErrBudget) {
+		return nil
+	}
+	var gf *guardFailure
+	if errors.As(err, &gf) {
+		return nil
+	}
+	switch err.(type) { // type switches are exempt
+	case *guardFailure:
+		return nil
+	}
+	return fmt.Errorf("running query: %w", err)
+}
+
+// badCompare tests sentinel identity, which wrapping breaks.
+func badCompare(err error) bool {
+	return err == ErrBudget // want `sentinel error compared with ==`
+}
+
+// badAssert reaches for the concrete type directly.
+func badAssert(err error) string {
+	if gf, ok := err.(*guardFailure); ok { // want `type assertion on an error`
+		return gf.limit
+	}
+	return ""
+}
+
+// badWrap formats the cause away.
+func badWrap(err error) error {
+	return fmt.Errorf("running query: %v", err) // want `formats an error without %w`
+}
+
+// sanctioned documents a deliberate chain break.
+func sanctioned(err error) error {
+	return fmt.Errorf("summary only: %v", err) // prefdb:nowrap boundary log line, chain ends here
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WrapCheck enforces the typed-error protocol of the query lifecycle
+// (DESIGN.md §8): *GuardError and the sentinel errors flow through
+// multiple wrapping layers (executor → engine → facade), so
+//
+//   - sentinel error variables (package-level `Err…` vars of type error)
+//     must be matched with errors.Is, never ==/!= (wrapping breaks
+//     identity);
+//   - concrete error types must be extracted with errors.As, never a
+//     direct type assertion on an error value;
+//   - fmt.Errorf calls whose arguments include an error must wrap it with
+//     %w, so errors.Is/As keep seeing the chain.
+//
+// Deliberate chain breaks are annotated `// prefdb:nowrap <reason>` on
+// the line.
+var WrapCheck = &Analyzer{
+	Name: "wrapcheck",
+	Doc:  "typed errors must be wrapped with %w and matched with errors.Is/As",
+	Run:  runWrapCheck,
+}
+
+func runWrapCheck(pass *Pass) error {
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				return
+			}
+			for _, side := range []ast.Expr{x.X, x.Y} {
+				if !isSentinelErr(pass, side) {
+					continue
+				}
+				if _, ok := pass.Marker(x.Pos(), "nowrap"); ok {
+					return
+				}
+				pass.Reportf(x.Pos(),
+					"sentinel error compared with %s; wrapped errors break identity — use errors.Is", x.Op)
+				return
+			}
+		case *ast.TypeAssertExpr:
+			if x.Type == nil {
+				return // type switch handled by the compiler's exhaustiveness
+			}
+			tv, ok := pass.TypesInfo.Types[x.X]
+			if !ok || !types.IsInterface(tv.Type) {
+				return
+			}
+			if name, _ := namedOf(tv.Type); name != "error" && !isErrorInterface(tv.Type) {
+				return
+			}
+			assertedTV, ok := pass.TypesInfo.Types[x.Type]
+			if !ok || !IsErrorType(assertedTV.Type) {
+				return
+			}
+			if _, ok := pass.Marker(x.Pos(), "nowrap"); ok {
+				return
+			}
+			pass.Reportf(x.Pos(),
+				"type assertion on an error; wrapped errors defeat it — use errors.As")
+		case *ast.CallExpr:
+			if !isPkgFunc(pass, x.Fun, "fmt", "Errorf") || len(x.Args) < 2 {
+				return
+			}
+			format, ok := stringLit(x.Args[0])
+			if !ok || strings.Contains(format, "%w") {
+				return
+			}
+			for _, arg := range x.Args[1:] {
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok || !IsErrorType(tv.Type) {
+					continue
+				}
+				if _, ok := pass.Marker(x.Pos(), "nowrap"); ok {
+					return
+				}
+				pass.Reportf(x.Pos(),
+					"fmt.Errorf formats an error without %%w; errors.Is/As lose the chain — wrap it (or annotate // prefdb:nowrap <reason>)")
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// isSentinelErr reports whether e names a package-level error variable
+// whose name starts with Err (the sentinel convention).
+func isSentinelErr(pass *Pass, e ast.Expr) bool {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return false
+	}
+	name, _ := namedOf(v.Type())
+	return name == "error" || isErrorInterface(v.Type())
+}
+
+func isErrorInterface(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isPkgFunc reports whether fun is a selector <pkg>.<name> where <pkg> is
+// an import of the named package (matched by package name).
+func isPkgFunc(pass *Pass, fun ast.Expr, pkgName, funcName string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != funcName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Name() == pkgName
+}
+
+// stringLit extracts a constant string value from an expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s := lit.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1], true
+	}
+	return "", false
+}

@@ -1,6 +1,9 @@
 package prel
 
-import "prefdb/internal/types"
+import (
+	"prefdb/internal/debug"
+	"prefdb/internal/types"
+)
 
 // Batch is a morsel-sized block of rows in batch layout: the tuple
 // pointers, the ⟨S,C⟩ pairs as a separate column, and a selection vector
@@ -65,6 +68,18 @@ func (b *Batch) FillRows(rows []Row) {
 	for _, r := range rows {
 		b.Push(r)
 	}
+	b.Check()
+}
+
+// Check asserts the layout invariants above in prefdbdebug builds: the
+// SC column aligned with Tuples and the selection vector strictly
+// increasing within bounds. A no-op (inlined away) in normal builds.
+func (b *Batch) Check() {
+	if !debug.Enabled {
+		return
+	}
+	debug.SameLen("batch SC column", len(b.SC), len(b.Tuples))
+	debug.SelValid(b.Sel, len(b.Tuples))
 }
 
 // Live returns the number of selected rows.
@@ -82,6 +97,7 @@ func (b *Batch) Row(i int) Row {
 // AppendRows copies the selected rows out of the batch, appending to dst.
 // The copies remain valid after the batch is reused.
 func (b *Batch) AppendRows(dst []Row) []Row {
+	b.Check()
 	for _, j := range b.Sel {
 		dst = append(dst, Row{Tuple: b.Tuples[j], SC: b.SC[j]})
 	}

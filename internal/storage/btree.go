@@ -20,7 +20,7 @@ type BTreeIndex struct {
 	root   btreeNode
 	height int
 	size   int
-	probes atomic.Int64
+	probes atomic.Int64 // prefdb:atomic
 }
 
 type btreeNode interface {

@@ -13,7 +13,7 @@ type HashIndex struct {
 	heap    *Heap
 	cols    []int
 	buckets map[uint64][]RowID
-	probes  atomic.Int64
+	probes  atomic.Int64 // prefdb:atomic
 }
 
 // NewHashIndex builds an index over the given column ordinals, scanning the
