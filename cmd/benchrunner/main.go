@@ -7,6 +7,7 @@
 //	benchrunner -exp prefs
 //	benchrunner -exp scorecache -json BENCH_PR3.json
 //	benchrunner -exp vectorization -json BENCH_PR4.json -cpuprofile cpu.pprof
+//	benchrunner -exp zonemap -scale 0.1 -json BENCH_PR6.json
 //	benchrunner -list
 package main
 

@@ -33,6 +33,12 @@ type Node interface {
 type Scan struct {
 	Table string
 	Alias string
+	// SegCount/SegSkip carry the optimizer's zone-map annotation for
+	// EXPLAIN: how many columnar segments the table holds and how many the
+	// enclosing filter's conjuncts are expected to skip. Zero SegCount
+	// means no segment store was built (or the annotation pass is off).
+	SegCount int
+	SegSkip  int
 }
 
 // Select is σ_φ over a p-relation; it filters tuples and passes score and
@@ -204,10 +210,14 @@ func (s *Scan) WithChildren(c []Node) Node {
 	return &cp
 }
 func (s *Scan) String() string {
-	if s.Alias != "" && !strings.EqualFold(s.Alias, s.Table) {
-		return fmt.Sprintf("Scan(%s AS %s)", s.Table, s.Alias)
+	var suffix string
+	if s.SegCount > 0 {
+		suffix = fmt.Sprintf(" [segments %d skip≈%d]", s.SegCount, s.SegSkip)
 	}
-	return fmt.Sprintf("Scan(%s)", s.Table)
+	if s.Alias != "" && !strings.EqualFold(s.Alias, s.Table) {
+		return fmt.Sprintf("Scan(%s AS %s)%s", s.Table, s.Alias, suffix)
+	}
+	return fmt.Sprintf("Scan(%s)%s", s.Table, suffix)
 }
 
 // AliasName returns the effective alias (lower-case).

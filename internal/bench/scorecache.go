@@ -34,6 +34,11 @@ type Point struct {
 	BatchSize int     `json:"batchSize,omitempty"`
 	Batches   int     `json:"batches,omitempty"`
 	Speedup   float64 `json:"speedup,omitempty"`
+	// Zone-map fields (E14): which storage side served the batch scan and
+	// the segment pruning counters ("" / 0 on the heap path).
+	Colstore        string `json:"colstore,omitempty"`
+	SegmentsScanned int    `json:"segmentsScanned,omitempty"`
+	SegmentsSkipped int    `json:"segmentsSkipped,omitempty"`
 }
 
 // scoreCacheBaseRows sizes the synthetic relation at scale 1.0; the

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prefdb/internal/colstore"
 	"prefdb/internal/schema"
 	"prefdb/internal/storage"
 	"prefdb/internal/types"
@@ -25,6 +26,9 @@ type Table struct {
 
 	statsMu sync.Mutex
 	stats   *TableStats // prefdb:guarded-by statsMu
+
+	colMu sync.Mutex
+	col   *colstore.Store // prefdb:guarded-by colMu
 
 	// version counts DML batches applied to the table; cross-query caches
 	// (e.g. the engine's prepared-statement score dictionaries) snapshot it
@@ -270,4 +274,31 @@ func (t *Table) Stats() *TableStats {
 		t.stats = analyze(t)
 	}
 	return t.stats
+}
+
+// ColStore returns the table's columnar segment store, compacting sealed
+// heap pages lazily on first use and rebuilding whenever the DML version
+// counter has moved since the cached image was taken. Like Stats it is
+// safe under concurrent read-only queries; writes are serialized by the
+// engine and invalidate by bumping the version.
+func (t *Table) ColStore() *colstore.Store {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if v := t.Version(); t.col == nil || t.col.Version != v {
+		t.col = colstore.Build(t.Heap, v)
+	}
+	return t.col
+}
+
+// ColStoreIfBuilt returns the columnar store only when a fresh one is
+// already built, never triggering compaction — for plan annotation, which
+// must not pay (or force) a build on tables the query may not even scan
+// columnar.
+func (t *Table) ColStoreIfBuilt() *colstore.Store {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if t.col != nil && t.col.Version == t.Version() {
+		return t.col
+	}
+	return nil
 }

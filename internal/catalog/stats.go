@@ -305,7 +305,7 @@ func selOf(t *Table, st *TableStats, cond expr.Node) float64 {
 
 func selCompare(t *Table, st *TableStats, n expr.Bin) float64 {
 	// Normalize to column <op> literal.
-	col, lit, op, ok := normalizeCmp(n)
+	col, lit, op, ok := expr.BindColLit(t.Schema(), n)
 	if !ok {
 		return defaultSel
 	}
@@ -342,36 +342,6 @@ func selCompare(t *Table, st *TableStats, n expr.Bin) float64 {
 		default: // OpGt, OpGe
 			return clamp01(1 - frac)
 		}
-	}
-}
-
-// normalizeCmp rewrites lit <op> col as col <flipped-op> lit.
-func normalizeCmp(n expr.Bin) (expr.Col, types.Value, expr.Op, bool) {
-	if c, ok := n.L.(expr.Col); ok {
-		if l, ok2 := n.R.(expr.Lit); ok2 {
-			return c, l.Val, n.Op, true
-		}
-	}
-	if c, ok := n.R.(expr.Col); ok {
-		if l, ok2 := n.L.(expr.Lit); ok2 {
-			return c, l.Val, flip(n.Op), true
-		}
-	}
-	return expr.Col{}, types.Value{}, n.Op, false
-}
-
-func flip(op expr.Op) expr.Op {
-	switch op {
-	case expr.OpLt:
-		return expr.OpGt
-	case expr.OpLe:
-		return expr.OpGe
-	case expr.OpGt:
-		return expr.OpLt
-	case expr.OpGe:
-		return expr.OpLe
-	default:
-		return op
 	}
 }
 

@@ -1,0 +1,334 @@
+// Package colstore implements the read-optimized side of a prefdb table:
+// an immutable, typed columnar segment store compacted from sealed heap
+// pages. Each segment covers a fixed page-aligned row range as typed
+// column vectors (int64/float64 slices, dictionary-encoded strings, bools)
+// with null and deleted bitmaps, plus a per-column zone map (min/max, null
+// count, live count) that lets scans skip whole segments against sargable
+// filter conjuncts before any kernel runs.
+//
+// A Store is built from a heap at one table version and never mutated;
+// DML invalidates it through the catalog's atomic version counters and a
+// later read rebuilds. Hot write paths therefore stay on the row heap, and
+// readers see segments plus the heap tail (pages ≥ SealedPages).
+package colstore
+
+import (
+	"prefdb/internal/debug"
+	"prefdb/internal/schema"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+// SegmentPages is how many sealed heap pages one segment covers
+// (SegmentPages × storage.PageSize rows), balancing zone-map resolution
+// against per-segment overhead.
+const SegmentPages = 16
+
+// Zone summarizes one column of one segment for pruning: the min/max over
+// the segment's live non-null values plus null/non-null live counts. Valid
+// is true only for typed (uniformly kinded) columns with at least one live
+// non-null value; raw fallback columns never prune.
+type Zone struct {
+	Min, Max types.Value
+	Nulls    int // live NULL cells
+	NonNull  int // live non-NULL cells
+	Valid    bool
+}
+
+// Column is one attribute of a segment. Exactly one encoding is populated:
+// a typed vector (Ints, Floats, Codes+Dict or Bools) with the Nulls bitmap
+// marking NULL slots, or Raw when the page held values that do not match
+// the declared kind (dynamic typing permits that), which preserves the
+// cells verbatim. Dead and NULL slots of typed vectors hold zero values.
+type Column struct {
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Codes  []int32 // indexes into Dict
+	Dict   []string
+	Bools  []bool
+	Raw    []types.Value
+	Nulls  []bool // nil when the column has no NULL slot
+	Zone   Zone
+}
+
+// Value decodes the cell at slot i back into a scalar. Decoding is exact:
+// rebuilding a tuple from its columns yields values byte-identical to the
+// heap originals (the Raw fallback guarantees this even off the typed
+// encodings).
+func (c *Column) Value(i int) types.Value {
+	if c.Raw != nil {
+		return c.Raw[i]
+	}
+	if c.Nulls != nil && c.Nulls[i] {
+		return types.Null()
+	}
+	switch {
+	case c.Ints != nil:
+		return types.Int(c.Ints[i])
+	case c.Floats != nil:
+		return types.Float(c.Floats[i])
+	case c.Codes != nil:
+		return types.Str(c.Dict[c.Codes[i]])
+	case c.Bools != nil:
+		return types.Bool(c.Bools[i])
+	default:
+		return types.Null()
+	}
+}
+
+// Segment is an immutable page-aligned slab of rows in columnar layout.
+type Segment struct {
+	FirstPage int // heap page ordinal of the first covered page
+	Rows      int // slots, dead included
+	Live      int
+	Deleted   []bool // nil when every slot is live
+	Cols      []Column
+
+	// tuples are the row views decoded once at build time from the column
+	// vectors into a shared arena; scans alias them without copying.
+	// prefdb:segment-view tuples are immutable for the store's lifetime
+	tuples [][]types.Value
+}
+
+// Tuple returns the row view at slot i (valid for the store's lifetime;
+// callers must not mutate it).
+func (s *Segment) Tuple(i int) []types.Value { return s.tuples[i] }
+
+// Dead reports whether slot i is tombstoned.
+func (s *Segment) Dead(i int) bool { return s.Deleted != nil && s.Deleted[i] }
+
+// Store is the columnar image of one table's sealed pages at one version.
+type Store struct {
+	Version     uint64
+	SealedPages int // heap pages covered; the heap tail starts here
+	Segments    []*Segment
+}
+
+// Live returns the number of live rows held in segments.
+func (st *Store) Live() int {
+	n := 0
+	for _, seg := range st.Segments {
+		n += seg.Live
+	}
+	return n
+}
+
+// Build compacts h's sealed pages (every page except a trailing partial
+// one) into a columnar store stamped with the table version the caller
+// read. The heap must not be mutated concurrently (the engine serializes
+// writes per table).
+func Build(h *storage.Heap, version uint64) *Store {
+	st := &Store{Version: version}
+	sealed := h.Blocks()
+	if sealed > 0 {
+		if rows, _, _ := h.Block(sealed - 1); len(rows) < storage.PageSize {
+			sealed--
+		}
+	}
+	st.SealedPages = sealed
+	for first := 0; first < sealed; first += SegmentPages {
+		last := first + SegmentPages
+		if last > sealed {
+			last = sealed
+		}
+		if seg := buildSegment(h, h.Schema(), first, last); seg != nil {
+			st.Segments = append(st.Segments, seg)
+		}
+	}
+	return st
+}
+
+func buildSegment(h *storage.Heap, s *schema.Schema, first, last int) *Segment {
+	seg := &Segment{FirstPage: first}
+	for p := first; p < last; p++ {
+		rows, _, live := h.Block(p)
+		seg.Rows += len(rows)
+		seg.Live += live
+	}
+	anyDead := false
+	deleted := make([]bool, seg.Rows)
+	slot := 0
+	for p := first; p < last; p++ {
+		_, dead, _ := h.Block(p)
+		for _, d := range dead {
+			if d {
+				deleted[slot] = true
+				anyDead = true
+			}
+			slot++
+		}
+	}
+	if anyDead {
+		seg.Deleted = deleted
+	}
+	seg.Cols = make([]Column, s.Len())
+	for ord := range seg.Cols {
+		buildColumn(h, &seg.Cols[ord], s.Columns[ord].Kind, first, last, ord, seg)
+	}
+	seg.decodeTuples(s.Len())
+	return seg
+}
+
+// buildColumn encodes one attribute of the segment's row range. It tries
+// the typed vector matching the declared kind; any live non-null cell of a
+// different kind demotes the whole column to the Raw encoding so decoding
+// stays exact.
+func buildColumn(h *storage.Heap, c *Column, kind types.Kind, first, last, ord int, seg *Segment) {
+	c.Kind = kind
+	typed := kind == types.KindInt || kind == types.KindFloat || kind == types.KindString || kind == types.KindBool
+	if typed {
+	check:
+		for p := first; p < last; p++ {
+			rows, dead, _ := h.Block(p)
+			for i, row := range rows {
+				if !dead[i] && !row[ord].IsNull() && row[ord].Kind() != kind {
+					typed = false
+					break check
+				}
+			}
+		}
+	}
+	if !typed {
+		c.Raw = make([]types.Value, 0, seg.Rows)
+		for p := first; p < last; p++ {
+			rows, _, _ := h.Block(p)
+			for _, row := range rows {
+				c.Raw = append(c.Raw, row[ord])
+			}
+		}
+		buildZoneRaw(c, seg)
+		return
+	}
+	switch kind {
+	case types.KindInt:
+		c.Ints = make([]int64, seg.Rows)
+	case types.KindFloat:
+		c.Floats = make([]float64, seg.Rows)
+	case types.KindString:
+		c.Codes = make([]int32, seg.Rows)
+	case types.KindBool:
+		c.Bools = make([]bool, seg.Rows)
+	}
+	var dict map[string]int32
+	if kind == types.KindString {
+		dict = make(map[string]int32)
+	}
+	slot := 0
+	for p := first; p < last; p++ {
+		rows, dead, _ := h.Block(p)
+		for i, row := range rows {
+			v := row[ord]
+			if dead[i] || v.IsNull() {
+				if v.IsNull() {
+					if c.Nulls == nil {
+						c.Nulls = make([]bool, seg.Rows)
+					}
+					c.Nulls[slot] = true
+					if !dead[i] {
+						c.Zone.Nulls++
+					}
+				}
+				slot++
+				continue
+			}
+			switch kind {
+			case types.KindInt:
+				c.Ints[slot] = v.AsInt()
+			case types.KindFloat:
+				c.Floats[slot] = v.AsFloat()
+			case types.KindString:
+				sv := v.AsString()
+				code, ok := dict[sv]
+				if !ok {
+					code = int32(len(c.Dict))
+					c.Dict = append(c.Dict, sv)
+					dict[sv] = code
+				}
+				c.Codes[slot] = code
+			case types.KindBool:
+				c.Bools[slot] = v.AsBool()
+			}
+			zoneAdd(&c.Zone, v)
+			slot++
+		}
+	}
+	// Dead slots with NULL cells also set the bitmap above; that is
+	// harmless (dead slots are never decoded into results) and keeps the
+	// encode loop branch-light.
+	c.Zone.Valid = c.Zone.NonNull > 0
+}
+
+// buildZoneRaw counts live null/non-null cells of a raw column. Raw
+// columns hold mixed kinds, so no min/max is published (Valid stays
+// false and the segment never prunes on this column).
+func buildZoneRaw(c *Column, seg *Segment) {
+	for i, v := range c.Raw {
+		if seg.Dead(i) {
+			continue
+		}
+		if v.IsNull() {
+			c.Zone.Nulls++
+		} else {
+			c.Zone.NonNull++
+		}
+	}
+}
+
+// zoneAdd folds one live non-null value into the zone.
+func zoneAdd(z *Zone, v types.Value) {
+	if z.NonNull == 0 {
+		z.Min, z.Max = v, v
+	} else {
+		if cmp, ok := types.Compare(v, z.Min); ok && cmp < 0 {
+			z.Min = v
+		}
+		if cmp, ok := types.Compare(v, z.Max); ok && cmp > 0 {
+			z.Max = v
+		}
+	}
+	z.NonNull++
+}
+
+// decodeTuples materializes the segment's row views from the column
+// vectors into one arena, so scans hand out tuple slices without per-query
+// transposition or copying. NULL cells of live rows must decode from the
+// bitmap; the cells of dead slots decode as whatever the vector holds
+// (they are never read).
+func (seg *Segment) decodeTuples(width int) {
+	arena := make([]types.Value, seg.Rows*width)
+	seg.tuples = make([][]types.Value, seg.Rows)
+	for i := 0; i < seg.Rows; i++ {
+		t := arena[i*width : (i+1)*width : (i+1)*width]
+		for ord := range seg.Cols {
+			t[ord] = seg.Cols[ord].Value(i)
+		}
+		seg.tuples[i] = t // prefdb:alias-ok build-time initialization; the store is not published yet
+	}
+	if debug.Enabled {
+		seg.checkZones()
+	}
+}
+
+// checkZones asserts zone-map soundness in prefdbdebug builds: every live
+// non-null decoded value lies within its column's [Min, Max] and the
+// null/non-null counts add up to the live count.
+func (seg *Segment) checkZones() {
+	for ord := range seg.Cols {
+		z := &seg.Cols[ord].Zone
+		debug.SameLen("segment zone live coverage", z.Nulls+z.NonNull, seg.Live)
+		if !z.Valid {
+			continue
+		}
+		for i := 0; i < seg.Rows; i++ {
+			if seg.Dead(i) {
+				continue
+			}
+			v := seg.tuples[i][ord]
+			if v.IsNull() {
+				continue
+			}
+			debug.ZoneContains(z.Min, z.Max, v)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package colstore
+
+import (
+	"fmt"
+	"testing"
+
+	"prefdb/internal/expr"
+	"prefdb/internal/schema"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Table: "items", Name: "id", Kind: types.KindInt},
+		schema.Column{Table: "items", Name: "name", Kind: types.KindString},
+		schema.Column{Table: "items", Name: "score", Kind: types.KindFloat},
+		schema.Column{Table: "items", Name: "tag", Kind: types.KindInt},
+	)
+}
+
+// fillHeap inserts n rows: sequential ids, a small cyclic string dict,
+// floats with every 5th NULL, and a "tag" column that is declared INT but
+// holds a string in rows where mixed is requested (exercising the Raw
+// fallback).
+func fillHeap(t *testing.T, h *storage.Heap, n int, mixed bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		score := types.Value(types.Float(float64(i) / 2))
+		if i%5 == 0 {
+			score = types.Null()
+		}
+		tag := types.Value(types.Int(int64(i % 7)))
+		if mixed && i%11 == 0 {
+			tag = types.Str("odd-one-out")
+		}
+		_, err := h.Insert([]types.Value{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("name-%d", i%3)),
+			score,
+			tag,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuildRoundTripsTuples(t *testing.T) {
+	s := testSchema()
+	h := storage.NewHeap(s)
+	n := storage.PageSize*SegmentPages + storage.PageSize + 7 // 1 full segment + sealed remainder + partial tail
+	fillHeap(t, h, n, true)
+	// Tombstone a spread of rows, including a full-page kill.
+	for i := 0; i < n; i += 13 {
+		h.Delete(storage.RowID{Page: uint32(i / storage.PageSize), Slot: uint32(i % storage.PageSize)})
+	}
+	st := Build(h, 42)
+
+	if st.Version != 42 {
+		t.Fatalf("Version = %d, want 42", st.Version)
+	}
+	wantSealed := n / storage.PageSize
+	if st.SealedPages != wantSealed {
+		t.Fatalf("SealedPages = %d, want %d (the trailing partial page stays on the heap)", st.SealedPages, wantSealed)
+	}
+	if len(st.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(st.Segments))
+	}
+
+	// Every live slot must decode byte-identically to the heap original.
+	slot, segIdx := 0, 0
+	seg := st.Segments[0]
+	for p := 0; p < st.SealedPages; p++ {
+		rows, dead, _ := h.Block(p)
+		for i, row := range rows {
+			if slot == seg.Rows {
+				segIdx++
+				seg = st.Segments[segIdx]
+				slot = 0
+			}
+			if dead[i] != seg.Dead(slot) {
+				t.Fatalf("page %d slot %d: dead mismatch", p, i)
+			}
+			if !dead[i] {
+				got := seg.Tuple(slot)
+				for ord, v := range row {
+					if !got[ord].Equal(v) || got[ord].Kind() != v.Kind() {
+						t.Fatalf("page %d slot %d col %d: decoded %v (%v), want %v (%v)",
+							p, i, ord, got[ord], got[ord].Kind(), v, v.Kind())
+					}
+				}
+			}
+			slot++
+		}
+	}
+}
+
+func TestBuildEncodings(t *testing.T) {
+	s := testSchema()
+	h := storage.NewHeap(s)
+	fillHeap(t, h, storage.PageSize*SegmentPages, true)
+	st := Build(h, 1)
+	if len(st.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(st.Segments))
+	}
+	seg := st.Segments[0]
+
+	id := seg.Cols[0]
+	if id.Ints == nil || id.Raw != nil {
+		t.Fatal("id column should be int-encoded")
+	}
+	if !id.Zone.Valid || !id.Zone.Min.Equal(types.Int(0)) || !id.Zone.Max.Equal(types.Int(int64(seg.Rows-1))) {
+		t.Fatalf("id zone = %+v, want valid [0, %d]", id.Zone, seg.Rows-1)
+	}
+
+	name := seg.Cols[1]
+	if name.Codes == nil || len(name.Dict) != 3 {
+		t.Fatalf("name column should be dictionary-encoded with 3 entries, got dict %v", name.Dict)
+	}
+
+	score := seg.Cols[2]
+	if score.Floats == nil || score.Nulls == nil {
+		t.Fatal("score column should be float-encoded with a null bitmap")
+	}
+	if score.Zone.Nulls == 0 || score.Zone.Nulls+score.Zone.NonNull != seg.Live {
+		t.Fatalf("score zone counts %d+%d do not cover %d live rows", score.Zone.Nulls, score.Zone.NonNull, seg.Live)
+	}
+
+	tag := seg.Cols[3]
+	if tag.Raw == nil {
+		t.Fatal("mixed-kind tag column should fall back to Raw")
+	}
+	if tag.Zone.Valid {
+		t.Fatal("raw columns must not publish a zone range")
+	}
+}
+
+func TestSkipRules(t *testing.T) {
+	s := testSchema()
+	h := storage.NewHeap(s)
+	fillHeap(t, h, storage.PageSize*SegmentPages, false)
+	seg := Build(h, 1).Segments[0]
+	idOrd, scoreOrd, tagOrd := 0, 2, 3
+	max := int64(seg.Rows - 1)
+
+	cases := []struct {
+		name string
+		pred Pred
+		want bool
+	}{
+		{"eq inside", Pred{idOrd, expr.OpEq, types.Int(10)}, false},
+		{"eq above max", Pred{idOrd, expr.OpEq, types.Int(max + 1)}, true},
+		{"eq below min", Pred{idOrd, expr.OpEq, types.Int(-1)}, true},
+		{"ne non-constant", Pred{idOrd, expr.OpNe, types.Int(10)}, false},
+		{"lt min", Pred{idOrd, expr.OpLt, types.Int(0)}, true},
+		{"lt min+1", Pred{idOrd, expr.OpLt, types.Int(1)}, false},
+		{"le below min", Pred{idOrd, expr.OpLe, types.Int(-1)}, true},
+		{"le min", Pred{idOrd, expr.OpLe, types.Int(0)}, false},
+		{"gt max", Pred{idOrd, expr.OpGt, types.Int(max)}, true},
+		{"gt max-1", Pred{idOrd, expr.OpGt, types.Int(max - 1)}, false},
+		{"ge above max", Pred{idOrd, expr.OpGe, types.Int(max + 1)}, true},
+		{"ge max", Pred{idOrd, expr.OpGe, types.Int(max)}, false},
+		// Mixed numeric kinds compare; skip logic must hold across them.
+		{"float lit on int col", Pred{idOrd, expr.OpGe, types.Float(float64(max) + 0.5)}, true},
+		// Incomparable literal kind against a uniformly typed column: every
+		// row comparison yields NULL, so the segment skips.
+		{"string lit on int col", Pred{idOrd, expr.OpGe, types.Str("zzz")}, true},
+		{"inside on nullable float", Pred{scoreOrd, expr.OpGe, types.Float(0)}, false},
+		{"above nullable float max", Pred{scoreOrd, expr.OpGt, types.Float(1e9)}, true},
+		{"tag inside", Pred{tagOrd, expr.OpLe, types.Int(6)}, false},
+	}
+	for _, c := range cases {
+		if got := seg.Skip([]Pred{c.pred}); got != c.want {
+			t.Errorf("%s: Skip = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Conjunction: any skipping conjunct suffices.
+	if !seg.Skip([]Pred{{idOrd, expr.OpGe, types.Int(0)}, {idOrd, expr.OpLt, types.Int(0)}}) {
+		t.Error("conjunction with an impossible conjunct did not skip")
+	}
+}
+
+func TestSkipAllNullColumn(t *testing.T) {
+	s := schema.New(schema.Column{Table: "t", Name: "a", Kind: types.KindInt})
+	h := storage.NewHeap(s)
+	for i := 0; i < storage.PageSize; i++ {
+		if _, err := h.Insert([]types.Value{types.Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := Build(h, 1).Segments[0]
+	if !seg.Skip([]Pred{{0, expr.OpEq, types.Int(1)}}) {
+		t.Fatal("all-NULL column should skip any comparison conjunct")
+	}
+}
+
+func TestPredsFrom(t *testing.T) {
+	s := testSchema()
+	conjuncts := []expr.Node{
+		expr.Cmp("id", expr.OpGe, types.Int(5)),                                    // sargable
+		expr.Bin{Op: expr.OpLt, L: expr.Lit{Val: types.Int(9)}, R: expr.ColRef("id")}, // flipped: id > 9
+		expr.Cmp("id", expr.OpEq, types.Null()),                                    // NULL literal: excluded
+		expr.Cmp("nosuch", expr.OpEq, types.Int(1)),                                // unresolved: excluded
+		expr.Bin{Op: expr.OpAnd, L: expr.Cmp("id", expr.OpGe, types.Int(1)), R: expr.Cmp("id", expr.OpLe, types.Int(2))}, // not a comparison
+	}
+	preds := PredsFrom(s, conjuncts)
+	if len(preds) != 2 {
+		t.Fatalf("PredsFrom kept %d preds (%+v), want 2", len(preds), preds)
+	}
+	if preds[0].Ord != 0 || preds[0].Op != expr.OpGe || !preds[0].Lit.Equal(types.Int(5)) {
+		t.Fatalf("preds[0] = %+v, want id >= 5", preds[0])
+	}
+	if preds[1].Ord != 0 || preds[1].Op != expr.OpGt || !preds[1].Lit.Equal(types.Int(9)) {
+		t.Fatalf("preds[1] = %+v, want flipped id > 9", preds[1])
+	}
+}
+
+func TestEstimateSkip(t *testing.T) {
+	s := testSchema()
+	h := storage.NewHeap(s)
+	fillHeap(t, h, storage.PageSize*SegmentPages*3, false)
+	st := Build(h, 1)
+	if len(st.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3", len(st.Segments))
+	}
+	perSeg := storage.PageSize * SegmentPages
+	// id < one segment's rows: only the first segment survives.
+	segs, skipped := st.EstimateSkip([]Pred{{0, expr.OpLt, types.Int(int64(perSeg))}})
+	if segs != 3 || skipped != 2 {
+		t.Fatalf("EstimateSkip = (%d, %d), want (3, 2)", segs, skipped)
+	}
+	segs, skipped = st.EstimateSkip(nil)
+	if segs != 3 || skipped != 0 {
+		t.Fatalf("EstimateSkip(nil) = (%d, %d), want (3, 0)", segs, skipped)
+	}
+}
+
+func TestEmptyAndTailOnlyHeaps(t *testing.T) {
+	s := testSchema()
+	empty := Build(storage.NewHeap(s), 1)
+	if empty.SealedPages != 0 || len(empty.Segments) != 0 || empty.Live() != 0 {
+		t.Fatalf("empty heap built %+v", empty)
+	}
+	h := storage.NewHeap(s)
+	fillHeap(t, h, storage.PageSize-1, false) // one partial page: nothing sealed
+	tail := Build(h, 1)
+	if tail.SealedPages != 0 || len(tail.Segments) != 0 {
+		t.Fatalf("partial-page heap built %+v", tail)
+	}
+}

@@ -12,7 +12,11 @@
 //	go test -tags prefdbdebug ./...
 package debug
 
-import "fmt"
+import (
+	"fmt"
+
+	"prefdb/internal/types"
+)
 
 // Enabled reports whether assertions are compiled in; guards let callers
 // skip building expensive diagnostic arguments in normal builds.
@@ -44,5 +48,18 @@ func SelValid(sel []int32, n int) {
 func SameLen(what string, a, b int) {
 	if a != b {
 		panic(fmt.Sprintf("prefdbdebug: %s length mismatch: %d vs %d", what, a, b))
+	}
+}
+
+// ZoneContains panics unless min ≤ v ≤ max under types.Compare — the
+// zone-map soundness invariant of the columnar segment store: every live
+// non-null value a scan surfaces must lie within its segment's published
+// bounds, or pruning could drop rows a filter would keep.
+func ZoneContains(min, max, v types.Value) {
+	if c, ok := types.Compare(v, min); !ok || c < 0 {
+		panic(fmt.Sprintf("prefdbdebug: zone-map violation: value %v below segment min %v", v, min))
+	}
+	if c, ok := types.Compare(v, max); !ok || c > 0 {
+		panic(fmt.Sprintf("prefdbdebug: zone-map violation: value %v above segment max %v", v, max))
 	}
 }

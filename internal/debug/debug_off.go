@@ -2,6 +2,8 @@
 
 package debug
 
+import "prefdb/internal/types"
+
 // Enabled reports whether assertions are compiled in. In normal builds it
 // is a false constant, so `if debug.Enabled { … }` blocks are dead code
 // and every function below inlines to nothing.
@@ -15,3 +17,6 @@ func SelValid([]int32, int) {}
 
 // SameLen is a no-op in normal builds.
 func SameLen(string, int, int) {}
+
+// ZoneContains is a no-op in normal builds.
+func ZoneContains(types.Value, types.Value, types.Value) {}

@@ -113,6 +113,12 @@ type DB struct {
 	// BatchSize overrides the vectorized path's rows-per-batch block size
 	// (0 = the executor default).
 	BatchSize int
+	// Colstore is the default storage side for batch scans of queries that
+	// pass no WithColstore option: ColstoreOff (the zero value) reads the
+	// row heap, ColstoreOn reads the columnar segment store with zone-map
+	// pruning. Results, order and stats (modulo the diagnostic segment
+	// counters) are identical in both modes.
+	Colstore ColstoreMode
 
 	// dicts holds the cross-query (level-2) score dictionaries used by
 	// prepared statements; see dicts.go.
@@ -144,6 +150,19 @@ const (
 
 // ParseBatchMode resolves a batch mode by name ("on", "off").
 func ParseBatchMode(name string) (BatchMode, error) { return exec.ParseBatchMode(name) }
+
+// ColstoreMode re-exports the executor's columnar-storage mode for option
+// values.
+type ColstoreMode = exec.ColstoreMode
+
+// Colstore modes (see exec.ColstoreMode).
+const (
+	ColstoreOff = exec.ColstoreOff
+	ColstoreOn  = exec.ColstoreOn
+)
+
+// ParseColstoreMode resolves a colstore mode by name ("on", "off").
+func ParseColstoreMode(name string) (ColstoreMode, error) { return exec.ParseColstoreMode(name) }
 
 // Open creates an empty database. Options override the defaults (GBU
 // strategy, optimizer on, Workers = GOMAXPROCS).
@@ -304,6 +323,7 @@ func (db *DB) RunPlanContext(ctx context.Context, plan *planner.Plan, opts ...Qu
 	ex.ScoreCache = cfg.cache
 	ex.Batch = cfg.batch
 	ex.BatchSize = cfg.batchSize
+	ex.Colstore = cfg.colstore
 
 	var rel *prel.PRelation
 	var err error

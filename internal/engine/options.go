@@ -21,12 +21,13 @@ type queryConfig struct {
 	cache     CacheMode
 	batch     BatchMode
 	batchSize int
+	colstore  ColstoreMode
 }
 
 // queryConfig resolves the options against the database defaults.
 func (db *DB) queryConfig(opts []QueryOption) queryConfig {
 	cfg := queryConfig{mode: db.Mode, workers: db.Workers, cache: db.ScoreCache,
-		batch: db.Batch, batchSize: db.BatchSize}
+		batch: db.Batch, batchSize: db.BatchSize, colstore: db.Colstore}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -96,6 +97,15 @@ func WithBatchSize(n int) QueryOption {
 	return func(c *queryConfig) { c.batchSize = n }
 }
 
+// WithColstore selects the storage side batch scans read for this query
+// (ColstoreOn serves sealed pages from the columnar segment store with
+// zone-map pruning, ColstoreOff reads the row heap), overriding the
+// database default. Results, order and stats (modulo the diagnostic
+// segment counters) are identical in both modes.
+func WithColstore(m ColstoreMode) QueryOption {
+	return func(c *queryConfig) { c.colstore = m }
+}
+
 // OpenOption configures a database at Open (or Load) time, replacing
 // direct struct-field pokes on DB.
 type OpenOption func(*DB)
@@ -129,4 +139,10 @@ func WithDefaultScoreCache(m CacheMode) OpenOption {
 // pass no WithBatch option.
 func WithDefaultBatch(m BatchMode) OpenOption {
 	return func(db *DB) { db.Batch = m }
+}
+
+// WithDefaultColstore sets the default batch-scan storage side used by
+// queries that pass no WithColstore option.
+func WithDefaultColstore(m ColstoreMode) OpenOption {
+	return func(db *DB) { db.Colstore = m }
 }

@@ -67,6 +67,7 @@ func (p *Prepared) RunContext(ctx context.Context, opts ...QueryOption) (*Result
 	ex.ScoreCache = cfg.cache
 	ex.Batch = cfg.batch
 	ex.BatchSize = cfg.batchSize
+	ex.Colstore = cfg.colstore
 	if cfg.cache != CacheOff {
 		// Prepared statements additionally get the engine's cross-query
 		// (level-2) score dictionaries; ad-hoc queries use only the

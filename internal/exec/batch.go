@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"prefdb/internal/algebra"
+	"prefdb/internal/colstore"
 	"prefdb/internal/expr"
 	"prefdb/internal/pref"
 	"prefdb/internal/prel"
@@ -571,7 +572,11 @@ func (e *Executor) buildBatch(n algebra.Node) (batchIter, *schema.Schema, error)
 // buildBatchScan compiles a base-table access for the batch path: the same
 // access-path selection as buildScan (shared scanAccess), with the
 // residual conjuncts applied as a selection-vector kernel instead of a
-// row-at-a-time filter.
+// row-at-a-time filter. In colstore mode a full-table access (no index
+// path taken, so every conjunct is residual) reads the columnar segment
+// store instead of the heap, pruning segments on zone maps against the
+// sargable conjuncts — sound precisely because the full conjunction still
+// runs as the residual kernel over whatever survives.
 func (e *Executor) buildBatchScan(scan *algebra.Scan, conjuncts []expr.Node) (batchIter, *schema.Schema, error) {
 	base, residual, s, err := e.scanAccess(scan, conjuncts)
 	if err != nil {
@@ -579,7 +584,16 @@ func (e *Executor) buildBatchScan(scan *algebra.Scan, conjuncts []expr.Node) (ba
 	}
 	var bi batchIter
 	if h, ok := base.(*heapScanIter); ok {
-		bi = &heapBatchSrc{heap: h.heap, stats: h.stats, tick: h.tick, size: e.batchSize()}
+		if e.colstoreOK() {
+			t, tErr := e.Cat.Table(scan.Table)
+			if tErr != nil {
+				return nil, nil, tErr
+			}
+			preds := colstore.PredsFrom(s, conjuncts)
+			bi = newSegBatchSrc(t.ColStore(), h.heap, preds, h.stats, h.tick, e.batchSize())
+		} else {
+			bi = &heapBatchSrc{heap: h.heap, stats: h.stats, tick: h.tick, size: e.batchSize()}
+		}
 	} else {
 		bi = &rowBatchSrc{in: base, size: e.batchSize()}
 	}

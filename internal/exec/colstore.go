@@ -1,0 +1,152 @@
+// Columnar scan path: segBatchSrc streams a table's columnar segment
+// store (internal/colstore) plus the heap tail into the vectorized
+// pipeline, consulting per-segment zone maps to skip whole segments
+// against the pushed-down filter conjuncts before any kernel runs.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"prefdb/internal/colstore"
+	"prefdb/internal/prel"
+	"prefdb/internal/storage"
+)
+
+// ColstoreMode selects whether batch scans read the columnar segment
+// store (with zone-map pruning) or the row heap.
+type ColstoreMode uint8
+
+const (
+	// ColstoreOff (the zero value) keeps batch scans on the row heap.
+	ColstoreOff ColstoreMode = iota
+	// ColstoreOn serves batch scans from the table's columnar segments
+	// (built lazily, invalidated by DML version counters) plus the heap
+	// tail. Results, order and Stats — modulo the diagnostic Batches /
+	// SegmentsScanned / SegmentsSkipped counters — are identical to the
+	// heap path.
+	ColstoreOn
+)
+
+// String implements fmt.Stringer.
+func (m ColstoreMode) String() string {
+	if m == ColstoreOn {
+		return "on"
+	}
+	return "off"
+}
+
+// ParseColstoreMode resolves a colstore mode by name.
+func ParseColstoreMode(name string) (ColstoreMode, error) {
+	switch strings.ToLower(name) {
+	case "on":
+		return ColstoreOn, nil
+	case "off":
+		return ColstoreOff, nil
+	default:
+		return 0, fmt.Errorf("exec: unknown colstore mode %q (on, off)", name)
+	}
+}
+
+// colstoreOK reports whether batch scans may read columnar segments.
+func (e *Executor) colstoreOK() bool { return e.Colstore == ColstoreOn }
+
+// segBatchSrc streams a columnar segment store and then the heap tail
+// (pages the compaction has not sealed) into a reused batch. Tuples alias
+// the store's shared arena-backed row views and the heap's pages — both
+// immutable during execution — so the source copies nothing.
+//
+// Zone-map pruning: a segment whose zones prove the pushed-down conjuncts
+// reject every live row is dropped unread. Its live rows are still
+// credited to RowsScanned — the counter states which rows the scan
+// accounted for, and the pruned rows were (provably) evaluated against the
+// filter by metadata alone — so Stats stay byte-identical to the heap
+// path; the benefit shows up in wall-clock time and the SegmentsSkipped
+// diagnostic counter.
+type segBatchSrc struct {
+	store *colstore.Store
+	heap  *storage.Heap
+	preds []colstore.Pred
+	stats *Stats
+	tick  pollTick
+	size  int
+
+	buf  *prel.Batch
+	seg  int // current segment ordinal
+	slot int // next slot within the current segment
+	page int // heap-tail page cursor (starts at store.SealedPages)
+	tail int // next slot within the current tail page
+	done bool
+}
+
+func newSegBatchSrc(store *colstore.Store, heap *storage.Heap, preds []colstore.Pred, stats *Stats, tick pollTick, size int) *segBatchSrc {
+	return &segBatchSrc{store: store, heap: heap, preds: preds, stats: stats, tick: tick,
+		size: size, page: store.SealedPages}
+}
+
+func (s *segBatchSrc) nextBatch() (*prel.Batch, bool) {
+	if s.done {
+		return nil, false
+	}
+	if s.buf == nil {
+		s.buf = prel.NewBatch(s.size)
+	}
+	b := s.buf
+	b.Reset()
+	for b.Cap() < s.size && s.seg < len(s.store.Segments) {
+		seg := s.store.Segments[s.seg]
+		if s.slot == 0 {
+			// Segment entry: elide empty segments silently (the heap path
+			// skips dead pages the same way) and prune on zone maps.
+			if seg.Live == 0 {
+				s.seg++
+				continue
+			}
+			if len(s.preds) > 0 && seg.Skip(s.preds) {
+				s.stats.SegmentsSkipped++
+				s.stats.RowsScanned += seg.Live
+				s.seg++
+				continue
+			}
+			s.stats.SegmentsScanned++
+		}
+		for ; s.slot < seg.Rows && b.Cap() < s.size; s.slot++ {
+			if seg.Dead(s.slot) {
+				continue
+			}
+			b.PushTuple(seg.Tuple(s.slot))
+		}
+		if s.slot >= seg.Rows {
+			s.seg++
+			s.slot = 0
+		}
+	}
+	// Heap tail: pages the compaction left on the row side.
+	for b.Cap() < s.size && s.page < s.heap.Blocks() {
+		rows, dead, live := s.heap.Block(s.page)
+		if live == 0 {
+			s.page++
+			s.tail = 0
+			continue
+		}
+		for ; s.tail < len(rows) && b.Cap() < s.size; s.tail++ {
+			if dead[s.tail] {
+				continue
+			}
+			b.PushTuple(rows[s.tail])
+		}
+		if s.tail >= len(rows) {
+			s.page++
+			s.tail = 0
+		}
+	}
+	if b.Cap() == 0 {
+		s.done = true
+		return nil, false
+	}
+	s.stats.RowsScanned += b.Cap()
+	if s.tick.stopN(b.Cap()) {
+		s.done = true // guard tripped: stop producing, like heapBatchSrc
+	}
+	return b, true
+}

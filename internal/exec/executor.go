@@ -58,6 +58,13 @@ type Stats struct {
 	// cost driver: the equivalence contract between the batch and row paths
 	// is "identical Stats modulo Batches".
 	Batches int
+	// SegmentsScanned counts columnar segments actually read by colstore
+	// scans; SegmentsSkipped counts segments dropped unread by zone-map
+	// pruning. Both are diagnostic counters excluded from the path
+	// equivalence contract, like Batches (skipped segments still credit
+	// their live rows to RowsScanned, so that counter stays identical).
+	SegmentsScanned int
+	SegmentsSkipped int
 }
 
 // Add accumulates another stats record.
@@ -73,6 +80,8 @@ func (s *Stats) Add(o Stats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.Batches += o.Batches
+	s.SegmentsScanned += o.SegmentsScanned
+	s.SegmentsSkipped += o.SegmentsSkipped
 }
 
 // String renders the counters compactly. The scoring counters only appear
@@ -86,6 +95,9 @@ func (s Stats) String() string {
 	}
 	if s.Batches != 0 {
 		out += fmt.Sprintf(" batches=%d", s.Batches)
+	}
+	if s.SegmentsScanned != 0 || s.SegmentsSkipped != 0 {
+		out += fmt.Sprintf(" segments=%d skipped=%d", s.SegmentsScanned, s.SegmentsSkipped)
 	}
 	return out
 }
@@ -123,6 +135,12 @@ type Executor struct {
 	// BatchSize overrides the rows-per-batch block size of the vectorized
 	// path (0 = defaultBatchSize).
 	BatchSize int
+	// Colstore selects the storage side batch scans read: ColstoreOff (the
+	// zero value) stays on the row heap; ColstoreOn serves sealed pages
+	// from the columnar segment store with zone-map pruning (see
+	// colstore.go). Results, order and Stats (modulo the diagnostic
+	// counters) are identical in both modes.
+	Colstore ColstoreMode
 	// DictFor, when set (by the engine for prepared statements), supplies
 	// the cross-query level-2 dictionary for a preference; cols are the
 	// canonical key column names. It must be safe for concurrent calls.

@@ -263,7 +263,7 @@ func (e *Executor) scanAccess(scan *algebra.Scan, conjuncts []expr.Node) (iter, 
 func (e *Executor) tryIndexPath(t *catalog.Table, s *schema.Schema, c expr.Node) iter {
 	switch n := c.(type) {
 	case expr.Bin:
-		col, lit, op, ok := bindColLit(s, n)
+		col, lit, op, ok := expr.BindColLit(s, n)
 		if !ok {
 			return nil
 		}
@@ -327,43 +327,6 @@ func (e *Executor) btreeRangeIter(t *catalog.Table, ix *storage.BTreeIndex, lo, 
 		return true
 	})
 	return &rowIDIter{heap: t.Heap, ids: ids, stats: &e.stats}
-}
-
-// bindColLit normalizes a comparison to (column-of-s, literal, op).
-func bindColLit(s *schema.Schema, n expr.Bin) (expr.Col, types.Value, expr.Op, bool) {
-	if !n.Op.IsComparison() {
-		return expr.Col{}, types.Value{}, n.Op, false
-	}
-	if col, ok := n.L.(expr.Col); ok {
-		if lit, ok2 := n.R.(expr.Lit); ok2 {
-			if _, err := s.IndexOf(col.Table, col.Name); err == nil {
-				return col, lit.Val, n.Op, true
-			}
-		}
-	}
-	if col, ok := n.R.(expr.Col); ok {
-		if lit, ok2 := n.L.(expr.Lit); ok2 {
-			if _, err := s.IndexOf(col.Table, col.Name); err == nil {
-				return col, lit.Val, flipCmp(n.Op), true
-			}
-		}
-	}
-	return expr.Col{}, types.Value{}, n.Op, false
-}
-
-func flipCmp(op expr.Op) expr.Op {
-	switch op {
-	case expr.OpLt:
-		return expr.OpGt
-	case expr.OpLe:
-		return expr.OpGe
-	case expr.OpGt:
-		return expr.OpLt
-	case expr.OpGe:
-		return expr.OpLe
-	default:
-		return op
-	}
 }
 
 // heapScanIter streams every live tuple of a heap with the default ⟨⊥,0⟩.

@@ -1,0 +1,51 @@
+package expr
+
+import (
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// BindColLit normalizes a comparison conjunct to (column-of-s, literal,
+// op), flipping the operator when the literal is on the left. ok is false
+// for non-comparisons, shapes other than col <cmp> lit, and columns that do
+// not resolve in s. It is the shared decomposition behind index-path
+// selection (exec), selectivity estimation (catalog) and zone-map pruning
+// (colstore), so all three agree on which conjuncts are sargable.
+func BindColLit(s *schema.Schema, n Bin) (Col, types.Value, Op, bool) {
+	if !n.Op.IsComparison() {
+		return Col{}, types.Value{}, n.Op, false
+	}
+	if col, ok := n.L.(Col); ok {
+		if lit, ok2 := n.R.(Lit); ok2 {
+			if _, err := s.IndexOf(col.Table, col.Name); err == nil {
+				return col, lit.Val, n.Op, true
+			}
+		}
+	}
+	if col, ok := n.R.(Col); ok {
+		if lit, ok2 := n.L.(Lit); ok2 {
+			if _, err := s.IndexOf(col.Table, col.Name); err == nil {
+				return col, lit.Val, FlipCmp(n.Op), true
+			}
+		}
+	}
+	return Col{}, types.Value{}, n.Op, false
+}
+
+// FlipCmp mirrors a comparison operator across its operands, so that
+// lit <op> col reads as col <FlipCmp(op)> lit. Equality operators and
+// non-comparisons are their own mirror.
+func FlipCmp(op Op) Op {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}

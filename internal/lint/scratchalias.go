@@ -24,9 +24,16 @@ import (
 // knowingly are annotated on the offending line:
 //
 //	// prefdb:alias-ok <reason>
+//
+// The columnar segment store inverts the contract: its decoded row views
+// (Segment.Tuple and fields declared with a `prefdb:segment-view` marker)
+// are immutable shared storage, so aliasing them out zero-copy is exactly
+// their purpose and none of the escape rules apply. What is forbidden for
+// them is mutation — writing through a segment view corrupts every reader
+// of the store — and the analyzer flags element assignments through one.
 var ScratchAlias = &Analyzer{
 	Name: "scratchalias",
-	Doc:  "selection vectors, segScratch buffers and arena tuples must not escape their operator without a copy",
+	Doc:  "selection vectors, segScratch buffers and arena tuples must not escape their operator without a copy; segment views may escape but not be written through",
 	Run:  runScratchAlias,
 }
 
@@ -40,6 +47,10 @@ const (
 	// trackArena marks arena-backed tuples (no field store or send;
 	// returning them inside rows is sanctioned).
 	trackArena
+	// trackSegView marks segment-store row views (`prefdb:segment-view`):
+	// immutable shared storage that may escape freely but must never be
+	// written through.
+	trackSegView
 )
 
 // blessedFields are the scratch fields a derived value may be stored back
@@ -94,6 +105,16 @@ func runScratchAlias(pass *Pass) error {
 				return
 			}
 			for i, lhs := range x.Lhs {
+				// Writing through a segment view mutates storage every
+				// reader of the store shares.
+				if idx, ok := lhs.(*ast.IndexExpr); ok && classify(idx.X) == trackSegView {
+					if _, ok := pass.Marker(x.Pos(), "alias-ok"); ok {
+						continue
+					}
+					pass.Reportf(x.Pos(),
+						"segment view written through; segment storage is immutable and shared (prefdb:segment-view)")
+					continue
+				}
 				sel, ok := lhs.(*ast.SelectorExpr)
 				if !ok {
 					continue
@@ -103,7 +124,7 @@ func runScratchAlias(pass *Pass) error {
 					continue
 				}
 				k := classify(x.Rhs[i])
-				if k == trackNone {
+				if k == trackNone || k == trackSegView {
 					continue
 				}
 				recvName, _ := namedOf(selection.Recv())
@@ -118,7 +139,7 @@ func runScratchAlias(pass *Pass) error {
 					kindNoun(k), recvName, sel.Sel.Name)
 			}
 		case *ast.SendStmt:
-			if k := classify(x.Value); k != trackNone {
+			if k := classify(x.Value); k != trackNone && k != trackSegView {
 				if _, ok := pass.Marker(x.Pos(), "alias-ok"); ok {
 					return
 				}
@@ -139,8 +160,11 @@ func runScratchAlias(pass *Pass) error {
 }
 
 func kindNoun(k trackKind) string {
-	if k == trackArena {
+	switch k {
+	case trackArena:
 		return "arena tuple"
+	case trackSegView:
+		return "segment view"
 	}
 	return "selection-vector/scratch slice"
 }
@@ -169,6 +193,15 @@ func classifyExpr(pass *Pass, tracked map[types.Object]trackKind, e ast.Expr) tr
 		case recvName == "segScratch" && (x.Sel.Name == "sel" || x.Sel.Name == "scores"):
 			return trackScratch
 		}
+		// Fields declared with a `prefdb:segment-view` marker hand out
+		// immutable shared storage (only visible when the declaring
+		// package is the one under analysis — cross-package reads go
+		// through accessors like Segment.Tuple, matched below).
+		if obj := selection.Obj(); obj != nil {
+			if _, ok := pass.Marker(obj.Pos(), "segment-view"); ok {
+				return trackSegView
+			}
+		}
 		return trackNone
 	case *ast.CallExpr:
 		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
@@ -181,6 +214,21 @@ func classifyExpr(pass *Pass, tracked map[types.Object]trackKind, e ast.Expr) tr
 			if recvName, _ := NamedType(pass.TypesInfo, sel.X); recvName == "projectArena" {
 				return trackArena
 			}
+		}
+		// Segment.Tuple hands out a shared immutable row view over the
+		// segment's decode arena (`prefdb:segment-view`).
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Tuple" {
+			if recvName, _ := NamedType(pass.TypesInfo, sel.X); recvName == "Segment" {
+				return trackSegView
+			}
+		}
+		return trackNone
+	case *ast.IndexExpr:
+		// Indexing a segment view container (e.g. the marked tuples
+		// field) yields another shared view; other tracked kinds index
+		// to scalars, which copy.
+		if classifyExpr(pass, tracked, x.X) == trackSegView {
+			return trackSegView
 		}
 		return trackNone
 	default:

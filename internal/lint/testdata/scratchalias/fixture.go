@@ -51,3 +51,47 @@ func badSend(scr *segScratch, ch chan []float64) {
 func sanctioned(b *prel.Batch) []int32 {
 	return b.Sel // prefdb:alias-ok caller consumes before the next pull, documented in its contract
 }
+
+// Segment is a stand-in for the columnar store's segment; the analyzer
+// matches the Tuple accessor by type name and the field by its marker.
+type Segment struct {
+	// prefdb:segment-view immutable for the store's lifetime
+	tuples [][]int64
+}
+
+// Tuple hands out a shared immutable row view.
+func (s *Segment) Tuple(i int) []int64 { return s.tuples[i] }
+
+type viewOp struct {
+	view []int64
+}
+
+// goodViewStash parks a segment view in operator state: the storage is
+// immutable and shared by contract, so zero-copy aliasing is the point.
+func goodViewStash(o *viewOp, s *Segment) {
+	o.view = s.Tuple(3)
+}
+
+// goodViewReturn hands a view straight out: clean.
+func goodViewReturn(s *Segment) []int64 { return s.Tuple(0) }
+
+// goodViewSend ships a read-only view across a goroutine boundary: clean.
+func goodViewSend(s *Segment, ch chan []int64) {
+	ch <- s.Tuple(1)
+}
+
+// badViewWrite mutates shared immutable storage through the accessor.
+func badViewWrite(s *Segment) {
+	s.Tuple(0)[0] = 1 // want `segment view written through`
+}
+
+// badViewWriteChain mutates through a local-variable chain.
+func badViewWriteChain(s *Segment) {
+	v := s.Tuple(1)
+	v[2] = 9 // want `segment view written through`
+}
+
+// badViewWriteField mutates through the marked field itself.
+func badViewWriteField(s *Segment) {
+	s.tuples[0][1] = 5 // want `segment view written through`
+}

@@ -92,6 +92,7 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, plan algebra.Node) (alg
 		{!o.DisableProjectionPushdown, o.pruneColumns},
 		// Annotation passes run last so rewrites cannot drop their marks.
 		{!o.DisableScoreCache, o.annotateScoreCache},
+		{true, o.annotateSegments},
 	}
 	for _, p := range passes {
 		if err := step(p.enabled, p.pass); err != nil {
@@ -484,7 +485,13 @@ func (o *Optimizer) estimateRows(n algebra.Node) float64 {
 	case *algebra.Select:
 		base := o.estimateRows(x.Input)
 		if t := singleTableOf(o.Cat, x.Input); t != nil {
-			return base * t.Selectivity(x.Cond)
+			est := base * t.Selectivity(x.Cond)
+			// Zone maps give an exact upper bound (surviving segments +
+			// heap tail); prefer it when tighter than the histogram guess.
+			if bound, ok := o.zoneRowBound(t, x); ok && bound < est {
+				est = bound
+			}
+			return est
 		}
 		return base / 3
 	case *algebra.Prefer, *algebra.Rank:

@@ -13,13 +13,31 @@ import (
 // preference parts, or the final projection. Scans feeding set operations
 // are left untouched (both inputs must keep identical layouts), and plans
 // without a final projection (SELECT *) are not pruned.
+//
+// When the pruned scan sits under a selection, the inserted projection is
+// hoisted above it (σ∘π(scan) → π∘σ(scan)): the filter's columns are a
+// subset of the kept ones, so semantics are unchanged, the projection now
+// materializes only surviving rows, and the selection stays directly over
+// the scan — where index access paths, the colstore's zone-map pruning and
+// the EXPLAIN segment annotation (§12) all attach.
 func (o *Optimizer) pruneColumns(plan algebra.Node) algebra.Node {
 	if !hasRootProjection(plan) {
 		return plan
 	}
 	needed := collectNeededColumns(plan)
 	protected := scansUnderSetOps(plan)
+	inserted := map[*algebra.Project]bool{}
 	return algebra.Transform(plan, func(n algebra.Node) algebra.Node {
+		if sel, ok := n.(*algebra.Select); ok {
+			pr, ok := sel.Input.(*algebra.Project)
+			if !ok || !inserted[pr] {
+				return n
+			}
+			hoisted := &algebra.Project{Cols: pr.Cols,
+				Input: &algebra.Select{Cond: sel.Cond, Input: pr.Input}}
+			inserted[hoisted] = true // stacked selections keep swapping down
+			return hoisted
+		}
 		scan, ok := n.(*algebra.Scan)
 		if !ok || protected[scan] {
 			return n
@@ -46,7 +64,9 @@ func (o *Optimizer) pruneColumns(plan algebra.Node) algebra.Node {
 		if len(ordered) == 0 || len(ordered) >= t.Schema().Len() {
 			return n
 		}
-		return &algebra.Project{Cols: ordered, Input: scan}
+		p := &algebra.Project{Cols: ordered, Input: scan}
+		inserted[p] = true
+		return p
 	})
 }
 

@@ -1,0 +1,77 @@
+package optimizer
+
+import (
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/colstore"
+	"prefdb/internal/expr"
+)
+
+// annotateSegments marks filtered scans of tables whose columnar segment
+// store is built and current with the zone-map pruning estimate: how many
+// segments the store holds and how many the filter's conjuncts disqualify
+// on min/max metadata alone (EXPLAIN renders `[segments N skip≈M]`).
+// The pass never builds a store itself — compaction happens on the first
+// colstore-enabled scan — so plans over heap-only tables are unchanged.
+func (o *Optimizer) annotateSegments(n algebra.Node) algebra.Node {
+	return algebra.Transform(n, func(x algebra.Node) algebra.Node {
+		sel, ok := x.(*algebra.Select)
+		if !ok {
+			return x
+		}
+		scan, ok := sel.Input.(*algebra.Scan)
+		if !ok {
+			return x
+		}
+		t, err := o.Cat.Table(scan.Table)
+		if err != nil {
+			return x
+		}
+		st := t.ColStoreIfBuilt()
+		if st == nil {
+			return x
+		}
+		s := t.Schema().Rename(scan.AliasName())
+		preds := colstore.PredsFrom(s, expr.Conjuncts(sel.Cond))
+		segments, skipped := st.EstimateSkip(preds)
+		if segments == 0 {
+			return x
+		}
+		cp := *scan
+		cp.SegCount = segments
+		cp.SegSkip = skipped
+		return &algebra.Select{Cond: sel.Cond, Input: &cp}
+	})
+}
+
+// zoneRowBound upper-bounds a filtered scan's output cardinality using
+// zone maps: rows the filter can pass live either in a segment its
+// conjuncts cannot disqualify or in the unsealed heap tail. The bound is
+// exact metadata (not a histogram guess), so estimateRows takes it when
+// it is tighter than the statistics-based estimate; it reports !ok when
+// the table has no current segment store or no conjunct is prunable.
+func (o *Optimizer) zoneRowBound(t *catalog.Table, sel *algebra.Select) (float64, bool) {
+	scan, ok := sel.Input.(*algebra.Scan)
+	if !ok {
+		return 0, false
+	}
+	st := t.ColStoreIfBuilt()
+	if st == nil {
+		return 0, false
+	}
+	preds := colstore.PredsFrom(t.Schema().Rename(scan.AliasName()), expr.Conjuncts(sel.Cond))
+	if len(preds) == 0 {
+		return 0, false
+	}
+	surviving := 0
+	for _, seg := range st.Segments {
+		if seg.Live > 0 && !seg.Skip(preds) {
+			surviving += seg.Live
+		}
+	}
+	tail := t.Len() - st.Live()
+	if tail < 0 {
+		tail = 0
+	}
+	return float64(surviving + tail), true
+}

@@ -10,10 +10,12 @@ import (
 	"prefdb/internal/types"
 )
 
-// pageSize is the number of tuple slots per heap page. Pages bound the
+// PageSize is the number of tuple slots per heap page. Pages bound the
 // allocation granularity and give RowIDs a stable two-level address, the
-// same shape an on-disk heap would have.
-const pageSize = 256
+// same shape an on-disk heap would have. It is exported so block-aligned
+// readers (the columnar segment store, tests) can align to page
+// boundaries without a magic number.
+const PageSize = 256
 
 // RowID addresses a tuple within a heap: page ordinal and slot.
 type RowID struct {
@@ -58,10 +60,10 @@ func (h *Heap) Insert(tuple []types.Value) (RowID, error) {
 		return RowID{}, fmt.Errorf("storage: tuple arity %d does not match schema arity %d", len(tuple), h.schema.Len())
 	}
 	var p *page
-	if n := len(h.pages); n > 0 && len(h.pages[n-1].rows) < pageSize {
+	if n := len(h.pages); n > 0 && len(h.pages[n-1].rows) < PageSize {
 		p = h.pages[n-1]
 	} else {
-		p = &page{rows: make([][]types.Value, 0, pageSize), dead: make([]bool, 0, pageSize)}
+		p = &page{rows: make([][]types.Value, 0, PageSize), dead: make([]bool, 0, PageSize)}
 		h.pages = append(h.pages, p)
 	}
 	p.rows = append(p.rows, tuple)

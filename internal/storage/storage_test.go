@@ -36,7 +36,7 @@ func TestHeapInsertGet(t *testing.T) {
 	if h.Len() != 1000 {
 		t.Fatalf("Len = %d", h.Len())
 	}
-	if h.Pages() != 1000/pageSize+1 {
+	if h.Pages() != 1000/PageSize+1 {
 		t.Errorf("Pages = %d", h.Pages())
 	}
 	for i, id := range ids {

@@ -175,6 +175,27 @@ func WithBatch(m BatchMode) QueryOption { return engine.WithBatch(m) }
 // for one query (0 = the executor default).
 func WithBatchSize(n int) QueryOption { return engine.WithBatchSize(n) }
 
+// ColstoreMode selects the storage side batch scans read: the columnar
+// segment store with zone-map pruning, or the row heap.
+type ColstoreMode = engine.ColstoreMode
+
+// Colstore modes.
+const (
+	// ColstoreOff keeps batch scans on the row heap (default).
+	ColstoreOff = engine.ColstoreOff
+	// ColstoreOn serves sealed pages from the columnar segment store,
+	// skipping segments whose zone maps disprove the filter.
+	ColstoreOn = engine.ColstoreOn
+)
+
+// ParseColstoreMode resolves a colstore mode by name ("on", "off").
+func ParseColstoreMode(name string) (ColstoreMode, error) { return engine.ParseColstoreMode(name) }
+
+// WithColstore selects the batch-scan storage side for one query,
+// overriding the database default. Results, order and stats (modulo the
+// diagnostic segment counters) are identical in both modes.
+func WithColstore(m ColstoreMode) QueryOption { return engine.WithColstore(m) }
+
 // WithDefaultMode sets the database's default evaluation strategy.
 func WithDefaultMode(m Mode) OpenOption { return engine.WithDefaultMode(m) }
 
@@ -190,6 +211,9 @@ func WithDefaultScoreCache(m CacheMode) OpenOption { return engine.WithDefaultSc
 
 // WithDefaultBatch sets the database's default execution style.
 func WithDefaultBatch(m BatchMode) OpenOption { return engine.WithDefaultBatch(m) }
+
+// WithDefaultColstore sets the database's default batch-scan storage side.
+func WithDefaultColstore(m ColstoreMode) OpenOption { return engine.WithDefaultColstore(m) }
 
 // Sentinel errors returned (wrapped in a *GuardError) when a query's
 // lifecycle guard trips; match them with errors.Is. Context-caused
