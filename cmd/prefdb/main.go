@@ -4,11 +4,19 @@
 // Usage:
 //
 //	prefdb [-load imdb|dblp] [-scale 0.1] [-mode gbu] [-cache auto] [-batch on] [-timeout 5s] [-explain] [-q "SELECT ..."] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	prefdb -connect host:port [-token t] [-mode gbu] [-q "SELECT ..."]
 //
 // Without -q it reads statements from stdin, terminated by ';'.
 // SIGINT/SIGTERM cancel the active statement (printing its partial
 // execution stats) instead of killing the process mid-materialization;
 // exit the shell with Ctrl-D or \quit.
+//
+// With -connect, statements run on a prefdbserver instead of an embedded
+// database: the mode/cache/batch/colstore/workers flags become the remote
+// session's defaults and everything else — results, options, cancel
+// behavior — works identically (the shell talks to the same Session
+// interface either way). Dataset and snapshot flags (-load, -open, -save)
+// are embedded-only.
 package main
 
 import (
@@ -57,6 +65,8 @@ func main() {
 		save     = flag.String("save", "", "write a database snapshot on exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		connect  = flag.String("connect", "", "run statements on a prefdbserver at host:port instead of embedded")
+		token    = flag.String("token", "", "auth token for -connect")
 	)
 	flag.Parse()
 
@@ -93,6 +103,30 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	cfg := runConfig{explain: *explain, maxRows: *maxRows, timeout: *timeout, rowLimit: *rowLimit, sigc: sigc}
+
+	if *connect != "" {
+		if *load != "" || *open != "" || *save != "" {
+			fatal(errors.New("-load/-open/-save are embedded-only; the server owns its data"))
+		}
+		defaults, err := sessionDefaults(*mode, *cache, *batch, *colstore, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		sess, err := prefdb.Dial(*connect, prefdb.WithToken(*token), prefdb.WithSessionDefaults(defaults...))
+		if err != nil {
+			fatal(err)
+		}
+		defer sess.Close()
+		if *query != "" {
+			if err := runStatement(sess, *query, cfg); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Printf("prefdb shell — connected to %s; terminate statements with ';', Ctrl-D to exit\n", *connect)
+		shell(nil, sess, cfg)
+		return
+	}
 
 	db := prefdb.Open()
 	if *open != "" {
@@ -163,14 +197,51 @@ func main() {
 		fatal(fmt.Errorf("unknown dataset %q (imdb, dblp)", *load))
 	}
 
+	sess := prefdb.NewSession(db)
+	defer sess.Close()
 	if *query != "" {
-		if err := runStatement(db, *query, cfg); err != nil {
+		if err := runStatement(sess, *query, cfg); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	fmt.Println("prefdb shell — terminate statements with ';', \\help for meta-commands, Ctrl-D to exit")
+	shell(db, sess, cfg)
+}
+
+// sessionDefaults turns the strategy flags into session default options
+// for a remote connection.
+func sessionDefaults(mode, cache, batch, colstore string, workers int) ([]prefdb.QueryOption, error) {
+	m, err := prefdb.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := prefdb.ParseCacheMode(cache)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := prefdb.ParseBatchMode(batch)
+	if err != nil {
+		return nil, err
+	}
+	csm, err := prefdb.ParseColstoreMode(colstore)
+	if err != nil {
+		return nil, err
+	}
+	opts := []prefdb.QueryOption{
+		prefdb.WithMode(m), prefdb.WithScoreCache(cm),
+		prefdb.WithBatch(bm), prefdb.WithColstore(csm),
+	}
+	if workers != 0 {
+		opts = append(opts, prefdb.WithWorkers(workers))
+	}
+	return opts, nil
+}
+
+// shell reads statements from stdin until EOF; db is nil when connected
+// to a server (meta-commands needing catalog access are embedded-only).
+func shell(db *prefdb.DB, sess prefdb.Session, cfg runConfig) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -190,7 +261,7 @@ func main() {
 			stmt := strings.TrimSpace(buf.String())
 			buf.Reset()
 			if stmt != ";" && stmt != "" {
-				if err := runStatement(db, stmt, cfg); err != nil {
+				if err := runStatement(sess, stmt, cfg); err != nil {
 					fmt.Fprintln(os.Stderr, "error:", err)
 				}
 			}
@@ -200,11 +271,19 @@ func main() {
 }
 
 // metaCommand handles backslash commands; it reports whether to quit.
+// db is nil in connected mode, where catalog-backed commands are
+// unavailable.
 func metaCommand(db *prefdb.DB, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit", "\\exit":
 		return true
+	}
+	if db == nil {
+		fmt.Fprintf(os.Stderr, "meta-command %s is embedded-only (connected to a server)\n", fields[0])
+		return false
+	}
+	switch fields[0] {
 	case "\\help", "\\h":
 		fmt.Println(`meta-commands:
   \tables            list tables with row counts
@@ -272,7 +351,7 @@ func prompt(continuation bool) {
 	}
 }
 
-func runStatement(db *prefdb.DB, sql string, cfg runConfig) error {
+func runStatement(sess prefdb.Session, sql string, cfg runConfig) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -300,7 +379,7 @@ func runStatement(db *prefdb.DB, sql string, cfg runConfig) error {
 	if cfg.rowLimit > 0 {
 		opts = append(opts, prefdb.WithMaxRows(cfg.rowLimit))
 	}
-	res, err := db.ExecContext(ctx, sql, opts...)
+	res, err := sess.ExecContext(ctx, sql, opts...)
 	if err != nil {
 		var ge *prefdb.GuardError
 		if errors.As(err, &ge) {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,8 @@ func main() {
 	}
 	fmt.Printf("synthetic DBLP: %d publications, %d authors, %d authorship rows\n\n",
 		sizes["publications"], sizes["authors"], sizes["pub_authors"])
+	sess := prefdb.NewSession(db)
+	defer sess.Close()
 
 	// Preferred venues and recent work, ranked.
 	venueQuery := `
@@ -28,7 +31,7 @@ func main() {
 	           year >= 2000 SCORE recency(year, 2011) CONF 0.7 ON conferences AS recent
 	USING sum
 	TOP 5 BY score`
-	show(db, "Top database-venue papers", venueQuery)
+	show(sess, "Top database-venue papers", venueQuery)
 
 	// Membership preference: papers that are cited at all are preferred —
 	// the DBLP analogue of the paper's p7 (award-winning movies), expressed
@@ -38,7 +41,7 @@ func main() {
 	JOIN citations ON publications.p_id = citations.p2_id
 	PREFERRING true SCORE 1 CONF 0.8 ON (publications, citations)
 	TOP 5 BY score`
-	show(db, "Cited papers (membership preference)", citedQuery)
+	show(sess, "Cited papers (membership preference)", citedQuery)
 
 	// Skyline on (score, confidence): papers for which no other paper is
 	// both better-scored and more confidently scored. Venue preference is
@@ -51,7 +54,7 @@ func main() {
 	           year >= 2005 SCORE recency(year, 2011) CONF 0.4 ON conferences
 	USING max
 	SKYLINE`
-	res, err := db.Exec(skylineQuery)
+	res, err := sess.ExecContext(context.Background(), skylineQuery)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,8 +69,8 @@ func main() {
 	}
 }
 
-func show(db *prefdb.DB, title, sql string) {
-	res, err := db.Exec(sql)
+func show(sess prefdb.Session, title, sql string) {
+	res, err := sess.ExecContext(context.Background(), sql)
 	if err != nil {
 		log.Fatalf("%s: %v", title, err)
 	}

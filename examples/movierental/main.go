@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,9 @@ import (
 
 func main() {
 	db := prefdb.Open()
-	loadFig1(db)
+	sess := prefdb.NewSession(db)
+	defer sess.Close()
+	loadFig1(sess)
 
 	// --- Q1 (Example 9): top-k recent movies for Alice ---------------------
 	// p1: Alice loves comedies; p2: her favourite director is C. Eastwood;
@@ -34,7 +37,7 @@ func main() {
 	           actor = 'S. Johansson' SCORE 1 CONF 1 ON actors AS aliceScarlett
 	USING sum
 	TOP 3 BY score`
-	show(db, "Q1 — top-3 recent movies for Alice", q1)
+	show(sess, "Q1 — top-3 recent movies for Alice", q1)
 
 	// --- Q2 (Example 10): only confident suggestions -----------------------
 	// The application designer sets a confidence threshold τ so that movies
@@ -51,7 +54,7 @@ func main() {
 	           actor = 'S. Johansson' SCORE 1 CONF 1 ON actors
 	USING sum
 	THRESHOLD conf >= 1.5`
-	show(db, "Q2 — suggestions matching several preferences (conf ≥ 1.5)", q2)
+	show(sess, "Q2 — suggestions matching several preferences (conf ≥ 1.5)", q2)
 
 	// --- Q3 (Example 11): blending Alice's and Bob's preferences -----------
 	// Bob prefers the most recent Woody Allen movies (p4, multi-relational)
@@ -66,13 +69,13 @@ func main() {
 	USING sum
 	THRESHOLD conf > 0
 	`
-	show(db, "Q3 — social blending (Alice + Bob), all scored movies", q3)
+	show(sess, "Q3 — social blending (Alice + Bob), all scored movies", q3)
 
 	// The same query under every execution strategy returns the same answer;
 	// the strategies differ only in cost profile.
 	fmt.Println("Strategy cost profiles for Q1:")
 	for _, mode := range prefdb.Modes() {
-		res, err := db.Query(q1, mode)
+		res, err := sess.QueryContext(context.Background(), q1, prefdb.WithMode(mode))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,8 +83,8 @@ func main() {
 	}
 }
 
-func show(db *prefdb.DB, title, sql string) {
-	res, err := db.Exec(sql)
+func show(sess prefdb.Session, title, sql string) {
+	res, err := sess.ExecContext(context.Background(), sql)
 	if err != nil {
 		log.Fatalf("%s: %v", title, err)
 	}
@@ -100,7 +103,7 @@ func show(db *prefdb.DB, title, sql string) {
 
 // loadFig1 inserts the movie database of the paper's Fig. 3 plus a small
 // cast so the actor preference has data to match.
-func loadFig1(db *prefdb.DB) {
+func loadFig1(sess prefdb.Session) {
 	stmts := []string{
 		`CREATE TABLE movies (m_id INT, title TEXT, year INT, duration INT, d_id INT, PRIMARY KEY (m_id))`,
 		`CREATE TABLE directors (d_id INT, director TEXT, PRIMARY KEY (d_id))`,
@@ -121,7 +124,7 @@ func loadFig1(db *prefdb.DB) {
 			(1, 2, 'Walt'), (3, 2, 'Frankie'), (2, 3, 'Bud')`,
 	}
 	for _, s := range stmts {
-		if _, err := db.Exec(s); err != nil {
+		if _, err := sess.ExecContext(context.Background(), s); err != nil {
 			log.Fatalf("%s: %v", s, err)
 		}
 	}

@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,11 @@ func main() {
 	if _, err := prefdb.LoadIMDB(db, prefdb.DatagenConfig{Scale: 0.05, Seed: 11}); err != nil {
 		log.Fatal(err)
 	}
+	// The session's default strategy applies to every query below; the
+	// per-query WithProfile option binds each statement to one user's
+	// stored preferences.
+	sess := prefdb.NewSession(db, prefdb.WithMode(prefdb.ModeGBU))
+	defer sess.Close()
 
 	// The application collects preferences per user over time. Alice's are
 	// explicit (confidence 1); the system also learnt two weaker ones from
@@ -43,7 +49,7 @@ func main() {
 	      TOP 5 BY score`
 
 	for _, user := range []string{"alice", "bob"} {
-		res, err := db.QueryForUser(q, profiles, user, prefdb.ModeGBU)
+		res, err := sess.QueryContext(context.Background(), q, prefdb.WithProfile(profiles, user))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +67,7 @@ func main() {
 	       JOIN genres ON movies.m_id = genres.m_id
 	       JOIN ratings ON movies.m_id = ratings.m_id
 	       TOP 3 BY score`
-	res, err := db.QueryForUser(q2, profiles, "alice", prefdb.ModeGBU)
+	res, err := sess.QueryContext(context.Background(), q2, prefdb.WithProfile(profiles, "alice"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +87,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, err := restored.QueryForUser(q, profiles, "alice", prefdb.ModeGBU)
+	rsess := prefdb.NewSession(restored, prefdb.WithMode(prefdb.ModeGBU))
+	defer rsess.Close()
+	res2, err := rsess.QueryContext(context.Background(), q, prefdb.WithProfile(profiles, "alice"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,11 +14,17 @@ import (
 func main() {
 	db := prefdb.Open()
 
-	must(db, `CREATE TABLE movies (
+	// A session carries default options for every statement it runs; the
+	// resolution chain is Open defaults < session defaults < per-query
+	// options.
+	sess := prefdb.NewSession(db)
+	defer sess.Close()
+
+	must(sess, `CREATE TABLE movies (
 		m_id INT, title TEXT, year INT, duration INT,
 		PRIMARY KEY (m_id)
 	)`)
-	must(db, `INSERT INTO movies VALUES
+	must(sess, `INSERT INTO movies VALUES
 		(1, 'Gran Torino', 2008, 116),
 		(2, 'Wall Street', 1987, 126),
 		(3, 'Million Dollar Baby', 2004, 132),
@@ -27,7 +33,7 @@ func main() {
 
 	// A preferential query: preferences are soft — they score tuples, they
 	// never filter them. Filtering (TOP k) happens afterwards, on scores.
-	res, err := db.Exec(`
+	res, err := sess.ExecContext(context.Background(), `
 		SELECT title, year FROM movies
 		PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 1.0 ON movies,
 		           duration <= 120 SCORE around(duration, 120) CONF 0.5 ON movies
@@ -40,10 +46,10 @@ func main() {
 	fmt.Println("All movies ranked by preference score:")
 	fmt.Println(res.Rel)
 
-	// The same query with a top-k filter, run through the context-aware
-	// entry point: the query is cancelable and bounded by a wall-clock
-	// deadline and a materialization budget (both generous here).
-	top, err := db.QueryContext(context.Background(), `
+	// The same query with a top-k filter: per-query options make it
+	// cancelable and bounded by a wall-clock deadline and a
+	// materialization budget (both generous here).
+	top, err := sess.QueryContext(context.Background(), `
 		SELECT title FROM movies
 		PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 1.0 ON movies,
 		           duration <= 120 SCORE around(duration, 120) CONF 0.5 ON movies
@@ -56,10 +62,29 @@ func main() {
 	for _, row := range top.Rel.Rows {
 		fmt.Printf("  %-22s score=%.3f conf=%.2f\n", row.Tuple[0], row.SC.Score, row.SC.Conf)
 	}
+
+	// Large results need not materialize: StreamContext hands back a Rows
+	// iterator fed row by row from the executor pipeline.
+	rows, err := sess.StreamContext(context.Background(), `
+		SELECT title, year FROM movies
+		PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 1.0 ON movies
+		RANK BY score`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Streamed:")
+	for rows.Next() {
+		row := rows.Row()
+		fmt.Printf("  %-22s score=%.3f\n", row.Tuple[0], row.SC.Score)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
 }
 
-func must(db *prefdb.DB, sql string) {
-	if _, err := db.Exec(sql); err != nil {
+func must(sess prefdb.Session, sql string) {
+	if _, err := sess.ExecContext(context.Background(), sql); err != nil {
 		log.Fatalf("%s: %v", sql, err)
 	}
 }

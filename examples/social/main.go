@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -18,6 +19,8 @@ func main() {
 	if _, err := prefdb.LoadIMDB(db, prefdb.DatagenConfig{Scale: 0.05, Seed: 7}); err != nil {
 		log.Fatal(err)
 	}
+	sess := prefdb.NewSession(db)
+	defer sess.Close()
 
 	// Alice's explicit preferences (confidence 1) and preferences the
 	// system learnt for Bob (lower confidence).
@@ -34,8 +37,8 @@ func main() {
 	USING %s
 	TOP 8 BY score`
 
-	sum := top(db, fmt.Sprintf(base, "sum"))
-	max := top(db, fmt.Sprintf(base, "max"))
+	sum := top(sess, fmt.Sprintf(base, "sum"))
+	max := top(sess, fmt.Sprintf(base, "max"))
 
 	fmt.Println("Blended top-8 under F_S (confidence-weighted sum):")
 	printList(sum)
@@ -63,7 +66,7 @@ func main() {
 	` + prefs + `
 	USING sum
 	THRESHOLD score >= 0.6`
-	res, err := db.Exec(serendip)
+	res, err := sess.ExecContext(context.Background(), serendip)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,8 +85,8 @@ type entry struct {
 	conf  float64
 }
 
-func top(db *prefdb.DB, sql string) []entry {
-	res, err := db.Exec(sql)
+func top(sess prefdb.Session, sql string) []entry {
+	res, err := sess.ExecContext(context.Background(), sql)
 	if err != nil {
 		log.Fatal(err)
 	}

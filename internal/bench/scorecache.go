@@ -39,6 +39,13 @@ type Point struct {
 	Colstore        string `json:"colstore,omitempty"`
 	SegmentsScanned int    `json:"segmentsScanned,omitempty"`
 	SegmentsSkipped int    `json:"segmentsSkipped,omitempty"`
+	// Server-load fields (E15): concurrent client sessions and the
+	// throughput / tail-latency profile of the wire-protocol server.
+	Sessions  int     `json:"sessions,omitempty"`
+	QPS       float64 `json:"qps,omitempty"`
+	P50Millis float64 `json:"p50Millis,omitempty"`
+	P95Millis float64 `json:"p95Millis,omitempty"`
+	P99Millis float64 `json:"p99Millis,omitempty"`
 }
 
 // scoreCacheBaseRows sizes the synthetic relation at scale 1.0; the

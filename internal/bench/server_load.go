@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"prefdb/internal/engine"
+	"prefdb/internal/server"
+	"prefdb/internal/wire"
+)
+
+// serverLoadSessions is the concurrency sweep: how many client sessions
+// hammer the server at once. The interesting transitions are 1→4 (the
+// executor pool absorbs the added sessions) and beyond GOMAXPROCS (the
+// admission queue starts to matter and tail latency grows while
+// throughput plateaus).
+var serverLoadSessions = []int{1, 2, 4, 8, 16}
+
+// serverLoadQueries is the per-session statement count at repeats=1;
+// repeats multiplies it. Small enough for a CI smoke, large enough that
+// percentiles are not pure noise.
+const serverLoadQueries = 30
+
+// --- E15: multi-session server load (PR 7) ---
+
+// runServerLoad starts an in-process prefdbserver over the shared IMDB
+// database and drives it with S concurrent client sessions, each running
+// a closed loop of preference queries over its own wire connection. For
+// each S it reports aggregate throughput and the p50/p95/p99 statement
+// latency. Expected shape: throughput scales with S until the executor
+// saturates GOMAXPROCS, then the server-wide admission queue holds
+// throughput flat while p95/p99 grow with queue depth — the wire layer
+// adds encode/decode work per row but no extra materialization, since
+// results stream in bounded batches.
+func runServerLoad(ctx context.Context, e *Env, w io.Writer, repeats int) error {
+	db, err := e.IMDB()
+	if err != nil {
+		return err
+	}
+	srv := server.New(db, server.Options{})
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = srv.Serve() }()
+	defer func() { _ = srv.Close(); <-serveDone }()
+	addr := srv.Addr().String()
+
+	sql := `SELECT title, year FROM movies
+		PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 0.9 ON movies
+		USING sum TOP 20 BY score`
+	perSession := serverLoadQueries * repeats
+
+	header(w, "sessions", "stmts", "elapsed", "qps", "p50", "p95", "p99")
+	for _, sessions := range serverLoadSessions {
+		latencies := make([]time.Duration, 0, sessions*perSession)
+		var (
+			mu      sync.Mutex
+			wg      sync.WaitGroup
+			loadErr error
+		)
+		start := time.Now()
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := wire.Dial(addr, wire.WithSessionDefaults(engine.WithMode(engine.ModeGBU)))
+				if err != nil {
+					mu.Lock()
+					if loadErr == nil {
+						loadErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				defer c.Close()
+				local := make([]time.Duration, 0, perSession)
+				for i := 0; i < perSession; i++ {
+					t0 := time.Now()
+					if _, err := c.QueryContext(ctx, sql); err != nil {
+						mu.Lock()
+						if loadErr == nil {
+							loadErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				mu.Lock()
+				latencies = append(latencies, local...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if loadErr != nil {
+			return fmt.Errorf("sessions=%d: %w", sessions, loadErr)
+		}
+		total := len(latencies)
+		qps := float64(total) / elapsed.Seconds()
+		p50 := percentile(latencies, 0.50)
+		p95 := percentile(latencies, 0.95)
+		p99 := percentile(latencies, 0.99)
+		fmt.Fprintf(w, "%d\t%d\t%.2fs\t%.0f\t%.2fms\t%.2fms\t%.2fms\n",
+			sessions, total, elapsed.Seconds(), qps,
+			millis(p50), millis(p95), millis(p99))
+		e.RecordPoint(Point{
+			Experiment: "serverload",
+			Label:      fmt.Sprintf("sessions=%d", sessions),
+			Sessions:   sessions,
+			ResultRows: total,
+			Millis:     elapsed.Seconds() * 1000,
+			QPS:        qps,
+			P50Millis:  millis(p50),
+			P95Millis:  millis(p95),
+			P99Millis:  millis(p99),
+		})
+	}
+	return nil
+}
+
+// percentile returns the p-quantile of the sample by nearest-rank on the
+// sorted latencies (destructive: sorts in place).
+func percentile(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	idx := int(p * float64(len(d)-1))
+	return d[idx]
+}
+
+func millis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -7,7 +7,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"prefdb/internal/algebra"
 	"prefdb/internal/catalog"
@@ -60,32 +59,9 @@ func (m Mode) String() string {
 	}
 }
 
-// Modes lists every mode in presentation order.
-func Modes() []Mode {
-	return []Mode{ModeNative, ModeBU, ModeGBU, ModeFtP, ModePluginNaive, ModePluginMerged}
-}
-
-// ParseMode resolves a mode by name.
-func ParseMode(name string) (Mode, error) {
-	switch strings.ToLower(name) {
-	case "gbu", "group-bottom-up", "":
-		return ModeGBU, nil
-	case "bu", "bottom-up":
-		return ModeBU, nil
-	case "ftp", "filter-then-prefer":
-		return ModeFtP, nil
-	case "native":
-		return ModeNative, nil
-	case "plugin", "plugin-naive":
-		return ModePluginNaive, nil
-	case "plugin-merged":
-		return ModePluginMerged, nil
-	default:
-		return 0, fmt.Errorf("engine: unknown mode %q (native, bu, gbu, ftp, plugin-naive, plugin-merged)", name)
-	}
-}
-
-// DB is a prefdb database instance.
+// DB is a prefdb database instance. A DB is safe for concurrent use; for
+// per-user or per-connection defaults, derive Session handles with
+// NewSession instead of mutating the exported default fields after Open.
 type DB struct {
 	cat *catalog.Catalog
 	pl  *planner.Planner
@@ -135,9 +111,6 @@ const (
 	CacheOn   = exec.CacheOn
 )
 
-// ParseCacheMode resolves a score-cache mode by name ("auto", "off", "on").
-func ParseCacheMode(name string) (CacheMode, error) { return exec.ParseCacheMode(name) }
-
 // BatchMode re-exports the executor's execution-style mode for option
 // values.
 type BatchMode = exec.BatchMode
@@ -148,9 +121,6 @@ const (
 	BatchOff = exec.BatchOff
 )
 
-// ParseBatchMode resolves a batch mode by name ("on", "off").
-func ParseBatchMode(name string) (BatchMode, error) { return exec.ParseBatchMode(name) }
-
 // ColstoreMode re-exports the executor's columnar-storage mode for option
 // values.
 type ColstoreMode = exec.ColstoreMode
@@ -160,9 +130,6 @@ const (
 	ColstoreOff = exec.ColstoreOff
 	ColstoreOn  = exec.ColstoreOn
 )
-
-// ParseColstoreMode resolves a colstore mode by name ("on", "off").
-func ParseColstoreMode(name string) (ColstoreMode, error) { return exec.ParseColstoreMode(name) }
 
 // Open creates an empty database. Options override the defaults (GBU
 // strategy, optimizer on, Workers = GOMAXPROCS).
@@ -205,6 +172,10 @@ func (r *Result) Columns() []string {
 // Exec parses and executes any statement (DDL, DML or query) with the
 // database defaults and no cancellation; it is ExecContext under
 // context.Background.
+//
+// Deprecated: use ExecContext (or a Session from NewSession), which adds
+// cancellation, deadlines and per-query options. Exec remains as a thin
+// wrapper and will not be removed.
 func (db *DB) Exec(sql string) (*Result, error) {
 	return db.ExecContext(context.Background(), sql)
 }
@@ -252,6 +223,10 @@ func (db *DB) ExecContext(ctx context.Context, sql string, opts ...QueryOption) 
 // Query parses, plans and executes a preferential query with the given
 // mode and no cancellation; it is QueryContext under context.Background
 // with WithMode.
+//
+// Deprecated: use QueryContext with WithMode (or a Session from
+// NewSession), which adds cancellation, deadlines and per-query options.
+// Query remains as a thin wrapper and will not be removed.
 func (db *DB) Query(sql string, mode Mode) (*Result, error) {
 	return db.QueryContext(context.Background(), sql, WithMode(mode))
 }
@@ -280,15 +255,29 @@ func (db *DB) QueryPlan(sql string) (*planner.Plan, error) {
 }
 
 func (db *DB) runSelect(ctx context.Context, q *parser.SelectStmt, opts ...QueryOption) (*Result, error) {
-	plan, err := db.pl.Plan(q)
+	cfg := db.queryConfig(opts)
+	plan, err := db.planSelect(q, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	return db.RunPlanContext(ctx, plan, opts...)
+	return db.runPlanCfg(ctx, plan, &cfg)
+}
+
+// planSelect plans a parsed query, injecting the configuration's bound
+// profile preferences (WithProfile / session bindings) when present.
+func (db *DB) planSelect(q *parser.SelectStmt, cfg *queryConfig) (*planner.Plan, error) {
+	if ps := cfg.profilePreferences(); len(ps) > 0 {
+		return db.pl.PlanWithPreferences(q, ps)
+	}
+	return db.pl.Plan(q)
 }
 
 // RunPlan executes an already-built plan with the given mode; it is
 // RunPlanContext under context.Background with WithMode.
+//
+// Deprecated: use RunPlanContext with WithMode, which adds cancellation,
+// deadlines and per-query options. RunPlan remains as a thin wrapper and
+// will not be removed.
 func (db *DB) RunPlan(plan *planner.Plan, mode Mode) (*Result, error) {
 	return db.RunPlanContext(context.Background(), plan, WithMode(mode))
 }
@@ -298,55 +287,29 @@ func (db *DB) RunPlan(plan *planner.Plan, mode Mode) (*Result, error) {
 // the user-requested columns. A WithTimeout option wraps ctx in a
 // deadline for the duration of the execution.
 func (db *DB) RunPlanContext(ctx context.Context, plan *planner.Plan, opts ...QueryOption) (*Result, error) {
+	cfg := db.queryConfig(opts)
+	return db.runPlanCfg(ctx, plan, &cfg)
+}
+
+// runPlanCfg executes an already-built plan under an already-resolved
+// configuration — the shared back end of RunPlanContext, runSelect and
+// the session entry points.
+func (db *DB) runPlanCfg(ctx context.Context, plan *planner.Plan, cfg *queryConfig) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg := db.queryConfig(opts)
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
 
-	root := plan.Root
-	if db.Optimize {
-		var optErr error
-		root, optErr = db.opt.OptimizeContext(ctx, plan.Root)
-		if optErr != nil {
-			return nil, exec.WrapContextErr(optErr)
-		}
+	root, err := db.optimizeRoot(ctx, plan)
+	if err != nil {
+		return nil, err
 	}
-	ex := exec.New(db.cat)
-	ex.Agg = plan.Agg
-	ex.Workers = cfg.workers
-	ex.Limits = cfg.limits
-	ex.ScoreCache = cfg.cache
-	ex.Batch = cfg.batch
-	ex.BatchSize = cfg.batchSize
-	ex.Colstore = cfg.colstore
-
-	var rel *prel.PRelation
-	var err error
-	switch cfg.mode {
-	case ModePluginNaive, ModePluginMerged:
-		// The plug-in sits on top of the engine: it receives the baseline
-		// (non-optimized) plan, since the preference-aware optimizer is
-		// precisely what a plug-in cannot use. Begin arms the executor's
-		// guard so every query the runner delegates observes ctx and the
-		// budgets; GuardErr surfaces a trip with the Stats at failure.
-		ex.Begin(ctx)
-		runner := &pluginRunner{exec: ex, merged: cfg.mode == ModePluginMerged}
-		rel, err = runner.run(plan.Root)
-		if gErr := ex.GuardErr(); gErr != nil {
-			rel, err = nil, gErr
-		}
-	default:
-		strategy, sErr := execStrategy(cfg.mode)
-		if sErr != nil {
-			return nil, sErr
-		}
-		rel, err = ex.RunContext(ctx, root, strategy)
-	}
+	ex := db.executorFor(cfg, plan.Agg, nil)
+	rel, err := db.runMaterialized(ctx, ex, cfg, plan.Root, root)
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +320,63 @@ func (db *DB) RunPlanContext(ctx context.Context, plan *planner.Plan, opts ...Qu
 		return nil, err
 	}
 	return &Result{Rel: trimmed, Stats: ex.Stats(), Plan: algebra.Format(root)}, nil
+}
+
+// optimizeRoot applies the preference-aware optimizer under ctx when
+// enabled, returning the plan root to execute.
+func (db *DB) optimizeRoot(ctx context.Context, plan *planner.Plan) (algebra.Node, error) {
+	if !db.Optimize {
+		return plan.Root, nil
+	}
+	root, err := db.opt.OptimizeContext(ctx, plan.Root)
+	if err != nil {
+		return nil, exec.WrapContextErr(err)
+	}
+	return root, nil
+}
+
+// executorFor builds an executor configured for one query resolution.
+// dictFor, when non-nil, enables the engine's cross-query score
+// dictionaries (the prepared-statement path) unless the cache is off.
+func (db *DB) executorFor(cfg *queryConfig, agg pref.Aggregate, dictFor func(pref.Preference, []string) *exec.ScoreDict) *exec.Executor {
+	ex := exec.New(db.cat)
+	ex.Agg = agg
+	ex.Workers = cfg.workers
+	ex.Limits = cfg.limits
+	ex.ScoreCache = cfg.cache
+	ex.Batch = cfg.batch
+	ex.BatchSize = cfg.batchSize
+	ex.Colstore = cfg.colstore
+	if dictFor != nil && cfg.cache != CacheOff {
+		ex.DictFor = dictFor
+	}
+	return ex
+}
+
+// runMaterialized evaluates a plan to a materialized p-relation under the
+// resolved configuration. baseline is the non-optimized root the plug-in
+// modes require (the preference-aware optimizer is precisely what a
+// plug-in cannot use); root is the optimized root for the strategies.
+func (db *DB) runMaterialized(ctx context.Context, ex *exec.Executor, cfg *queryConfig, baseline, root algebra.Node) (*prel.PRelation, error) {
+	switch cfg.mode {
+	case ModePluginNaive, ModePluginMerged:
+		// Begin arms the executor's guard so every query the runner
+		// delegates observes ctx and the budgets; GuardErr surfaces a trip
+		// with the Stats at failure.
+		ex.Begin(ctx)
+		runner := &pluginRunner{exec: ex, merged: cfg.mode == ModePluginMerged}
+		rel, err := runner.run(baseline)
+		if gErr := ex.GuardErr(); gErr != nil {
+			return nil, gErr
+		}
+		return rel, err
+	default:
+		strategy, sErr := execStrategy(cfg.mode)
+		if sErr != nil {
+			return nil, sErr
+		}
+		return ex.RunContext(ctx, root, strategy)
+	}
 }
 
 func execStrategy(mode Mode) (exec.Strategy, error) {

@@ -4,9 +4,7 @@ import (
 	"context"
 
 	"prefdb/internal/algebra"
-	"prefdb/internal/exec"
 	"prefdb/internal/planner"
-	"prefdb/internal/prel"
 )
 
 // Prepared is a planned and optimized preferential query that can be
@@ -16,6 +14,10 @@ import (
 // A prepared query is bound to the database state at preparation time only
 // loosely: plans reference tables by name, so inserted rows are visible to
 // later runs, but schema changes (new tables/columns) require re-preparing.
+//
+// A Prepared is safe for concurrent RunContext/StreamContext calls: every
+// run builds its own executor; the plan and its compiled expressions are
+// read-only.
 type Prepared struct {
 	db *DB
 	// plan holds the baseline plan (used by the plug-in modes, which by
@@ -24,11 +26,20 @@ type Prepared struct {
 	// optimized is the optimizer's output (equal to plan.Root when the
 	// optimizer is disabled at preparation time).
 	optimized algebra.Node
+	// defaults are the owning session's default options (nil for
+	// statements prepared directly on the DB); per-run options override
+	// them, completing the Open < session < query precedence chain.
+	defaults []QueryOption
 }
 
 // Prepare parses, plans and (if enabled) optimizes a query for repeated
 // execution.
 func (db *DB) Prepare(sql string) (*Prepared, error) {
+	return db.prepareWith(sql, nil)
+}
+
+// prepareWith is Prepare carrying session default options.
+func (db *DB) prepareWith(sql string, defaults []QueryOption) (*Prepared, error) {
 	plan, err := db.pl.PlanQuery(sql)
 	if err != nil {
 		return nil, err
@@ -37,13 +48,30 @@ func (db *DB) Prepare(sql string) (*Prepared, error) {
 	if db.Optimize {
 		optimized = db.opt.Optimize(plan.Root)
 	}
-	return &Prepared{db: db, plan: plan, optimized: optimized}, nil
+	return &Prepared{db: db, plan: plan, optimized: optimized, defaults: defaults}, nil
 }
 
 // Run executes the prepared query with the given mode; it is RunContext
 // under context.Background with WithMode.
+//
+// Deprecated: use RunContext with WithMode, which adds cancellation,
+// deadlines and per-query options. Run remains as a thin wrapper and will
+// not be removed.
 func (p *Prepared) Run(mode Mode) (*Result, error) {
 	return p.RunContext(context.Background(), WithMode(mode))
+}
+
+// config resolves the run options through the full precedence chain:
+// database defaults, then the owning session's defaults (if any), then
+// the per-run options.
+func (p *Prepared) config(opts []QueryOption) queryConfig {
+	if len(p.defaults) == 0 {
+		return p.db.queryConfig(opts)
+	}
+	merged := make([]QueryOption, 0, len(p.defaults)+len(opts))
+	merged = append(merged, p.defaults...)
+	merged = append(merged, opts...)
+	return p.db.queryConfig(merged)
 }
 
 // RunContext executes the prepared query under ctx and the given options
@@ -54,44 +82,17 @@ func (p *Prepared) RunContext(ctx context.Context, opts ...QueryOption) (*Result
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg := p.db.queryConfig(opts)
+	cfg := p.config(opts)
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	ex := exec.New(p.db.cat)
-	ex.Agg = p.plan.Agg
-	ex.Workers = cfg.workers
-	ex.Limits = cfg.limits
-	ex.ScoreCache = cfg.cache
-	ex.Batch = cfg.batch
-	ex.BatchSize = cfg.batchSize
-	ex.Colstore = cfg.colstore
-	if cfg.cache != CacheOff {
-		// Prepared statements additionally get the engine's cross-query
-		// (level-2) score dictionaries; ad-hoc queries use only the
-		// per-query memo since their compiled plans die with the run.
-		ex.DictFor = p.db.dictFor
-	}
-
-	var rel *prel.PRelation
-	var err error
-	switch cfg.mode {
-	case ModePluginNaive, ModePluginMerged:
-		ex.Begin(ctx)
-		runner := &pluginRunner{exec: ex, merged: cfg.mode == ModePluginMerged}
-		rel, err = runner.run(p.plan.Root)
-		if gErr := ex.GuardErr(); gErr != nil {
-			rel, err = nil, gErr
-		}
-	default:
-		strategy, sErr := execStrategy(cfg.mode)
-		if sErr != nil {
-			return nil, sErr
-		}
-		rel, err = ex.RunContext(ctx, p.optimized, strategy)
-	}
+	// Prepared statements additionally get the engine's cross-query
+	// (level-2) score dictionaries; ad-hoc queries use only the per-query
+	// memo since their compiled plans die with the run.
+	ex := p.db.executorFor(&cfg, p.plan.Agg, p.db.dictFor)
+	rel, err := p.db.runMaterialized(ctx, ex, &cfg, p.plan.Root, p.optimized)
 	if err != nil {
 		return nil, err
 	}
@@ -102,5 +103,29 @@ func (p *Prepared) RunContext(ctx context.Context, opts ...QueryOption) (*Result
 	return &Result{Rel: trimmed, Stats: ex.Stats(), Plan: algebra.Format(p.optimized)}, nil
 }
 
+// StreamContext executes the prepared query under ctx and the given
+// options, returning a streaming result instead of a materialized one;
+// see Session.StreamContext for the streaming contract.
+func (p *Prepared) StreamContext(ctx context.Context, opts ...QueryOption) (Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := p.config(opts)
+	ctx, cancel := cfg.streamContext(ctx)
+	ex := p.db.executorFor(&cfg, p.plan.Agg, p.db.dictFor)
+	rows, err := p.db.streamPlan(ctx, cancel, ex, &cfg, p.plan, p.optimized)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return rows, nil
+}
+
 // Plan returns the optimized plan in explain format.
 func (p *Prepared) Plan() string { return algebra.Format(p.optimized) }
+
+// Close releases the prepared statement. For the embedded engine it is a
+// no-op (plans are garbage collected); it exists so embedded and remote
+// prepared statements share one interface — the network client's Close
+// deallocates the server-side statement.
+func (p *Prepared) Close() error { return nil }

@@ -116,6 +116,21 @@ func (g *GuardError) Unwrap() []error {
 	return []error{g.sentinel}
 }
 
+// NewGuardError reconstructs a guard failure from its serialized parts.
+// The network client uses it to rebuild server-side trips from error
+// frames, so errors.Is(err, ErrCanceled) / errors.As(&GuardError{})
+// contracts hold across the wire exactly as they do embedded.
+func NewGuardError(kind LimitKind, budget, observed int64, stats Stats) *GuardError {
+	sentinel := ErrResourceExhausted
+	switch kind {
+	case LimitCanceled:
+		sentinel = ErrCanceled
+	case LimitDeadline:
+		sentinel = ErrDeadlineExceeded
+	}
+	return &GuardError{Limit: kind, Budget: budget, Observed: observed, Stats: stats, sentinel: sentinel}
+}
+
 // WrapContextErr converts a context error observed outside the executor
 // (planner, optimizer) into the same *GuardError shape the executor
 // produces, so callers handle one error type. Non-context errors pass

@@ -1,0 +1,65 @@
+// Cross-session memory accounting: a shared pool of estimated
+// materialization bytes. Every admitted statement reserves its per-query
+// budget up front and the engine's memory guard caps the statement at
+// that reservation, so the pool is a sound bound on total materialized
+// bytes across all sessions — the serving-layer extension of the
+// per-query guards from the context-lifecycle layer.
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// errMemoryExhausted rejects a statement the pool cannot admit right now.
+type errMemoryExhausted struct {
+	want, free, total int64
+}
+
+func (e *errMemoryExhausted) Error() string {
+	return fmt.Sprintf("server: memory pool exhausted (%d bytes requested, %d of %d free); retry later",
+		e.want, e.free, e.total)
+}
+
+// accountant tracks reservations against a fixed pool. A zero-total
+// accountant admits everything without tracking.
+type accountant struct {
+	total int64
+
+	mu   sync.Mutex
+	used int64 // prefdb:guarded-by mu
+}
+
+func newAccountant(total int64) *accountant { return &accountant{total: total} }
+
+// reserve admits n bytes or fails with *errMemoryExhausted. n ≤ 0 is
+// admitted free (statement carries no budget and the pool is disabled).
+func (a *accountant) reserve(n int64) error {
+	if a.total <= 0 || n <= 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used+n > a.total {
+		return &errMemoryExhausted{want: n, free: a.total - a.used, total: a.total}
+	}
+	a.used += n
+	return nil
+}
+
+// release returns a reservation to the pool.
+func (a *accountant) release(n int64) {
+	if a.total <= 0 || n <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.used -= n
+	a.mu.Unlock()
+}
+
+// reserved reports the bytes currently reserved (for tests/monitoring).
+func (a *accountant) reserved() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}

@@ -1,0 +1,521 @@
+// Client side of the protocol: Dial opens a connection, handshakes, and
+// returns a Client whose ExecContext / QueryContext / StreamContext /
+// Prepare mirror the embedded engine.Session surface, so prefdb.Dial can
+// hand applications the same Session interface as prefdb.NewSession.
+//
+// Concurrency model: one statement is in flight per connection at a time —
+// a statement mutex is held from the request frame until the terminating
+// End/Error frame is consumed, so concurrent callers serialize (open more
+// connections for parallelism; the server multiplexes sessions, not a
+// connection). Mid-query cancellation stays possible because frame writes
+// have their own mutex: a watcher goroutine sends FrameCancel the moment
+// the statement's context fires, and the server answers by failing the
+// stream with ErrCanceled.
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"prefdb/internal/engine"
+	"prefdb/internal/exec"
+	"prefdb/internal/prel"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// ErrClientClosed reports use of a closed client connection.
+var ErrClientClosed = errors.New("wire: client is closed")
+
+// errProfileRemote rejects WithProfile on a network session: the binding
+// references a live in-process profile store and cannot travel.
+var errProfileRemote = errors.New("wire: WithProfile is embedded-only; resolve profile preferences client-side and send them in the PREFERRING clause")
+
+// DialOption configures a client connection.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	token    string
+	defaults []engine.QueryOption
+}
+
+// WithToken authenticates the connection against a server started with an
+// auth token.
+func WithToken(token string) DialOption {
+	return func(c *dialConfig) { c.token = token }
+}
+
+// WithSessionDefaults sets the remote session's default options, the
+// middle layer of the precedence chain exactly as in DB.NewSession.
+func WithSessionDefaults(opts ...engine.QueryOption) DialOption {
+	return func(c *dialConfig) { c.defaults = opts }
+}
+
+// Client is a connection to a prefdb server; it mirrors the embedded
+// session surface. Safe for concurrent use (statements serialize).
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes (requests and cancels)
+
+	mu     sync.Mutex // serializes statements; held while a stream is open
+	qid    uint64     // prefdb:guarded-by mu
+	closed bool       // prefdb:guarded-by mu
+}
+
+// Dial connects to a prefdb server and performs the handshake.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	settings := engine.CollectSettings(cfg.defaults...)
+	if settings.HasProfile {
+		return nil, errProfileRemote
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	var e Encoder
+	e.String(Magic)
+	e.Uvarint(Version)
+	e.String(cfg.token)
+	e.Settings(settings)
+	if err := WriteFrame(conn, FrameHello, e.Bytes()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t, payload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	d := NewDecoder(payload)
+	switch t {
+	case FrameWelcome:
+		if v := d.Uvarint(); v != Version {
+			conn.Close()
+			return nil, fmt.Errorf("wire: server protocol version %d, client %d", v, Version)
+		}
+		_ = d.String() // server name, informational
+		return c, d.Err()
+	case FrameError:
+		d.Uvarint() // qid, zero during handshake
+		err := d.Error()
+		conn.Close()
+		return nil, err
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("wire: unexpected handshake frame %#x", byte(t))
+	}
+}
+
+// Close closes the connection; in-flight statements fail with a transport
+// error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// writeFrame serializes one frame write against concurrent cancels.
+func (c *Client) writeFrame(t FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.conn, t, payload)
+}
+
+// ExecContext executes any statement (DDL, DML or query) on the remote
+// session, mirroring Session.ExecContext.
+func (c *Client) ExecContext(ctx context.Context, sql string, opts ...engine.QueryOption) (*engine.Result, error) {
+	return c.roundTrip(ctx, KindExec, sql, opts)
+}
+
+// QueryContext executes a preferential query on the remote session,
+// mirroring Session.QueryContext.
+func (c *Client) QueryContext(ctx context.Context, sql string, opts ...engine.QueryOption) (*engine.Result, error) {
+	return c.roundTrip(ctx, KindQuery, sql, opts)
+}
+
+// StreamContext executes any statement on the remote session, streaming
+// result rows batch by batch; rows are decoded lazily, so a large result
+// materializes on neither side.
+func (c *Client) StreamContext(ctx context.Context, sql string, opts ...engine.QueryOption) (engine.Rows, error) {
+	return c.stream(ctx, func(qid uint64, settings engine.Settings) []byte {
+		var e Encoder
+		e.Uvarint(qid)
+		e.Byte(byte(KindStream))
+		e.String(sql)
+		e.Settings(settings)
+		return e.Bytes()
+	}, FrameQuery, opts)
+}
+
+// roundTrip runs one statement and materializes the streamed result.
+func (c *Client) roundTrip(ctx context.Context, kind StmtKind, sql string, opts []engine.QueryOption) (*engine.Result, error) {
+	rows, err := c.stream(ctx, func(qid uint64, settings engine.Settings) []byte {
+		var e Encoder
+		e.Uvarint(qid)
+		e.Byte(byte(kind))
+		e.String(sql)
+		e.Settings(settings)
+		return e.Bytes()
+	}, FrameQuery, opts)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(rows)
+}
+
+// materialize drains a stream into a Result, the shape embedded callers
+// get from QueryContext.
+func materialize(rows engine.Rows) (*engine.Result, error) {
+	cr := rows.(*clientRows)
+	var rel *prel.PRelation
+	if cr.rel != nil {
+		rel = prel.New(cr.rel.Schema)
+		for rows.Next() {
+			row := rows.Row()
+			tuple := make([]types.Value, len(row.Tuple))
+			copy(tuple, row.Tuple)
+			rel.Append(prel.Row{Tuple: tuple, SC: row.SC})
+		}
+	} else {
+		for rows.Next() {
+		}
+	}
+	if err := rows.Err(); err != nil {
+		rows.Close()
+		return nil, err
+	}
+	if err := rows.Close(); err != nil {
+		return nil, err
+	}
+	return &engine.Result{Rel: rel, Stats: rows.Stats(), Plan: rows.Plan(), Message: rows.Message()}, nil
+}
+
+// stream sends a statement request and opens its result stream.
+func (c *Client) stream(ctx context.Context, build func(qid uint64, s engine.Settings) []byte, frame FrameType, opts []engine.QueryOption) (engine.Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	settings := engine.CollectSettings(opts...)
+	if settings.HasProfile {
+		return nil, errProfileRemote
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.qid++
+	qid := c.qid
+	if err := c.writeFrame(frame, build(qid, settings)); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	r := &clientRows{c: c, qid: qid, watchDone: make(chan struct{})}
+	// The watcher turns a context fire into a cancel frame; the server
+	// answers by failing the stream with ErrCanceled, which ends it.
+	go func() {
+		select {
+		case <-ctx.Done():
+			e := &Encoder{}
+			e.Uvarint(qid)
+			_ = c.writeFrame(FrameCancel, e.Bytes())
+		case <-r.watchDone:
+		}
+	}()
+	// First frame decides: header (stream opens) or error.
+	ft, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		r.finish()
+		return nil, err
+	}
+	d := NewDecoder(payload)
+	switch ft {
+	case FrameHeader:
+		d.Uvarint() // qid echo
+		if d.Bool() {
+			r.rel = &headerRel{Schema: d.Schema()}
+		}
+		r.plan = d.String()
+		r.message = d.String()
+		if err := d.Err(); err != nil {
+			r.finish()
+			return nil, err
+		}
+		return r, nil
+	case FrameError:
+		d.Uvarint()
+		err := d.Error()
+		r.finish()
+		return nil, err
+	default:
+		r.finish()
+		return nil, fmt.Errorf("wire: unexpected frame %#x opening result", byte(ft))
+	}
+}
+
+// headerRel carries the decoded result schema.
+type headerRel struct {
+	Schema *schema.Schema
+}
+
+// clientRows is the client-side Rows implementation: it decodes batches
+// lazily from the connection and terminates on End or Error.
+type clientRows struct {
+	c   *Client
+	qid uint64
+
+	rel     *headerRel
+	plan    string
+	message string
+
+	batch   []byte // undecoded remainder of the current batch frame
+	pending int    // rows left in the current batch frame
+	dec     *Decoder
+	buf     []types.Value
+
+	cur      prel.Row
+	stats    exec.Stats
+	err      error
+	done     bool
+	finished bool
+
+	watchDone chan struct{}
+}
+
+// Next advances to the next row; false at exhaustion or failure.
+func (r *clientRows) Next() bool {
+	if r.done {
+		return false
+	}
+	for r.pending == 0 {
+		if !r.readFrame() {
+			return false
+		}
+	}
+	r.pending--
+	row, buf := r.dec.Row(r.buf)
+	r.buf = buf
+	if err := r.dec.Err(); err != nil {
+		r.fail(err)
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// readFrame pulls the next result frame, returning false when the stream
+// ended (End, Error or transport failure).
+func (r *clientRows) readFrame() bool {
+	t, payload, err := ReadFrame(r.c.conn)
+	if err != nil {
+		r.fail(err)
+		return false
+	}
+	d := NewDecoder(payload)
+	switch t {
+	case FrameBatch:
+		d.Uvarint() // qid echo
+		r.pending = int(d.Uvarint())
+		if err := d.Err(); err != nil {
+			r.fail(err)
+			return false
+		}
+		r.dec = d
+		if r.pending == 0 {
+			return true // empty batch: keep reading
+		}
+		return true
+	case FrameEnd:
+		d.Uvarint()
+		r.stats = d.Stats()
+		if err := d.Err(); err != nil {
+			r.fail(err)
+			return false
+		}
+		r.done = true
+		r.finish()
+		return false
+	case FrameError:
+		d.Uvarint()
+		r.fail(d.Error())
+		return false
+	default:
+		r.fail(fmt.Errorf("wire: unexpected frame %#x in result stream", byte(t)))
+		return false
+	}
+}
+
+// fail terminates the stream with err.
+func (r *clientRows) fail(err error) {
+	r.err = err
+	r.done = true
+	r.finish()
+}
+
+// finish releases the statement slot and stops the cancel watcher; it is
+// idempotent.
+func (r *clientRows) finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	close(r.watchDone)
+	r.c.mu.Unlock()
+}
+
+// Row returns the current row; valid only until the next call to Next.
+func (r *clientRows) Row() prel.Row { return r.cur }
+
+// Columns returns the result header (relation columns plus score, conf).
+func (r *clientRows) Columns() []string {
+	if r.rel == nil {
+		return nil
+	}
+	s := r.rel.Schema
+	out := make([]string, 0, len(s.Columns)+2)
+	for _, c := range s.Columns {
+		out = append(out, c.QualifiedName())
+	}
+	return append(out, "score", "conf")
+}
+
+// Schema returns the result relation's schema (nil for DDL/DML).
+func (r *clientRows) Schema() *schema.Schema {
+	if r.rel == nil {
+		return nil
+	}
+	return r.rel.Schema
+}
+
+// Err returns the stream failure, nil after a clean drain.
+func (r *clientRows) Err() error { return r.err }
+
+// Close abandons the stream: it cancels the server-side statement if rows
+// remain and drains the connection to the terminating frame so the next
+// statement starts on a clean boundary. Idempotent; returns Err.
+func (r *clientRows) Close() error {
+	if r.done {
+		return r.err
+	}
+	// Ask the server to stop, then swallow frames until it does.
+	e := &Encoder{}
+	e.Uvarint(r.qid)
+	if err := r.c.writeFrame(FrameCancel, e.Bytes()); err != nil {
+		r.fail(err)
+		return nil // transport gone; Err would report the write failure
+	}
+	for !r.done {
+		r.pending = 0
+		r.readFrame()
+	}
+	// A cancel we initiated is a clean close, not a statement failure.
+	if r.err != nil && errors.Is(r.err, exec.ErrCanceled) {
+		r.err = nil
+	}
+	return r.err
+}
+
+// Stats returns the execution counters reported by the server's End frame
+// (zero until the stream ends).
+func (r *clientRows) Stats() exec.Stats { return r.stats }
+
+// Plan returns the executed plan in explain format.
+func (r *clientRows) Plan() string { return r.plan }
+
+// Message describes the effect of DDL/DML statements.
+func (r *clientRows) Message() string { return r.message }
+
+// Prepare compiles a statement server-side; the returned Stmt shares the
+// connection's one-statement-at-a-time discipline.
+func (c *Client) Prepare(sql string) (*ClientStmt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	c.qid++
+	reqID := c.qid
+	var e Encoder
+	e.Uvarint(reqID)
+	e.String(sql)
+	if err := c.writeFrame(FramePrepare, e.Bytes()); err != nil {
+		return nil, err
+	}
+	t, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDecoder(payload)
+	switch t {
+	case FramePrepared:
+		d.Uvarint() // request echo
+		id := d.Uvarint()
+		plan := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return &ClientStmt{c: c, id: id, plan: plan}, nil
+	case FrameError:
+		d.Uvarint()
+		return nil, d.Error()
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame %#x answering prepare", byte(t))
+	}
+}
+
+// ClientStmt is a server-side prepared statement handle.
+type ClientStmt struct {
+	c    *Client
+	id   uint64
+	plan string
+}
+
+// Plan returns the optimized plan in explain format.
+func (s *ClientStmt) Plan() string { return s.plan }
+
+// RunContext executes the prepared statement, materializing the result;
+// per-run options override the session defaults exactly as embedded.
+func (s *ClientStmt) RunContext(ctx context.Context, opts ...engine.QueryOption) (*engine.Result, error) {
+	rows, err := s.StreamContext(ctx, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(rows)
+}
+
+// StreamContext executes the prepared statement, streaming result rows.
+func (s *ClientStmt) StreamContext(ctx context.Context, opts ...engine.QueryOption) (engine.Rows, error) {
+	return s.c.stream(ctx, func(qid uint64, settings engine.Settings) []byte {
+		var e Encoder
+		e.Uvarint(qid)
+		e.Uvarint(s.id)
+		e.Byte(byte(KindStream))
+		e.Settings(settings)
+		return e.Bytes()
+	}, FrameStmtRun, opts)
+}
+
+// Close deallocates the server-side statement.
+func (s *ClientStmt) Close() error {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if s.c.closed {
+		return nil
+	}
+	var e Encoder
+	e.Uvarint(s.id)
+	return s.c.writeFrame(FrameStmtClose, e.Bytes())
+}

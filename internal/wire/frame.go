@@ -1,0 +1,134 @@
+// Package wire defines prefdb's client/server protocol: length-prefixed
+// frames carrying a compact binary encoding of statements, settings,
+// result batches and errors, plus the client (Dial) that speaks it.
+//
+// Connection lifecycle:
+//
+//	client → FrameHello   (magic, version, auth token, session settings)
+//	server → FrameWelcome (version, server name)    — or FrameError + close
+//
+// then any number of statement exchanges. A statement is one of
+//
+//	FrameQuery   (query id, kind, SQL, per-query settings)
+//	FramePrepare (request id, SQL) → FramePrepared (statement id, plan)
+//	FrameStmtRun (query id, statement id, kind, per-query settings)
+//
+// and the server answers a query-id-carrying request with exactly one of
+//
+//	FrameHeader, FrameBatch*, FrameEnd   — a result stream
+//	FrameError                          — a failure
+//
+// FrameCancel (query id) may be sent at any time while a statement is in
+// flight; the server cancels the statement's context and the stream
+// terminates with a FrameError wrapping ErrCanceled. Results stream in
+// bounded batches, so arbitrarily large result sets never materialize on
+// the server; the embedded and remote APIs stay semantically identical,
+// including the *GuardError structure of lifecycle failures.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol identification.
+const (
+	// Magic opens every Hello frame; a listener that reads anything else
+	// drops the connection before allocating per-session state.
+	Magic = "PFDB"
+	// Version is the protocol version; both sides must match exactly.
+	Version = 1
+)
+
+// MaxFrame bounds a single frame's payload (64 MiB) so a corrupt or
+// hostile length prefix cannot trigger an unbounded allocation.
+const MaxFrame = 64 << 20
+
+// FrameType tags a frame.
+type FrameType byte
+
+// Client-originated frames.
+const (
+	// FrameHello opens a connection: magic, version, token, settings.
+	FrameHello FrameType = 0x01
+	// FrameQuery runs one SQL statement: qid, kind, sql, settings.
+	FrameQuery FrameType = 0x02
+	// FramePrepare compiles a statement server-side: request id, sql.
+	FramePrepare FrameType = 0x03
+	// FrameStmtRun executes a prepared statement: qid, stmt id, kind,
+	// settings.
+	FrameStmtRun FrameType = 0x04
+	// FrameStmtClose deallocates a prepared statement: stmt id.
+	FrameStmtClose FrameType = 0x05
+	// FrameCancel cancels the in-flight statement: qid.
+	FrameCancel FrameType = 0x06
+)
+
+// Server-originated frames.
+const (
+	// FrameWelcome acknowledges the handshake: version, server name.
+	FrameWelcome FrameType = 0x81
+	// FrameHeader opens a result stream: qid, relation schema, plan,
+	// message.
+	FrameHeader FrameType = 0x82
+	// FrameBatch carries up to BatchRows result rows: qid, rows.
+	FrameBatch FrameType = 0x83
+	// FrameEnd closes a result stream: qid, stats.
+	FrameEnd FrameType = 0x84
+	// FrameError fails a request: qid, structured error.
+	FrameError FrameType = 0x85
+	// FramePrepared acknowledges FramePrepare: request id, stmt id, plan.
+	FramePrepared FrameType = 0x86
+)
+
+// StmtKind selects the server-side execution entry point, preserving each
+// embedded method's exact semantics (e.g. QueryContext rejecting DDL).
+type StmtKind byte
+
+const (
+	// KindExec maps to Session.ExecContext.
+	KindExec StmtKind = iota
+	// KindQuery maps to Session.QueryContext (materialized server-side,
+	// streamed to the client in batches).
+	KindQuery
+	// KindStream maps to Session.StreamContext (never materialized).
+	KindStream
+)
+
+// BatchRows is the number of result rows per FrameBatch — small enough to
+// bound per-query server buffering, large enough to amortize framing.
+const BatchRows = 256
+
+// WriteFrame writes one frame: type byte, big-endian uint32 payload
+// length, payload.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads above MaxFrame.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(hdr[0]), payload, nil
+}

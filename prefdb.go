@@ -14,8 +14,8 @@
 // Quick start:
 //
 //	db := prefdb.Open()
-//	db.Exec(`CREATE TABLE movies (m_id INT, title TEXT, year INT, PRIMARY KEY (m_id))`)
-//	db.Exec(`INSERT INTO movies VALUES (1, 'Gran Torino', 2008)`)
+//	db.ExecContext(ctx, `CREATE TABLE movies (m_id INT, title TEXT, year INT, PRIMARY KEY (m_id))`)
+//	db.ExecContext(ctx, `INSERT INTO movies VALUES (1, 'Gran Torino', 2008)`)
 //	res, err := db.QueryContext(ctx, `
 //	    SELECT title FROM movies
 //	    PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 0.9 ON movies
@@ -25,14 +25,37 @@
 // Queries run under a context.Context with optional per-query budgets
 // (wall-clock, materialized rows/cells, estimated memory); lifecycle
 // failures match ErrCanceled, ErrDeadlineExceeded and ErrResourceExhausted
-// via errors.Is and carry the execution Stats at failure. Exec and Query
-// remain as context.Background wrappers.
+// via errors.Is and carry the execution Stats at failure.
+//
+// # Sessions
+//
+// Multi-user applications work through sessions: NewSession derives a
+// handle carrying per-session defaults (evaluation mode, workers, budgets,
+// a bound user profile), and any number of sessions share one DB. Options
+// resolve through the precedence chain
+//
+//	Open defaults < session defaults < per-query options
+//
+// The same Session interface is served remotely: run cmd/prefdbserver and
+// connect with Dial — embedded and networked callers are interchangeable.
+// StreamContext returns results row-by-row so large result sets never
+// materialize in the serving layer:
+//
+//	sess := prefdb.NewSession(db, prefdb.WithWorkers(2))
+//	rows, err := sess.StreamContext(ctx, sql)
+//	...
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Row()) // valid only until the next Next
+//	}
+//	err = rows.Err()
 //
 // See the examples directory for complete programs and EXPERIMENTS.md for
 // the reproduction of the paper's evaluation.
 package prefdb
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -46,6 +69,7 @@ import (
 	"prefdb/internal/profile"
 	"prefdb/internal/qualitative"
 	"prefdb/internal/types"
+	"prefdb/internal/wire"
 )
 
 // DB is a prefdb database instance; create one with Open.
@@ -96,6 +120,115 @@ type DatagenConfig = datagen.Config
 // preference-aware optimizer enabled; options override the defaults.
 func Open(opts ...OpenOption) *DB { return engine.Open(opts...) }
 
+// --- sessions ---
+
+// Rows is a streaming statement result: rows arrive one at a time, so
+// large result sets never materialize in the serving layer. Returned by
+// Session.StreamContext and Stmt.StreamContext on both the embedded and
+// the network paths.
+type Rows = engine.Rows
+
+// Session is a per-user (or per-connection) query handle carrying default
+// options; both the embedded engine (NewSession) and the network client
+// (Dial) implement it, so application code is agnostic to where the
+// database runs. Sessions are safe for concurrent use.
+type Session interface {
+	// ExecContext executes any statement (DDL, DML or query).
+	ExecContext(ctx context.Context, sql string, opts ...QueryOption) (*Result, error)
+	// QueryContext executes a preferential query, materializing the result.
+	QueryContext(ctx context.Context, sql string, opts ...QueryOption) (*Result, error)
+	// StreamContext executes any statement, streaming result rows.
+	StreamContext(ctx context.Context, sql string, opts ...QueryOption) (Rows, error)
+	// Prepare compiles a query for repeated execution under the session
+	// defaults.
+	Prepare(sql string) (Stmt, error)
+	// Close releases the session; running statements are not interrupted
+	// (cancel their contexts for that).
+	Close() error
+}
+
+// Stmt is a prepared statement usable for repeated execution; per-run
+// options override the owning session's defaults.
+type Stmt interface {
+	// RunContext executes the statement, materializing the result.
+	RunContext(ctx context.Context, opts ...QueryOption) (*Result, error)
+	// StreamContext executes the statement, streaming result rows.
+	StreamContext(ctx context.Context, opts ...QueryOption) (Rows, error)
+	// Close releases the statement (server-side state for remote sessions).
+	Close() error
+}
+
+// ErrSessionClosed reports use of a closed session.
+var ErrSessionClosed = engine.ErrSessionClosed
+
+// NewSession derives an embedded session on db whose defaults layer over
+// the Open defaults; per-query options override both:
+//
+//	Open defaults < session defaults < per-query options
+func NewSession(db *DB, defaults ...QueryOption) Session {
+	return localSession{db.NewSession(defaults...)}
+}
+
+// localSession adapts *engine.Session to the Session interface (Go has no
+// covariant returns, so Prepare needs a shim from *Prepared to Stmt).
+type localSession struct {
+	*engine.Session
+}
+
+func (s localSession) Prepare(sql string) (Stmt, error) {
+	p, err := s.Session.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DialOption configures a network session (Dial).
+type DialOption = wire.DialOption
+
+// WithToken authenticates the connection against a server started with an
+// auth token.
+func WithToken(token string) DialOption { return wire.WithToken(token) }
+
+// WithSessionDefaults sets the remote session's default options — the
+// session layer of the precedence chain, exactly as NewSession's
+// arguments are for an embedded session.
+func WithSessionDefaults(opts ...QueryOption) DialOption {
+	return wire.WithSessionDefaults(opts...)
+}
+
+// Dial connects to a prefdb server (cmd/prefdbserver) and returns a
+// network-backed Session: the same interface NewSession returns embedded,
+// with identical results, options, precedence and error structure
+// (lifecycle failures still match ErrCanceled etc. and carry their
+// GuardError). WithProfile is the one embedded-only option — profiles
+// live with the application, not the server.
+//
+// One statement is in flight per connection at a time; concurrent calls
+// serialize. Open one connection per concurrent statement (the server
+// multiplexes sessions cheaply). Canceling a statement's context cancels
+// it server-side mid-query.
+func Dial(addr string, opts ...DialOption) (Session, error) {
+	c, err := wire.Dial(addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return remoteSession{c}, nil
+}
+
+// remoteSession adapts *wire.Client to the Session interface.
+type remoteSession struct {
+	*wire.Client
+}
+
+func (s remoteSession) Prepare(sql string) (Stmt, error) {
+	p, err := s.Client.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // --- query lifecycle: options and sentinel errors ---
 
 // QueryOption configures a single query execution on the context-aware
@@ -130,6 +263,15 @@ func WithMaxCells(n int) QueryOption { return engine.WithMaxCells(n) }
 // exceeding it fails with ErrResourceExhausted.
 func WithMemoryBudget(bytes int64) QueryOption { return engine.WithMemoryBudget(bytes) }
 
+// WithProfile integrates the user's applicable profile preferences into
+// the query. As a session default it makes the session the paper's
+// per-user interface: every query runs under that user's profile.
+// Embedded-only: remote sessions reject it, since profiles live with the
+// application, not the server.
+func WithProfile(store *ProfileStore, user string, contexts ...string) QueryOption {
+	return engine.WithProfile(store, user, contexts...)
+}
+
 // CacheMode selects whether prefer operators memoize per-key score
 // contributions (the preference score cache).
 type CacheMode = engine.CacheMode
@@ -146,6 +288,9 @@ const (
 
 // ParseCacheMode resolves a score-cache mode by name ("auto", "off", "on").
 func ParseCacheMode(name string) (CacheMode, error) { return engine.ParseCacheMode(name) }
+
+// CacheModes lists every score-cache mode.
+func CacheModes() []CacheMode { return engine.CacheModes() }
 
 // WithScoreCache selects the preference score-cache mode for one query,
 // overriding the database default.
@@ -165,6 +310,9 @@ const (
 
 // ParseBatchMode resolves a batch mode by name ("on", "off").
 func ParseBatchMode(name string) (BatchMode, error) { return engine.ParseBatchMode(name) }
+
+// BatchModes lists every batch mode.
+func BatchModes() []BatchMode { return engine.BatchModes() }
 
 // WithBatch selects the execution style for one query, overriding the
 // database default. Results, order and stats (modulo the diagnostic batch
@@ -190,6 +338,9 @@ const (
 
 // ParseColstoreMode resolves a colstore mode by name ("on", "off").
 func ParseColstoreMode(name string) (ColstoreMode, error) { return engine.ParseColstoreMode(name) }
+
+// ColstoreModes lists every colstore mode.
+func ColstoreModes() []ColstoreMode { return engine.ColstoreModes() }
 
 // WithColstore selects the batch-scan storage side for one query,
 // overriding the database default. Results, order and stats (modulo the
