@@ -39,6 +39,11 @@ type Scan struct {
 	// means no segment store was built (or the annotation pass is off).
 	SegCount int
 	SegSkip  int
+	// DirectCol marks that the enclosing filter compiled at least one
+	// direct-column kernel, so a colstore-backed scan can evaluate it on
+	// borrowed segment vectors without materializing row views (EXPLAIN
+	// renders `[direct-col]`).
+	DirectCol bool
 }
 
 // Select is σ_φ over a p-relation; it filters tuples and passes score and
@@ -213,6 +218,9 @@ func (s *Scan) String() string {
 	var suffix string
 	if s.SegCount > 0 {
 		suffix = fmt.Sprintf(" [segments %d skip≈%d]", s.SegCount, s.SegSkip)
+	}
+	if s.DirectCol {
+		suffix += " [direct-col]"
 	}
 	if s.Alias != "" && !strings.EqualFold(s.Alias, s.Table) {
 		return fmt.Sprintf("Scan(%s AS %s)%s", s.Table, s.Alias, suffix)

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"prefdb/internal/engine"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// directBaseRows sizes the largest relation of the E16 sweep at scale
+// 1.0 (the same 10M-row ceiling as the zone-map sweep, so the two
+// experiments share an |R| axis).
+const directBaseRows = 10_000_000
+
+// directSelectivities is the WHERE sweep: the low points are where late
+// materialization pays (few survivors → few row views built), the 0.5
+// point is the convergence check.
+var directSelectivities = []float64{0.001, 0.01, 0.1, 0.5}
+
+// directDB builds the synthetic table for the direct-column sweep:
+// sequential int key, a scored int year, and a low-cardinality string
+// tier for the dictionary-predicate arm.
+func directDB(rows int) (*engine.DB, error) {
+	db := engine.Open()
+	tbl, err := db.Catalog().CreateTable("events", schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "year", Kind: types.KindInt},
+		schema.Column{Name: "tier", Kind: types.KindString},
+	).WithKey("id"))
+	if err != nil {
+		return nil, err
+	}
+	tiers := []string{"gold", "silver", "bronze", "basic"}
+	for i := 0; i < rows; i++ {
+		year := 1970 + (i*37)%42
+		err := tbl.Insert([]types.Value{
+			types.Int(int64(i)), types.Int(int64(year)), types.Str(tiers[i%len(tiers)]),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// --- E16: direct-on-column kernel execution (PR 8) ---
+
+// runDirectCol sweeps |R| × WHERE selectivity × predicate family over the
+// scan→filter→prefer→top-k shape, comparing the row-packing colstore path
+// ("rows", the PR 6 behavior) against the direct-on-column path ("direct"):
+// typed column-vs-literal kernels shrink the selection vector without
+// decoding values, string predicates evaluate once per segment dictionary
+// and compare int codes per row, the ⟨S,C⟩ pair lives in plain float
+// vectors, and row views are built only for rows that survive to the
+// output (Stats.RowsMaterialized ≪ RowsScanned at low selectivity — the
+// column it reports next to colBatches). Expected shape: the direct arm
+// wins by a multiple at selectivity ≤0.01 where almost no row is ever
+// materialized, and converges toward parity at 0.5 where the survivors
+// dominate the work either way. Both arms share zone maps and the batch
+// executor, so the delta isolates the kernel/materialization change.
+func runDirectCol(ctx context.Context, e *Env, w io.Writer, repeats int) error {
+	maxRows := int(directBaseRows * e.Scale)
+	if maxRows < 4000 {
+		maxRows = 4000
+	}
+	header(w, "|R|", "sel", "pred", "path", "time", "rows", "scanned", "materialized", "colBatches", "speedup-vs-rows")
+	for _, rows := range []int{maxRows / 100, maxRows / 10, maxRows} {
+		if rows < 1000 {
+			rows = 1000
+		}
+		db, err := directDB(rows)
+		if err != nil {
+			return err
+		}
+		db.Workers = e.Workers
+		// Warm the store: the sweep measures scans, not compaction.
+		if t, tErr := db.Catalog().Table("events"); tErr == nil {
+			t.WaitCompaction()
+			t.ColStore()
+		}
+		for _, sel := range directSelectivities {
+			cutoff := int(sel * float64(rows))
+			for _, pred := range []struct {
+				label string
+				where string
+			}{
+				{"int", fmt.Sprintf("id <= %d", cutoff)},
+				{"string", fmt.Sprintf("tier = 'gold' AND id <= %d", cutoff)},
+			} {
+				sql := fmt.Sprintf(`SELECT id FROM events
+					WHERE %s
+					PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 0.9 ON events
+					USING sum TOP 10 BY score`, pred.where)
+				prep, err := db.Prepare(sql)
+				if err != nil {
+					return fmt.Errorf("rows=%d sel=%g %s: %w", rows, sel, pred.label, err)
+				}
+				baseline := 0.0
+				for _, arm := range []struct {
+					label string
+					mode  engine.ColstoreMode
+				}{{"rows", engine.ColstoreRows}, {"direct", engine.ColstoreOn}} {
+					m, err := MeasurePrepared(ctx, prep, repeats,
+						engine.WithMode(engine.ModeNative), engine.WithScoreCache(engine.CacheOff),
+						engine.WithBatch(engine.BatchOn), engine.WithColstore(arm.mode))
+					if err != nil {
+						return fmt.Errorf("rows=%d sel=%g %s %s: %w", rows, sel, pred.label, arm.label, err)
+					}
+					ms := float64(m.Duration.Microseconds()) / 1000
+					speedup := 0.0
+					if arm.label == "rows" {
+						baseline = ms
+					} else if ms > 0 {
+						speedup = baseline / ms
+					}
+					speedupCell := "–"
+					if speedup > 0 {
+						speedupCell = fmt.Sprintf("%.2fx", speedup)
+					}
+					fmt.Fprintf(w, "%d\t%.3f\t%s\t%s\t%.2fms\t%d\t%d\t%d\t%d\t%s\n",
+						rows, sel, pred.label, arm.label, ms, m.Rows, m.Stats.RowsScanned,
+						m.Stats.RowsMaterialized, m.Stats.ColBatches, speedupCell)
+					e.RecordPoint(Point{
+						Experiment:       "directcol",
+						Label:            fmt.Sprintf("rows=%d sel=%.3f %s %s", rows, sel, pred.label, arm.label),
+						TableRows:        rows,
+						Selectivity:      sel,
+						Millis:           ms,
+						ResultRows:       m.Rows,
+						PreferEvals:      m.Stats.PreferEvals,
+						ScoreEvals:       m.Stats.ScoreEvals,
+						Batch:            "on",
+						Batches:          m.Stats.Batches,
+						Speedup:          speedup,
+						Colstore:         arm.mode.String(),
+						SegmentsScanned:  m.Stats.SegmentsScanned,
+						SegmentsSkipped:  m.Stats.SegmentsSkipped,
+						Predicate:        pred.label,
+						ColBatches:       m.Stats.ColBatches,
+						RowsMaterialized: m.Stats.RowsMaterialized,
+					})
+				}
+			}
+		}
+	}
+	return nil
+}

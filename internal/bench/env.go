@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -35,7 +36,17 @@ type Env struct {
 }
 
 // RecordPoint appends one JSON measurement to the run's collection.
-func (e *Env) RecordPoint(p Point) { e.Points = append(e.Points, p) }
+func (e *Env) RecordPoint(p Point) {
+	// Derived ratios are rounded at the recording boundary so the JSON
+	// stays human-diffable (1.73, not 1.7299999999999998); raw timings
+	// keep full precision.
+	p.Speedup = Round3(p.Speedup)
+	e.Points = append(e.Points, p)
+}
+
+// Round3 rounds to 3 decimals, the precision the bench JSON reports
+// derived ratios at.
+func Round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
 // NewEnv returns an environment at the given scale with the default seed.
 func NewEnv(scale float64) *Env { return &Env{Scale: scale, Seed: 42} }

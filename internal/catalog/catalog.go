@@ -34,6 +34,14 @@ type Table struct {
 	// (e.g. the engine's prepared-statement score dictionaries) snapshot it
 	// and discard their entries when it moves.
 	version atomic.Uint64 // prefdb:atomic
+
+	// Background compaction (see compact.go): autoCompact gates the
+	// feature, compacting admits one in-flight builder, compactWG lets
+	// tests and shutdown wait it out.
+	compactWG   sync.WaitGroup
+	autoCompact atomic.Bool  // prefdb:atomic
+	compacting  atomic.Bool  // prefdb:atomic
+	compactAt   atomic.Int64 // prefdb:atomic
 }
 
 // Version returns the table's DML version counter. It is bumped by every
@@ -62,6 +70,7 @@ func (t *Table) Insert(tuple []types.Value) error {
 	t.stats = nil // invalidate
 	t.statsMu.Unlock()
 	t.version.Add(1)
+	t.maybeCompactAsync()
 	return nil
 }
 
@@ -187,6 +196,8 @@ func (t *Table) IndexedColumns() []string {
 // Catalog is the set of tables in a database.
 type Catalog struct {
 	tables map[string]*Table
+	// autoCompact is inherited by tables created after SetAutoCompact.
+	autoCompact bool
 }
 
 // New returns an empty catalog.
@@ -205,6 +216,7 @@ func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
 		hashIdx:  map[string]*storage.HashIndex{},
 		btreeIdx: map[string]*storage.BTreeIndex{},
 	}
+	t.autoCompact.Store(c.autoCompact)
 	c.tables[key] = t
 	return t, nil
 }

@@ -1,0 +1,132 @@
+// Background compaction: instead of paying the whole columnar build on
+// the first colstore-enabled scan after DML, a table with auto-compaction
+// enabled kicks off a builder goroutine whenever enough sealed heap pages
+// accumulate to fill at least one new segment. The builder works from an
+// immutable snapshot of the sealed pages and installs its store only if
+// the DML version counter has not moved since the snapshot, so a scan
+// arriving mid-build (or DML racing the install) falls back to the same
+// lazy, version-checked ColStore path as before — the feature only warms
+// the cache, it never changes what readers see.
+package catalog
+
+import (
+	"prefdb/internal/colstore"
+	"prefdb/internal/schema"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+// SetAutoCompact enables (or disables) background columnar compaction for
+// every current and future table of the catalog. The engine turns it on
+// at open; bare catalogs (tests, loaders) default to lazy-only builds so
+// store build timing stays deterministic.
+func (c *Catalog) SetAutoCompact(on bool) {
+	c.autoCompact = on
+	for _, t := range c.tables {
+		t.autoCompact.Store(on)
+	}
+}
+
+// WaitCompaction blocks until no background build is in flight for the
+// table — the hook tests (and shutdown paths) use to make the async
+// builder deterministic.
+func (t *Table) WaitCompaction() { t.compactWG.Wait() }
+
+// blockSnapshot is an immutable copy of a heap's sealed pages taken on
+// the DML goroutine at trigger time. Row views are shared (sealed pages
+// never rewrite tuples) but the dead bitmaps are copied, so a later
+// DeleteWhere cannot race the builder; a delete also bumps the version,
+// which makes the builder's install a no-op.
+type blockSnapshot struct {
+	schema *schema.Schema
+	rows   [][][]types.Value
+	dead   [][]bool
+	live   []int
+}
+
+func (s *blockSnapshot) Schema() *schema.Schema { return s.schema }
+func (s *blockSnapshot) Blocks() int            { return len(s.rows) }
+func (s *blockSnapshot) Block(i int) ([][]types.Value, []bool, int) {
+	return s.rows[i], s.dead[i], s.live[i]
+}
+
+// sealedPages counts the heap's full (immutable) pages; the trailing
+// partially-filled page is the tail the colstore leaves on the row side.
+func sealedPages(h *storage.Heap) int {
+	n := h.Blocks()
+	if n > 0 {
+		if rows, _, _ := h.Block(n - 1); len(rows) < storage.PageSize {
+			n--
+		}
+	}
+	return n
+}
+
+// maybeCompactAsync checks whether at least one new segment's worth of
+// sealed pages is uncovered by a current store and, if so, snapshots them
+// and builds in the background. At most one build per table is in flight
+// (compacting CAS); Insert calls this after bumping the version.
+func (t *Table) maybeCompactAsync() {
+	if !t.autoCompact.Load() {
+		return
+	}
+	sealed := sealedPages(t.Heap)
+	// Backoff: during a bulk load every build is discarded (the version
+	// keeps moving), so a discarded install doubles the sealed-page count
+	// the next attempt waits for. Total build work during an n-page load
+	// is then O(n) (attempts at 16, 32, 64, … pages), and the threshold
+	// resets to zero as soon as an install lands.
+	if sealed < colstore.SegmentPages || int64(sealed) < t.compactAt.Load() {
+		return
+	}
+	if !t.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	v := t.Version()
+	covered := -1
+	t.colMu.Lock()
+	if t.col != nil && t.col.Version == v {
+		covered = t.col.SealedPages
+	}
+	t.colMu.Unlock()
+	pending := sealed
+	if covered >= 0 {
+		pending = sealed - covered
+	}
+	if pending < colstore.SegmentPages {
+		t.compacting.Store(false)
+		return
+	}
+	snap := &blockSnapshot{
+		schema: t.Schema(),
+		rows:   make([][][]types.Value, sealed),
+		dead:   make([][]bool, sealed),
+		live:   make([]int, sealed),
+	}
+	for i := 0; i < sealed; i++ {
+		rows, dead, live := t.Heap.Block(i)
+		snap.rows[i] = rows
+		snap.dead[i] = append([]bool(nil), dead...)
+		snap.live[i] = live
+	}
+	t.compactWG.Add(1)
+	go func() {
+		defer t.compactWG.Done()
+		defer t.compacting.Store(false)
+		st := colstore.Build(snap, v)
+		t.colMu.Lock()
+		// Version-guarded install: discard the build if DML moved the
+		// table, or if a lazy ColStore call already produced a store at
+		// least as fresh and as wide.
+		if t.Version() == v && (t.col == nil || t.col.Version != v || t.col.SealedPages < st.SealedPages) {
+			t.col = st
+		}
+		current := t.Version() == v
+		t.colMu.Unlock()
+		if current {
+			t.compactAt.Store(0)
+		} else {
+			t.compactAt.Store(int64(2 * sealed))
+		}
+	}()
+}

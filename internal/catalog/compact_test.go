@@ -1,0 +1,97 @@
+package catalog
+
+import (
+	"testing"
+
+	"prefdb/internal/colstore"
+	"prefdb/internal/schema"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+func compactTable(t *testing.T, auto bool) (*Catalog, *Table) {
+	t.Helper()
+	c := New()
+	c.SetAutoCompact(auto)
+	s := schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "v", Kind: types.KindFloat},
+	).WithKey("id")
+	tbl, err := c.CreateTable("t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+func fillRows(t *testing.T, tbl *Table, lo, n int) {
+	t.Helper()
+	for i := lo; i < lo+n; i++ {
+		err := tbl.Insert([]types.Value{types.Int(int64(i)), types.Float(float64(i % 10))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBackgroundCompaction pins the satellite behavior: once enough rows
+// land to seal a segment's worth of pages, a builder goroutine installs a
+// current store without any scan asking for one, and the installed image
+// equals the lazy build (same version, same coverage, same rows).
+func TestBackgroundCompaction(t *testing.T) {
+	_, tbl := compactTable(t, true)
+	segRows := colstore.SegmentPages * storage.PageSize
+	fillRows(t, tbl, 0, segRows)
+	tbl.WaitCompaction()
+
+	st := tbl.ColStoreIfBuilt()
+	if st == nil {
+		t.Fatal("no current store after background compaction settled")
+	}
+	if st.Version != tbl.Version() {
+		t.Fatalf("installed store version %d, table version %d", st.Version, tbl.Version())
+	}
+	if st.SealedPages != colstore.SegmentPages {
+		t.Fatalf("SealedPages = %d, want %d", st.SealedPages, colstore.SegmentPages)
+	}
+	if got := st.Live(); got != segRows {
+		t.Fatalf("store live rows = %d, want %d", got, segRows)
+	}
+}
+
+// TestBackgroundCompactionOffByDefault pins that bare catalogs keep the
+// lazy-only behavior tests and loaders rely on.
+func TestBackgroundCompactionOffByDefault(t *testing.T) {
+	_, tbl := compactTable(t, false)
+	fillRows(t, tbl, 0, 2*colstore.SegmentPages*storage.PageSize)
+	tbl.WaitCompaction()
+	if tbl.ColStoreIfBuilt() != nil {
+		t.Fatal("store built in background without SetAutoCompact")
+	}
+}
+
+// TestBackgroundCompactionStaleInstallDiscarded pins the version guard:
+// DML racing a build must not leave a store that misses the new rows.
+// The test simulates the race deterministically — trigger, wait, then
+// mutate — and checks the next lazy build wins over the stale image.
+func TestBackgroundCompactionStaleInstallDiscarded(t *testing.T) {
+	_, tbl := compactTable(t, true)
+	segRows := colstore.SegmentPages * storage.PageSize
+	fillRows(t, tbl, 0, segRows)
+	tbl.WaitCompaction()
+
+	// Tombstone a row: the version moves, so the background image is stale.
+	if n := tbl.DeleteWhere(func(tu []types.Value) bool { return tu[0].Equal(types.Int(0)) }); n != 1 {
+		t.Fatalf("deleted %d rows, want 1", n)
+	}
+	if tbl.ColStoreIfBuilt() != nil {
+		t.Fatal("stale store still reported as current after DML")
+	}
+	st := tbl.ColStore() // lazy, version-checked rebuild
+	if st.Version != tbl.Version() {
+		t.Fatalf("rebuilt store version %d, table version %d", st.Version, tbl.Version())
+	}
+	if got := st.Live(); got != segRows-1 {
+		t.Fatalf("rebuilt store live rows = %d, want %d", got, segRows-1)
+	}
+}

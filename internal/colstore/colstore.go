@@ -13,6 +13,8 @@
 package colstore
 
 import (
+	"math/bits"
+
 	"prefdb/internal/debug"
 	"prefdb/internal/schema"
 	"prefdb/internal/storage"
@@ -23,6 +25,23 @@ import (
 // (SegmentPages × storage.PageSize rows), balancing zone-map resolution
 // against per-segment overhead.
 const SegmentPages = 16
+
+// packMaxWidth is the widest frame-of-reference encoding an int column
+// accepts: when the zone's [min, max] span fits in at most this many bits
+// the vector is bit-packed (Packed/Width/Base) instead of stored as raw
+// int64s, halving (or better) its footprint. Wider spans stay on Ints —
+// past 32 bits the space saving no longer pays for the unpack.
+const packMaxWidth = 32
+
+// BlockSource is the page-oriented view of row storage the compactor
+// consumes: *storage.Heap satisfies it directly, and the catalog's
+// background builder feeds a stable snapshot of sealed pages through the
+// same interface so builds can proceed off the DML lock.
+type BlockSource interface {
+	Schema() *schema.Schema
+	Blocks() int
+	Block(i int) (rows [][]types.Value, dead []bool, live int)
+}
 
 // Zone summarizes one column of one segment for pruning: the min/max over
 // the segment's live non-null values plus null/non-null live counts. Valid
@@ -40,6 +59,12 @@ type Zone struct {
 // marking NULL slots, or Raw when the page held values that do not match
 // the declared kind (dynamic typing permits that), which preserves the
 // cells verbatim. Dead and NULL slots of typed vectors hold zero values.
+//
+// An int column whose zone span fits packMaxWidth bits trades Ints for the
+// frame-of-reference encoding: Packed holds Width-bit offsets from Base,
+// densely concatenated into uint64 words. Kernels unpack a block at a time
+// into scratch (Unpack); dead and NULL slots unpack as Base, which is fine
+// because the Nulls bitmap and the deleted bitmap guard every read.
 type Column struct {
 	Kind   types.Kind
 	Ints   []int64
@@ -50,6 +75,10 @@ type Column struct {
 	Raw    []types.Value
 	Nulls  []bool // nil when the column has no NULL slot
 	Zone   Zone
+
+	Packed []uint64 // bit-packed int vector (replaces Ints when set)
+	Width  uint8    // bits per packed value, in (0, packMaxWidth]
+	Base   int64    // frame of reference: value = Base + packed bits
 }
 
 // Value decodes the cell at slot i back into a scalar. Decoding is exact:
@@ -66,6 +95,8 @@ func (c *Column) Value(i int) types.Value {
 	switch {
 	case c.Ints != nil:
 		return types.Int(c.Ints[i])
+	case c.Packed != nil:
+		return types.Int(c.Base + int64(c.packedBits(i)))
 	case c.Floats != nil:
 		return types.Float(c.Floats[i])
 	case c.Codes != nil:
@@ -74,6 +105,81 @@ func (c *Column) Value(i int) types.Value {
 		return types.Bool(c.Bools[i])
 	default:
 		return types.Null()
+	}
+}
+
+// packedBits extracts the Width-bit word of slot i (which may straddle a
+// word boundary).
+func (c *Column) packedBits(i int) uint64 {
+	w := uint(c.Width)
+	bit := uint(i) * w
+	word, off := bit/64, bit%64
+	v := c.Packed[word] >> off
+	if off+w > 64 {
+		v |= c.Packed[word+1] << (64 - off)
+	}
+	return v & (1<<w - 1)
+}
+
+// Unpack decodes packed slots [lo, hi) into dst (grown if its capacity
+// is short), returning dst[:hi-lo]. Dead and NULL slots decode as Base;
+// callers mask them via the Nulls/Deleted bitmaps, exactly as they would
+// ignore the zero filler of an unpacked Ints vector.
+func (c *Column) Unpack(lo, hi int, dst []int64) []int64 {
+	if cap(dst) < hi-lo {
+		dst = make([]int64, hi-lo)
+	}
+	dst = dst[:hi-lo]
+	for i := range dst {
+		dst[i] = c.Base + int64(c.packedBits(lo+i))
+	}
+	return dst
+}
+
+// packInts converts an eligible int vector to the frame-of-reference
+// bit-packed encoding. The width comes from the zone's [min, max] span —
+// exact metadata, so the round-trip is lossless for every live non-null
+// slot; other slots pack as zero bits and never surface.
+func (c *Column) packInts(seg *Segment) {
+	if c.Ints == nil || !c.Zone.Valid || c.Zone.Min.Kind() != types.KindInt {
+		return
+	}
+	base := c.Zone.Min.AsInt()
+	span := uint64(c.Zone.Max.AsInt()) - uint64(base) // two's-complement safe
+	width := uint(bits.Len64(span))
+	if width == 0 {
+		width = 1
+	}
+	if width > packMaxWidth {
+		return
+	}
+	packed := make([]uint64, (seg.Rows*int(width)+63)/64)
+	for i, v := range c.Ints {
+		if (c.Nulls != nil && c.Nulls[i]) || seg.Dead(i) {
+			continue // zero bits; guarded by the bitmaps on every read
+		}
+		bitsVal := uint64(v - base)
+		bit := uint(i) * width
+		word, off := bit/64, bit%64
+		packed[word] |= bitsVal << off
+		if off+width > 64 {
+			packed[word+1] |= bitsVal >> (64 - off)
+		}
+	}
+	ints := c.Ints
+	c.Packed, c.Width, c.Base = packed, uint8(width), base
+	c.Ints = nil
+	if debug.Enabled {
+		// Bit-packed widths must round-trip: every live non-null slot
+		// decodes back to the exact int64 the heap held.
+		for i, v := range ints {
+			if (c.Nulls != nil && c.Nulls[i]) || seg.Dead(i) {
+				continue
+			}
+			debug.Assertf(c.Base+int64(c.packedBits(i)) == v,
+				"bit-packed int round-trip failed at slot %d: packed %d, want %d (width %d base %d)",
+				i, c.Base+int64(c.packedBits(i)), v, c.Width, c.Base)
+		}
 	}
 }
 
@@ -95,8 +201,52 @@ type Segment struct {
 // callers must not mutate it).
 func (s *Segment) Tuple(i int) []types.Value { return s.tuples[i] }
 
+// Views returns the decoded row views for slots [lo, hi) — the borrowed
+// tuple window a columnar batch carries next to its vectors.
+// prefdb:segment-view the window aliases the segment's immutable arena
+func (s *Segment) Views(lo, hi int) [][]types.Value { return s.tuples[lo:hi] }
+
 // Dead reports whether slot i is tombstoned.
 func (s *Segment) Dead(i int) bool { return s.Deleted != nil && s.Deleted[i] }
+
+// ColVecs fills vecs (one slot per attribute, len(s.Cols)) with borrowed
+// windows [lo, hi) of every column's typed vectors, the direct-on-column
+// form batch kernels read. Bit-packed int columns unpack block-wise into
+// scratch[ord] (grown as needed and returned for reuse); every other
+// typed vector is aliased, not copied, under the prefdb:col-view
+// contract. Raw columns leave their ColVec zero, which kernels treat as
+// "fall back to the decoded row views".
+func (s *Segment) ColVecs(lo, hi int, vecs []types.ColVec, scratch [][]int64) [][]int64 {
+	if scratch == nil {
+		scratch = make([][]int64, len(s.Cols))
+	}
+	for ord := range s.Cols {
+		c := &s.Cols[ord]
+		v := types.ColVec{}
+		switch {
+		case c.Ints != nil:
+			v.Ints = c.Ints[lo:hi]
+		case c.Packed != nil:
+			if cap(scratch[ord]) < hi-lo {
+				scratch[ord] = make([]int64, hi-lo)
+			}
+			scratch[ord] = c.Unpack(lo, hi, scratch[ord][:cap(scratch[ord])])
+			v.Ints = scratch[ord]
+		case c.Floats != nil:
+			v.Floats = c.Floats[lo:hi]
+		case c.Codes != nil:
+			v.Codes = c.Codes[lo:hi]
+			v.Dict = c.Dict
+		case c.Bools != nil:
+			v.Bools = c.Bools[lo:hi]
+		}
+		if c.Nulls != nil && c.Raw == nil {
+			v.Nulls = c.Nulls[lo:hi]
+		}
+		vecs[ord] = v
+	}
+	return scratch
+}
 
 // Store is the columnar image of one table's sealed pages at one version.
 type Store struct {
@@ -116,9 +266,10 @@ func (st *Store) Live() int {
 
 // Build compacts h's sealed pages (every page except a trailing partial
 // one) into a columnar store stamped with the table version the caller
-// read. The heap must not be mutated concurrently (the engine serializes
-// writes per table).
-func Build(h *storage.Heap, version uint64) *Store {
+// read. The source must not be mutated concurrently: either the engine
+// serializes writes per table (the lazy first-scan build), or the caller
+// hands in a stable snapshot (the catalog's background builder).
+func Build(h BlockSource, version uint64) *Store {
 	st := &Store{Version: version}
 	sealed := h.Blocks()
 	if sealed > 0 {
@@ -139,7 +290,7 @@ func Build(h *storage.Heap, version uint64) *Store {
 	return st
 }
 
-func buildSegment(h *storage.Heap, s *schema.Schema, first, last int) *Segment {
+func buildSegment(h BlockSource, s *schema.Schema, first, last int) *Segment {
 	seg := &Segment{FirstPage: first}
 	for p := first; p < last; p++ {
 		rows, _, live := h.Block(p)
@@ -174,7 +325,7 @@ func buildSegment(h *storage.Heap, s *schema.Schema, first, last int) *Segment {
 // the typed vector matching the declared kind; any live non-null cell of a
 // different kind demotes the whole column to the Raw encoding so decoding
 // stays exact.
-func buildColumn(h *storage.Heap, c *Column, kind types.Kind, first, last, ord int, seg *Segment) {
+func buildColumn(h BlockSource, c *Column, kind types.Kind, first, last, ord int, seg *Segment) {
 	c.Kind = kind
 	typed := kind == types.KindInt || kind == types.KindFloat || kind == types.KindString || kind == types.KindBool
 	if typed {
@@ -257,6 +408,9 @@ func buildColumn(h *storage.Heap, c *Column, kind types.Kind, first, last, ord i
 	// harmless (dead slots are never decoded into results) and keeps the
 	// encode loop branch-light.
 	c.Zone.Valid = c.Zone.NonNull > 0
+	if kind == types.KindInt {
+		c.packInts(seg)
+	}
 }
 
 // buildZoneRaw counts live null/non-null cells of a raw column. Raw

@@ -107,8 +107,11 @@ func TestBuildEncodings(t *testing.T) {
 	seg := st.Segments[0]
 
 	id := seg.Cols[0]
-	if id.Ints == nil || id.Raw != nil {
-		t.Fatal("id column should be int-encoded")
+	if id.Packed == nil || id.Ints != nil || id.Raw != nil {
+		t.Fatal("id column should be bit-packed int-encoded")
+	}
+	if id.Width == 0 || id.Width > packMaxWidth {
+		t.Fatalf("packed width = %d, want in (0, %d]", id.Width, packMaxWidth)
 	}
 	if !id.Zone.Valid || !id.Zone.Min.Equal(types.Int(0)) || !id.Zone.Max.Equal(types.Int(int64(seg.Rows-1))) {
 		t.Fatalf("id zone = %+v, want valid [0, %d]", id.Zone, seg.Rows-1)
@@ -247,5 +250,121 @@ func TestEmptyAndTailOnlyHeaps(t *testing.T) {
 	tail := Build(h, 1)
 	if tail.SealedPages != 0 || len(tail.Segments) != 0 {
 		t.Fatalf("partial-page heap built %+v", tail)
+	}
+}
+
+// TestPackedWidthsRoundTrip sweeps the frame-of-reference widths the
+// bit-packer can emit — 1 bit (near-constant), mid widths that straddle
+// uint64 word boundaries, the packMaxWidth ceiling, and a spread too wide
+// to pack — over negative bases and NULL holes, asserting every window
+// unpacks to the values the heap held.
+func TestPackedWidthsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(i int) int64
+		pack bool
+	}{
+		{"width1", func(i int) int64 { return 5 + int64(i%2) }, true},
+		{"width7-negative-base", func(i int) int64 { return -1000 + int64(i%100) }, true},
+		{"width17-straddle", func(i int) int64 { return int64(i*31) % (1 << 17) }, true},
+		{"width32-ceiling", func(i int) int64 { return int64(i) * ((1<<32 - 1) / int64(storage.PageSize*SegmentPages)) }, true},
+		{"too-wide", func(i int) int64 { return int64(i) << 40 }, false},
+	}
+	n := storage.PageSize * SegmentPages
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := schema.New(schema.Column{Table: "t", Name: "v", Kind: types.KindInt})
+			h := storage.NewHeap(s)
+			for i := 0; i < n; i++ {
+				v := types.Value(types.Int(tc.gen(i)))
+				if i%37 == 0 {
+					v = types.Null()
+				}
+				if _, err := h.Insert([]types.Value{v}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := Build(h, 1)
+			c := st.Segments[0].Cols[0]
+			if tc.pack != (c.Packed != nil) {
+				t.Fatalf("packed = %v, want %v (width %d)", c.Packed != nil, tc.pack, c.Width)
+			}
+			if !tc.pack {
+				return
+			}
+			if c.Width == 0 || c.Width > packMaxWidth {
+				t.Fatalf("packed width %d out of range (0, %d]", c.Width, packMaxWidth)
+			}
+			// Per-slot decode.
+			for i := 0; i < n; i++ {
+				got := c.Value(i)
+				if i%37 == 0 {
+					if !got.IsNull() {
+						t.Fatalf("slot %d: %v, want NULL", i, got)
+					}
+					continue
+				}
+				if got.AsInt() != tc.gen(i) {
+					t.Fatalf("slot %d: %d, want %d", i, got.AsInt(), tc.gen(i))
+				}
+			}
+			// Windowed unpack at awkward offsets (word-boundary straddles).
+			for _, win := range [][2]int{{0, n}, {1, 64}, {63, 130}, {n - 65, n}} {
+				dst := c.Unpack(win[0], win[1], nil)
+				for i := win[0]; i < win[1]; i++ {
+					if i%37 == 0 {
+						continue // NULL slots carry garbage; the Nulls bitmap guards them
+					}
+					if dst[i-win[0]] != tc.gen(i) {
+						t.Fatalf("window %v slot %d: %d, want %d", win, i, dst[i-win[0]], tc.gen(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestColVecsWindows pins the borrowed-vector accessor: for every column
+// encoding, the window's typed vector (or unpack scratch) must agree with
+// the decoded row views over several awkward windows.
+func TestColVecsWindows(t *testing.T) {
+	s := testSchema()
+	h := storage.NewHeap(s)
+	fillHeap(t, h, storage.PageSize*SegmentPages, true)
+	st := Build(h, 1)
+	seg := st.Segments[0]
+	vecs := make([]types.ColVec, len(seg.Cols))
+	var scratch [][]int64
+	for _, win := range [][2]int{{0, seg.Rows}, {5, 6}, {100, 1124}, {seg.Rows - 3, seg.Rows}} {
+		lo, hi := win[0], win[1]
+		scratch = seg.ColVecs(lo, hi, vecs, scratch)
+		views := seg.Views(lo, hi)
+		for ord := range seg.Cols {
+			cv := vecs[ord]
+			for i := 0; i < hi-lo; i++ {
+				want := views[i][ord]
+				null := cv.Nulls != nil && cv.Nulls[i]
+				if want.IsNull() != null && cv.Ints != nil {
+					t.Fatalf("window %v col %d slot %d: null %v, want %v", win, ord, i, null, want.IsNull())
+				}
+				if null || want.IsNull() {
+					continue
+				}
+				switch {
+				case cv.Ints != nil:
+					if cv.Ints[i] != want.AsInt() {
+						t.Fatalf("window %v col %d slot %d: int %d, want %d", win, ord, i, cv.Ints[i], want.AsInt())
+					}
+				case cv.Floats != nil:
+					if cv.Floats[i] != want.AsFloat() {
+						t.Fatalf("window %v col %d slot %d: float %v, want %v", win, ord, i, cv.Floats[i], want.AsFloat())
+					}
+				case cv.Codes != nil:
+					if cv.Dict[cv.Codes[i]] != want.AsString() {
+						t.Fatalf("window %v col %d slot %d: code %q, want %q", win, ord, i, cv.Dict[cv.Codes[i]], want.AsString())
+					}
+				}
+			}
+		}
 	}
 }

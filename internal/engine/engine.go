@@ -92,8 +92,10 @@ type DB struct {
 	// Colstore is the default storage side for batch scans of queries that
 	// pass no WithColstore option: ColstoreOff (the zero value) reads the
 	// row heap, ColstoreOn reads the columnar segment store with zone-map
-	// pruning. Results, order and stats (modulo the diagnostic segment
-	// counters) are identical in both modes.
+	// pruning and direct column kernels, ColstoreRows reads it with
+	// pruning but packs row views up front (the pre-direct baseline).
+	// Results, order and stats (modulo the diagnostic segment/columnar
+	// counters) are identical in every mode.
 	Colstore ColstoreMode
 
 	// dicts holds the cross-query (level-2) score dictionaries used by
@@ -127,8 +129,9 @@ type ColstoreMode = exec.ColstoreMode
 
 // Colstore modes (see exec.ColstoreMode).
 const (
-	ColstoreOff = exec.ColstoreOff
-	ColstoreOn  = exec.ColstoreOn
+	ColstoreOff  = exec.ColstoreOff
+	ColstoreOn   = exec.ColstoreOn
+	ColstoreRows = exec.ColstoreRows
 )
 
 // Open creates an empty database. Options override the defaults (GBU

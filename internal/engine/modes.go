@@ -87,6 +87,7 @@ var (
 	colstoreReg = &modeRegistry[ColstoreMode]{option: "colstore mode", entries: []modeEntry[ColstoreMode]{
 		{names: []string{"off"}, value: ColstoreOff},
 		{names: []string{"on"}, value: ColstoreOn},
+		{names: []string{"rows"}, value: ColstoreRows},
 	}}
 )
 
@@ -111,7 +112,7 @@ func ParseBatchMode(name string) (BatchMode, error) { return batchReg.parse(name
 // BatchModes lists every batch mode in presentation order.
 func BatchModes() []BatchMode { return batchReg.values() }
 
-// ParseColstoreMode resolves a colstore mode by name ("on", "off").
+// ParseColstoreMode resolves a colstore mode by name ("on", "rows", "off").
 func ParseColstoreMode(name string) (ColstoreMode, error) { return colstoreReg.parse(name) }
 
 // ColstoreModes lists every colstore mode in presentation order.

@@ -423,7 +423,7 @@ func TestModeRegistryListings(t *testing.T) {
 	if len(Modes()) != 6 {
 		t.Fatalf("Modes() = %v", Modes())
 	}
-	if len(CacheModes()) != 3 || len(BatchModes()) != 2 || len(ColstoreModes()) != 2 {
+	if len(CacheModes()) != 3 || len(BatchModes()) != 2 || len(ColstoreModes()) != 3 {
 		t.Fatalf("listings: cache %v batch %v colstore %v", CacheModes(), BatchModes(), ColstoreModes())
 	}
 	for _, m := range Modes() {

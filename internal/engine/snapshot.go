@@ -37,5 +37,8 @@ func openWith(cat *catalog.Catalog, opts ...OpenOption) *DB {
 	for _, o := range opts {
 		o(db)
 	}
+	// Engine-owned catalogs compact sealed pages into columnar segments in
+	// the background, so a colstore-enabled scan rarely pays the build.
+	cat.SetAutoCompact(true)
 	return db
 }

@@ -250,11 +250,16 @@ func (e *Executor) asBatchIter(it iter) batchIter {
 
 // filterBatch applies a compiled condition by compacting the selection
 // vector (expr.TruthyBatch); empty batches are skipped, with an amortized
-// guard tick covering the spin over fully rejected blocks.
+// guard tick covering the spin over fully rejected blocks. Columnar
+// batches filter through the direct-column kernels first
+// (expr.TruthyBatchCols), touching decoded row views only for conjuncts
+// without a kernel — those crossings count as materialized rows.
 type filterBatch struct {
-	in   batchIter
-	cond *expr.Compiled
-	tick pollTick
+	in    batchIter
+	cond  *expr.Compiled
+	stats *Stats
+	tick  pollTick
+	scr   expr.ColScratch
 }
 
 func (f *filterBatch) nextBatch() (*prel.Batch, bool) {
@@ -266,7 +271,13 @@ func (f *filterBatch) nextBatch() (*prel.Batch, bool) {
 		if f.tick.stopN(b.Live()) {
 			return nil, false
 		}
-		b.Sel = f.cond.TruthyBatch(b.Tuples, b.Sel)
+		if b.Columnar() {
+			var mat int
+			b.Sel, mat = f.cond.TruthyBatchCols(b.Cols, b.View, b.Sel, &f.scr)
+			f.stats.RowsMaterialized += mat
+		} else {
+			b.Sel = f.cond.TruthyBatch(b.Tuples, b.Sel)
+		}
 		b.Check()
 		if b.Live() > 0 {
 			return b, true
@@ -282,6 +293,12 @@ func (f *filterBatch) nextBatch() (*prel.Batch, bool) {
 type segScratch struct {
 	sel    []int32
 	scores []types.Value
+	// Direct-column score path scratch: the float score vector and its
+	// NULL flags, plus one expr.ColScratch per chain op (dictionary
+	// accept-bit caches for string conjuncts).
+	f      []float64
+	null   []bool
+	colScr []expr.ColScratch
 }
 
 // applySegOps runs a compiled σ/λ chain over one batch in place: filters
@@ -297,9 +314,19 @@ type segScratch struct {
 // sequential fused segment (segBatchIter) and the morsel-parallel workers
 // (trySegment), which treat each claimed morsel as one batch.
 func applySegOps(b *prel.Batch, ops []segOp, memos []*scoreMemo, agg pref.Aggregate, stats *Stats, scr *segScratch) {
+	columnar := b.Columnar()
+	if columnar && scr.colScr == nil {
+		scr.colScr = make([]expr.ColScratch, len(ops))
+	}
 	for i, op := range ops {
 		if op.filter != nil {
-			b.Sel = op.filter.TruthyBatch(b.Tuples, b.Sel)
+			if columnar {
+				var mat int
+				b.Sel, mat = op.filter.TruthyBatchCols(b.Cols, b.View, b.Sel, &scr.colScr[i])
+				stats.RowsMaterialized += mat
+			} else {
+				b.Sel = op.filter.TruthyBatch(b.Tuples, b.Sel)
+			}
 			if len(b.Sel) == 0 {
 				return
 			}
@@ -307,24 +334,58 @@ func applySegOps(b *prel.Batch, ops []segOp, memos []*scoreMemo, agg pref.Aggreg
 		}
 		stats.PreferEvals += len(b.Sel)
 		if memos != nil && memos[i] != nil {
+			// The memo keys on projected tuples, so the memo path reads
+			// row views even on the direct-column path (consulted
+			// batch-wise either way).
+			if columnar {
+				stats.RowsMaterialized += len(b.Sel)
+			}
 			memos[i].combineBatch(b, agg, stats)
 			continue
 		}
 		scr.sel = append(scr.sel[:0], b.Sel...)
-		scr.sel = op.cond.TruthyBatch(b.Tuples, scr.sel)
+		if columnar {
+			var mat int
+			scr.sel, mat = op.cond.TruthyBatchCols(b.Cols, b.View, scr.sel, &scr.colScr[i])
+			stats.RowsMaterialized += mat
+		} else {
+			scr.sel = op.cond.TruthyBatch(b.Tuples, scr.sel)
+		}
 		if len(scr.sel) == 0 {
 			continue
 		}
 		stats.ScoreEvals += len(scr.sel)
+		if columnar {
+			// Float fast path: the score evaluates straight off the column
+			// vectors into a float column, and the ⟨S,C⟩ vectors update in
+			// place — no types.Value boxing anywhere in the loop.
+			n := len(scr.sel)
+			if cap(scr.f) < n || cap(scr.null) < n {
+				scr.f = make([]float64, n)
+				scr.null = make([]bool, n)
+			}
+			f, null := scr.f[:n], scr.null[:n]
+			if op.score.EvalFloats(b.Cols, scr.sel, f, null) {
+				for k, j := range scr.sel {
+					if !null[k] {
+						s := pref.Clamp01(f[k])
+						sc := agg.Combine(b.SCAt(j), types.NewSC(s, op.conf))
+						b.S[j], b.C[j], b.Known[j] = sc.Score, sc.Conf, sc.Known
+					}
+				}
+				continue
+			}
+			stats.RowsMaterialized += len(scr.sel)
+		}
 		if cap(scr.scores) < len(scr.sel) {
 			scr.scores = make([]types.Value, len(scr.sel))
 		}
 		scores := scr.scores[:len(scr.sel)]
-		op.score.EvalBatch(b.Tuples, scr.sel, scores)
+		op.score.EvalBatch(b.Rows(), scr.sel, scores)
 		for k, j := range scr.sel {
 			if v := scores[k]; !v.IsNull() && v.IsNumeric() {
 				s := pref.Clamp01(v.AsFloat())
-				b.SC[j] = agg.Combine(b.SC[j], types.NewSC(s, op.conf))
+				b.SetSC(j, agg.Combine(b.SCAt(j), types.NewSC(s, op.conf)))
 			}
 		}
 	}
@@ -366,6 +427,7 @@ func (s *segBatchIter) nextBatch() (*prel.Batch, bool) {
 type projectBatch struct {
 	in    batchIter
 	ords  []int
+	stats *Stats
 	out   *prel.Batch
 	arena projectArena
 }
@@ -381,13 +443,19 @@ func (p *projectBatch) nextBatch() (*prel.Batch, bool) {
 			p.out = prel.NewBatch(b.Live())
 		}
 		p.out.Reset()
+		if b.Columnar() {
+			// Projection needs row views: the surviving rows cross the
+			// late-materialization boundary here.
+			p.stats.RowsMaterialized += b.Live()
+		}
+		rows := b.Rows()
 		for _, j := range b.Sel {
 			t := p.arena.tuple()
-			src := b.Tuples[j]
+			src := rows[j]
 			for i, o := range p.ords {
 				t[i] = src[o]
 			}
-			p.out.Push(prel.Row{Tuple: t, SC: b.SC[j]})
+			p.out.Push(prel.Row{Tuple: t, SC: b.SCAt(j)})
 		}
 		p.out.Check()
 		if p.out.Live() > 0 {
@@ -416,17 +484,19 @@ func (t *thresholdBatch) nextBatch() (*prel.Batch, bool) {
 		if t.tick.stopN(b.Live()) {
 			return nil, false
 		}
+		// Pure vector read: ⟨S,C⟩ lives in the batch's float columns, so
+		// thresholds never touch tuples — columnar batches pass through
+		// without materializing anything.
 		out := b.Sel[:0]
 		for _, j := range b.Sel {
-			sc := b.SC[j]
 			var v float64
 			if t.by == algebra.ByConf {
-				v = sc.Conf
+				v = b.C[j]
 			} else {
-				if !sc.Known {
+				if !b.Known[j] {
 					continue
 				}
-				v = sc.Score
+				v = b.S[j]
 			}
 			if cmpFloat(v, t.op, t.value) {
 				out = append(out, j)
@@ -449,6 +519,7 @@ type hashJoinBatch struct {
 	right    batchIter
 	eqL, eqR []int
 	agg      pref.Aggregate
+	stats    *Stats
 	g        *guard
 	tick     pollTick
 
@@ -492,8 +563,13 @@ func (h *hashJoinBatch) nextBatch() (*prel.Batch, bool) {
 			h.out = prel.NewBatch(b.Live())
 		}
 		h.out.Reset()
+		if b.Columnar() {
+			// Probing hashes full tuples, so the probe side materializes.
+			h.stats.RowsMaterialized += b.Live()
+		}
+		rows := b.Rows()
 		for _, j := range b.Sel {
-			rRow := prel.Row{Tuple: b.Tuples[j], SC: b.SC[j]}
+			rRow := prel.Row{Tuple: rows[j], SC: b.SCAt(j)}
 			key := hashCols(rRow.Tuple, h.eqR)
 			candidates := h.table[key]
 			if len(candidates) == 0 {
@@ -541,7 +617,7 @@ func (e *Executor) buildBatch(n algebra.Node) (batchIter, *schema.Schema, error)
 			}
 			ords[i] = idx
 		}
-		pb := &projectBatch{in: in, ords: ords}
+		pb := &projectBatch{in: in, ords: ords, stats: &e.stats}
 		pb.arena.width = len(ords)
 		return pb, s.Project(ords), nil
 
@@ -590,7 +666,7 @@ func (e *Executor) buildBatchScan(scan *algebra.Scan, conjuncts []expr.Node) (ba
 				return nil, nil, tErr
 			}
 			preds := colstore.PredsFrom(s, conjuncts)
-			bi = newSegBatchSrc(t.ColStore(), h.heap, preds, h.stats, h.tick, e.batchSize())
+			bi = newSegBatchSrc(t.ColStore(), h.heap, preds, h.stats, h.tick, e.batchSize(), e.colstoreDirect())
 		} else {
 			bi = &heapBatchSrc{heap: h.heap, stats: h.stats, tick: h.tick, size: e.batchSize()}
 		}
@@ -598,7 +674,7 @@ func (e *Executor) buildBatchScan(scan *algebra.Scan, conjuncts []expr.Node) (ba
 		bi = &rowBatchSrc{in: base, size: e.batchSize()}
 	}
 	if residual != nil {
-		bi = &filterBatch{in: bi, cond: residual, tick: pollTick{g: e.gd}}
+		bi = &filterBatch{in: bi, cond: residual, stats: &e.stats, tick: pollTick{g: e.gd}}
 	}
 	return bi, s, nil
 }
@@ -676,7 +752,7 @@ func (e *Executor) buildBatchJoin(j *algebra.Join) (batchIter, *schema.Schema, e
 			base = &rowBatchSrc{in: it, size: e.batchSize()}
 		} else {
 			base = &hashJoinBatch{left: &batchToRow{in: lBi}, right: rBi, eqL: eqL, eqR: eqR,
-				agg: e.Agg, g: e.gd, tick: pollTick{g: e.gd}}
+				agg: e.Agg, stats: &e.stats, g: e.gd, tick: pollTick{g: e.gd}}
 		}
 	} else {
 		it := newNLJoinIter(&batchToRow{in: lBi}, &batchToRow{in: rBi}, lS.Len(), e.Agg, &e.stats, e.gd)
@@ -687,7 +763,7 @@ func (e *Executor) buildBatchJoin(j *algebra.Join) (batchIter, *schema.Schema, e
 		if cErr != nil {
 			return nil, nil, cErr
 		}
-		base = &filterBatch{in: base, cond: cond, tick: pollTick{g: e.gd}}
+		base = &filterBatch{in: base, cond: cond, stats: &e.stats, tick: pollTick{g: e.gd}}
 	}
 	return base, out, nil
 }

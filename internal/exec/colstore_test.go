@@ -174,6 +174,7 @@ func TestColstoreHeapEquivalence(t *testing.T) {
 							gotStats := e.Stats()
 							refStats.Batches, gotStats.Batches = 0, 0
 							gotStats.SegmentsScanned, gotStats.SegmentsSkipped = 0, 0
+							gotStats.ColBatches, gotStats.RowsMaterialized = 0, 0
 							if refStats != gotStats {
 								t.Fatalf("%s: colstore stats %+v, want %+v", label, gotStats, refStats)
 							}
@@ -304,7 +305,7 @@ func TestHeapBatchSrcCompactsAcrossPages(t *testing.T) {
 
 // TestParseColstoreMode covers the flag surface.
 func TestParseColstoreMode(t *testing.T) {
-	for name, want := range map[string]ColstoreMode{"on": ColstoreOn, "Off": ColstoreOff} {
+	for name, want := range map[string]ColstoreMode{"on": ColstoreOn, "rows": ColstoreRows, "Off": ColstoreOff} {
 		got, err := ParseColstoreMode(name)
 		if err != nil || got != want {
 			t.Fatalf("ParseColstoreMode(%q) = %v, %v; want %v", name, got, err, want)

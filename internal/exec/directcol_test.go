@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDirectColRowsEquivalence is the acceptance contract of the
+// direct-on-column path: across the full plan × strategy × workers ×
+// batch-size grid, handing kernels borrowed column vectors with late
+// materialization (ColstoreOn) must produce byte-identical rows, order
+// and Stats — modulo the diagnostic ColBatches / RowsMaterialized
+// counters — to the row-view packing form of the same segment store
+// (ColstoreRows, the PR 6 behavior). Both arms share zone maps, so the
+// only degree of freedom under test is the kernel/materialization layer.
+// Run with -race: the suite doubles as the data-race check for the
+// borrowed-vector contract under the parallel morsel path.
+func TestDirectColRowsEquivalence(t *testing.T) {
+	cat := colstoreDB(t)
+	for name, plan := range colstorePlans() {
+		t.Run(name, func(t *testing.T) {
+			for _, strategy := range Strategies() {
+				for _, workers := range []int{1, 4} {
+					for _, size := range []int{3, 1024} {
+						label := fmt.Sprintf("%v workers=%d size=%d", strategy, workers, size)
+
+						ref := New(cat)
+						ref.Workers = workers
+						ref.BatchSize = size
+						ref.Colstore = ColstoreRows
+						want, err := ref.Run(plan, strategy)
+						if err != nil {
+							t.Fatalf("%s rows path: %v", label, err)
+						}
+						refStats := ref.Stats()
+						if refStats.ColBatches != 0 || refStats.RowsMaterialized != 0 {
+							t.Fatalf("%s: rows path counted columnar batches: %+v", label, refStats)
+						}
+
+						e := New(cat)
+						e.Workers = workers
+						e.BatchSize = size
+						e.Colstore = ColstoreOn
+						got, err := e.Run(plan, strategy)
+						if err != nil {
+							t.Fatalf("%s direct path: %v", label, err)
+						}
+
+						mustIdentical(t, want, got, label)
+						gotStats := e.Stats()
+						// Batches differs too: direct windows never span a
+						// segment boundary, so their count is its own shape.
+						refStats.Batches, gotStats.Batches = 0, 0
+						gotStats.ColBatches, gotStats.RowsMaterialized = 0, 0
+						if refStats != gotStats {
+							t.Fatalf("%s: direct stats %+v, want %+v", label, gotStats, refStats)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDirectColLateMaterialization pins the shape claim behind the direct
+// path: on a selective plan the scan stays columnar (ColBatches > 0) and
+// only the rows that survive the filter ever cross the materialization
+// boundary, so RowsMaterialized is a small fraction of RowsScanned.
+func TestDirectColLateMaterialization(t *testing.T) {
+	cat := colstoreDB(t)
+	e := New(cat)
+	e.Colstore = ColstoreOn
+	if _, err := e.Run(colstorePlans()["prune-low-sel"], Native); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ColBatches == 0 {
+		t.Fatalf("direct scan produced no columnar batches: %+v", st)
+	}
+	if st.RowsMaterialized == 0 {
+		t.Fatalf("survivors never crossed the materialization boundary: %+v", st)
+	}
+	if st.RowsMaterialized*10 > st.RowsScanned {
+		t.Fatalf("late materialization did not engage: materialized %d of %d scanned",
+			st.RowsMaterialized, st.RowsScanned)
+	}
+}

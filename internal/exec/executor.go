@@ -65,6 +65,15 @@ type Stats struct {
 	// their live rows to RowsScanned, so that counter stays identical).
 	SegmentsScanned int
 	SegmentsSkipped int
+	// ColBatches counts columnar (direct-on-column) batches emitted by
+	// colstore scans; RowsMaterialized counts selected rows of columnar
+	// batches that crossed the late-materialization boundary (Batch.Rows)
+	// because some operator needed tuple views. Both are diagnostic
+	// counters excluded from the path equivalence contract, like Batches;
+	// RowsMaterialized ≪ RowsScanned on selective plans is the direct
+	// path's shape signature.
+	ColBatches       int
+	RowsMaterialized int
 }
 
 // Add accumulates another stats record.
@@ -82,6 +91,8 @@ func (s *Stats) Add(o Stats) {
 	s.Batches += o.Batches
 	s.SegmentsScanned += o.SegmentsScanned
 	s.SegmentsSkipped += o.SegmentsSkipped
+	s.ColBatches += o.ColBatches
+	s.RowsMaterialized += o.RowsMaterialized
 }
 
 // String renders the counters compactly. The scoring counters only appear
@@ -98,6 +109,9 @@ func (s Stats) String() string {
 	}
 	if s.SegmentsScanned != 0 || s.SegmentsSkipped != 0 {
 		out += fmt.Sprintf(" segments=%d skipped=%d", s.SegmentsScanned, s.SegmentsSkipped)
+	}
+	if s.ColBatches != 0 || s.RowsMaterialized != 0 {
+		out += fmt.Sprintf(" colBatches=%d rowsMaterialized=%d", s.ColBatches, s.RowsMaterialized)
 	}
 	return out
 }
@@ -248,6 +262,9 @@ func (e *Executor) drainPipeline(n algebra.Node) (*prel.PRelation, *schema.Schem
 				break
 			}
 			e.stats.Batches++
+			if b.Columnar() {
+				e.stats.RowsMaterialized += b.Live()
+			}
 			out.Rows = b.AppendRows(out.Rows)
 			if gErr := meter.rows(b.Live()); gErr != nil {
 				return nil, nil, gErr

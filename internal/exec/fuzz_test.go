@@ -207,24 +207,28 @@ func FuzzBatchRowEquivalence(f *testing.F) {
 					s, size, algebra.Format(plan), refStats, gotStats)
 			}
 
-			// The columnar segment store must uphold the same contract
-			// (modulo its diagnostic segment counters).
-			eCol := New(movieDB(t))
-			eCol.Batch = BatchOn
-			eCol.BatchSize = size
-			eCol.Colstore = ColstoreOn
-			gotCol, err := eCol.Run(plan, s)
-			if err != nil {
-				t.Fatalf("colstore path (%v, size %d) failed on\n%s\n%v", s, size, algebra.Format(plan), err)
-			}
-			if diff := ref.Diff(gotCol, 1e-9); diff != "" {
-				t.Fatalf("colstore path (%v, size %d) differs on\n%s\n%s", s, size, algebra.Format(plan), diff)
-			}
-			colStats := eCol.Stats()
-			colStats.Batches, colStats.SegmentsScanned, colStats.SegmentsSkipped = 0, 0, 0
-			if colStats != refStats {
-				t.Fatalf("colstore path (%v, size %d) Stats differ on\n%s\nrow:      %v\ncolstore: %v",
-					s, size, algebra.Format(plan), refStats, colStats)
+			// Both columnar forms — direct-on-column kernels and row-view
+			// packing — must uphold the same contract (modulo the
+			// diagnostic segment / materialization counters).
+			for _, mode := range []ColstoreMode{ColstoreOn, ColstoreRows} {
+				eCol := New(movieDB(t))
+				eCol.Batch = BatchOn
+				eCol.BatchSize = size
+				eCol.Colstore = mode
+				gotCol, err := eCol.Run(plan, s)
+				if err != nil {
+					t.Fatalf("colstore=%v path (%v, size %d) failed on\n%s\n%v", mode, s, size, algebra.Format(plan), err)
+				}
+				if diff := ref.Diff(gotCol, 1e-9); diff != "" {
+					t.Fatalf("colstore=%v path (%v, size %d) differs on\n%s\n%s", mode, s, size, algebra.Format(plan), diff)
+				}
+				colStats := eCol.Stats()
+				colStats.Batches, colStats.SegmentsScanned, colStats.SegmentsSkipped = 0, 0, 0
+				colStats.ColBatches, colStats.RowsMaterialized = 0, 0
+				if colStats != refStats {
+					t.Fatalf("colstore=%v path (%v, size %d) Stats differ on\n%s\nrow:      %v\ncolstore: %v",
+						mode, s, size, algebra.Format(plan), refStats, colStats)
+				}
 			}
 		}
 	})

@@ -163,9 +163,10 @@ func (m *scoreMemo) lookupOrCompute(tuple []types.Value, stats *Stats) (types.SC
 // lookupOrCompute + Combine, so hit/miss/eval accounting matches the
 // row-at-a-time preferIter.
 func (m *scoreMemo) combineBatch(b *prel.Batch, agg pref.Aggregate, stats *Stats) {
+	rows := b.Rows() // memo keys are tuples: columnar batches materialize here
 	for _, j := range b.Sel {
-		if sc, has := m.lookupOrCompute(b.Tuples[j], stats); has {
-			b.SC[j] = agg.Combine(b.SC[j], sc)
+		if sc, has := m.lookupOrCompute(rows[j], stats); has {
+			b.SetSC(j, agg.Combine(b.SCAt(j), sc))
 		}
 	}
 }

@@ -152,6 +152,9 @@ func (s *RowStream) pull() (prel.Row, bool) {
 				return prel.Row{}, false
 			}
 			s.e.stats.Batches++
+			if b.Columnar() {
+				s.e.stats.RowsMaterialized += b.Live()
+			}
 			// Charge the whole batch when it arrives — the same amortized
 			// pattern drainPipeline uses — so guard trip points match the
 			// materialized path.

@@ -1,0 +1,619 @@
+// Direct-on-column kernels: the batch filter and score paths that read
+// borrowed colstore vectors (types.ColVec) instead of decoded tuples.
+//
+// Every kernel mirrors the scalar evaluator bit-for-bit — the same
+// three-valued comparison semantics as compareFilter (NULL or
+// incomparable kinds reject; numerics compare int-wise only when both
+// sides are INT, float-wise otherwise; NaN compares equal, matching
+// types.Compare's fallthrough) and the same float arithmetic as
+// arithApply. Kernels report ok=false whenever a needed typed vector is
+// missing (Raw-encoded column), and the caller falls back to the tuple
+// path, so engaging the direct path can never change results.
+//
+// Exactness rule for the score path: an INT-kind arithmetic node
+// evaluates with wrapping int64 semantics on the row path
+// (arithApply), which float64 cannot reproduce, so evalC is only built
+// for nodes whose row-path evaluation is already float-wise.
+package expr
+
+import (
+	"prefdb/internal/types"
+)
+
+// ColScratch carries the per-conjunct kernel caches a sequential batch
+// pipeline reuses across batches. The only cache today is the
+// dictionary-predicate accept vector: a string comparison evaluates once
+// per segment against the dictionary, and consecutive windows of the
+// same segment share the Dict slice, so the accept bits carry over.
+// One ColScratch per compiled condition per goroutine; zero value ready.
+type ColScratch struct {
+	perConj []dictCache
+	pending []*Compiled
+}
+
+func (s *ColScratch) cacheFor(i int) *dictCache {
+	for len(s.perConj) <= i {
+		s.perConj = append(s.perConj, dictCache{})
+	}
+	return &s.perConj[i]
+}
+
+// dictCache holds the accept bit per dictionary code for one string
+// conjunct, keyed by the identity of the segment dictionary it was
+// computed against.
+type dictCache struct {
+	dict   []string
+	accept []bool
+}
+
+func (d *dictCache) matches(dict []string) bool {
+	return len(d.dict) == len(dict) && (len(dict) == 0 || &d.dict[0] == &dict[0])
+}
+
+// TruthyBatchCols applies the condition over a columnar batch: conjuncts
+// with a direct-column kernel compact sel against the borrowed vectors
+// first (AND commutes, so kernel-capable conjuncts running early never
+// changes the accepted set), then any remaining conjuncts run over the
+// decoded row views. The second return value is the number of selected
+// rows that crossed that materialization boundary (0 when every conjunct
+// ran direct); exec folds it into Stats.RowsMaterialized.
+func (c *Compiled) TruthyBatchCols(cols []types.ColVec, rows [][]types.Value, sel []int32, scr *ColScratch) ([]int32, int) {
+	if len(c.conj) > 1 {
+		pending := scr.pending[:0]
+		for i, p := range c.conj {
+			if len(sel) == 0 {
+				scr.pending = pending
+				return sel, 0
+			}
+			if p.filterC != nil {
+				if ns, ok := p.filterC(cols, sel, scr.cacheFor(i)); ok {
+					sel = ns
+					continue
+				}
+			}
+			pending = append(pending, p)
+		}
+		scr.pending = pending
+		if len(pending) == 0 || len(sel) == 0 {
+			return sel, 0
+		}
+		mat := len(sel)
+		for _, p := range pending {
+			sel = p.truthyFilter(rows, sel)
+			if len(sel) == 0 {
+				break
+			}
+		}
+		return sel, mat
+	}
+	if c.filterC != nil {
+		if ns, ok := c.filterC(cols, sel, scr.cacheFor(0)); ok {
+			return ns, 0
+		}
+	}
+	mat := len(sel)
+	return c.truthyFilter(rows, sel), mat
+}
+
+// EvalFloats evaluates the expression over borrowed column vectors as a
+// float column: out[k] (and its NULL flag null[k]) for row sel[k], both
+// len(sel). It reports false when the expression has no direct-column
+// form or a needed typed vector is missing at runtime; the caller must
+// then fall back to EvalBatch over tuples. On success the results are
+// exactly EvalBatch's: a numeric value v becomes (v.AsFloat(), false)
+// and NULL becomes (_, true).
+func (c *Compiled) EvalFloats(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+	if c.evalC == nil {
+		return false
+	}
+	return c.evalC(cols, sel, out, null)
+}
+
+// CanEvalCols reports whether the expression compiled a direct-column
+// score kernel (EvalFloats may still fall back at runtime on Raw
+// columns). The optimizer uses this for the [direct-col] annotation.
+func (c *Compiled) CanEvalCols() bool { return c.evalC != nil }
+
+// CanFilterCols reports whether the condition has at least one conjunct
+// with a direct-column filter kernel.
+func (c *Compiled) CanFilterCols() bool {
+	if c.filterC != nil {
+		return true
+	}
+	for _, p := range c.conj {
+		if p.filterC != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptMask is the lt/eq/gt accept-bit decomposition of a comparison
+// operator (compareFilter's decomposition, factored for reuse by the
+// column kernels).
+type acceptMask struct{ lt, eq, gt bool }
+
+func opAccept(op Op, flip bool) acceptMask {
+	var m acceptMask
+	switch op {
+	case OpEq:
+		m.eq = true
+	case OpNe:
+		m.lt, m.gt = true, true
+	case OpLt:
+		m.lt = true
+	case OpLe:
+		m.lt, m.eq = true, true
+	case OpGt:
+		m.gt = true
+	default: // OpGe
+		m.eq, m.gt = true, true
+	}
+	if flip {
+		m.lt, m.gt = m.gt, m.lt
+	}
+	return m
+}
+
+func (m acceptMask) ok(cmp int) bool {
+	return (cmp < 0 && m.lt) || (cmp == 0 && m.eq) || (cmp > 0 && m.gt)
+}
+
+// hasTyped reports whether the window carries any typed vector (a Raw or
+// absent column has none, forcing the tuple fallback).
+func hasTyped(cv *types.ColVec) bool {
+	return cv.Ints != nil || cv.Floats != nil || cv.Codes != nil || cv.Bools != nil
+}
+
+// compareFilterCols builds the direct-column kernel for a comparison:
+// column-vs-literal (either orientation) or column-vs-column. Returns nil
+// when the operands don't match those shapes.
+func (c *compiler) compareFilterCols(x Bin) func(cols []types.ColVec, sel []int32, dc *dictCache) ([]int32, bool) {
+	if col, okC := x.L.(Col); okC {
+		if lit, okL := x.R.(Lit); okL {
+			return c.colLitKernel(col, lit, x.Op, false)
+		}
+		if colR, okR := x.R.(Col); okR {
+			return c.colColKernel(col, colR, x.Op)
+		}
+	}
+	if lit, okL := x.L.(Lit); okL {
+		if col, okC := x.R.(Col); okC {
+			// Literal on the left: Compare's sign is mirrored.
+			return c.colLitKernel(col, lit, x.Op, true)
+		}
+	}
+	return nil
+}
+
+func (c *compiler) colLitKernel(col Col, lit Lit, op Op, flip bool) func(cols []types.ColVec, sel []int32, dc *dictCache) ([]int32, bool) {
+	idx, err := c.schema.IndexOf(col.Table, col.Name)
+	if err != nil {
+		return nil
+	}
+	v := lit.Val
+	if v.IsNull() {
+		// NULL comparand: the comparison is NULL for every row, so the
+		// condition accepts nothing — no vector needed.
+		return func(_ []types.ColVec, sel []int32, _ *dictCache) ([]int32, bool) { return sel[:0], true }
+	}
+	m := opAccept(op, flip)
+	switch v.Kind() {
+	case types.KindInt, types.KindFloat:
+		litInt := v.Kind() == types.KindInt
+		ri := int64(0)
+		if litInt {
+			ri = v.AsInt()
+		}
+		rf := v.AsFloat()
+		return func(cols []types.ColVec, sel []int32, _ *dictCache) ([]int32, bool) {
+			cv := &cols[idx]
+			nulls := cv.Nulls
+			out := sel[:0]
+			switch {
+			case cv.Ints != nil && litInt:
+				vec := cv.Ints
+				for _, i := range sel {
+					if nulls != nil && nulls[i] {
+						continue
+					}
+					cmp := 0
+					switch a := vec[i]; {
+					case a < ri:
+						cmp = -1
+					case a > ri:
+						cmp = 1
+					}
+					if m.ok(cmp) {
+						out = append(out, i)
+					}
+				}
+			case cv.Ints != nil:
+				// INT column vs FLOAT literal: mixed numerics compare
+				// float-wise, exactly types.Compare.
+				vec := cv.Ints
+				for _, i := range sel {
+					if nulls != nil && nulls[i] {
+						continue
+					}
+					cmp := 0
+					switch a := float64(vec[i]); {
+					case a < rf:
+						cmp = -1
+					case a > rf:
+						cmp = 1
+					}
+					if m.ok(cmp) {
+						out = append(out, i)
+					}
+				}
+			case cv.Floats != nil:
+				vec := cv.Floats
+				for _, i := range sel {
+					if nulls != nil && nulls[i] {
+						continue
+					}
+					cmp := 0
+					switch a := vec[i]; {
+					case a < rf:
+						cmp = -1
+					case a > rf:
+						cmp = 1
+					}
+					if m.ok(cmp) {
+						out = append(out, i)
+					}
+				}
+			case hasTyped(cv):
+				// Typed non-numeric column: every live value is
+				// incomparable with a numeric literal, so nothing passes.
+				return sel[:0], true
+			default:
+				return nil, false
+			}
+			return out, true
+		}
+	case types.KindString:
+		rs := v.AsString()
+		return func(cols []types.ColVec, sel []int32, dc *dictCache) ([]int32, bool) {
+			cv := &cols[idx]
+			if cv.Codes == nil {
+				if hasTyped(cv) {
+					return sel[:0], true
+				}
+				return nil, false
+			}
+			// Evaluate the predicate once per segment against the
+			// dictionary: consecutive windows share the Dict slice, so the
+			// accept bits are cached on identity.
+			if !dc.matches(cv.Dict) {
+				dc.dict = cv.Dict
+				if cap(dc.accept) < len(cv.Dict) {
+					dc.accept = make([]bool, len(cv.Dict))
+				}
+				dc.accept = dc.accept[:len(cv.Dict)]
+				for code, s := range cv.Dict {
+					cmp := 0
+					switch {
+					case s < rs:
+						cmp = -1
+					case s > rs:
+						cmp = 1
+					}
+					dc.accept[code] = m.ok(cmp)
+				}
+			}
+			accept := dc.accept
+			codes := cv.Codes
+			nulls := cv.Nulls
+			out := sel[:0]
+			for _, i := range sel {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				if accept[codes[i]] {
+					out = append(out, i)
+				}
+			}
+			return out, true
+		}
+	case types.KindBool:
+		rb := v.AsBool()
+		return func(cols []types.ColVec, sel []int32, _ *dictCache) ([]int32, bool) {
+			cv := &cols[idx]
+			if cv.Bools == nil {
+				if hasTyped(cv) {
+					return sel[:0], true
+				}
+				return nil, false
+			}
+			vec := cv.Bools
+			nulls := cv.Nulls
+			out := sel[:0]
+			for _, i := range sel {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				cmp := 0
+				switch a := vec[i]; {
+				case !a && rb:
+					cmp = -1 // false sorts before true
+				case a && !rb:
+					cmp = 1
+				}
+				if m.ok(cmp) {
+					out = append(out, i)
+				}
+			}
+			return out, true
+		}
+	default:
+		return nil
+	}
+}
+
+func (c *compiler) colColKernel(l, r Col, op Op) func(cols []types.ColVec, sel []int32, dc *dictCache) ([]int32, bool) {
+	li, err := c.schema.IndexOf(l.Table, l.Name)
+	if err != nil {
+		return nil
+	}
+	ri, err := c.schema.IndexOf(r.Table, r.Name)
+	if err != nil {
+		return nil
+	}
+	m := opAccept(op, false)
+	return func(cols []types.ColVec, sel []int32, _ *dictCache) ([]int32, bool) {
+		lv, rv := &cols[li], &cols[ri]
+		ln, rn := lv.Nulls, rv.Nulls
+		out := sel[:0]
+		reject := func(i int32) bool {
+			return (ln != nil && ln[i]) || (rn != nil && rn[i])
+		}
+		switch {
+		case lv.Ints != nil && rv.Ints != nil:
+			a, b := lv.Ints, rv.Ints
+			for _, i := range sel {
+				if reject(i) {
+					continue
+				}
+				cmp := 0
+				switch {
+				case a[i] < b[i]:
+					cmp = -1
+				case a[i] > b[i]:
+					cmp = 1
+				}
+				if m.ok(cmp) {
+					out = append(out, i)
+				}
+			}
+		case (lv.Ints != nil || lv.Floats != nil) && (rv.Ints != nil || rv.Floats != nil):
+			// Mixed numerics compare float-wise (types.Compare).
+			for _, i := range sel {
+				if reject(i) {
+					continue
+				}
+				var a, b float64
+				if lv.Ints != nil {
+					a = float64(lv.Ints[i])
+				} else {
+					a = lv.Floats[i]
+				}
+				if rv.Ints != nil {
+					b = float64(rv.Ints[i])
+				} else {
+					b = rv.Floats[i]
+				}
+				cmp := 0
+				switch {
+				case a < b:
+					cmp = -1
+				case a > b:
+					cmp = 1
+				}
+				if m.ok(cmp) {
+					out = append(out, i)
+				}
+			}
+		case lv.Codes != nil && rv.Codes != nil:
+			// Dictionaries differ per column, so codes are not comparable
+			// directly; compare the dictionary strings (still no
+			// types.Value decoding).
+			ld, rd := lv.Dict, rv.Dict
+			for _, i := range sel {
+				if reject(i) {
+					continue
+				}
+				a, b := ld[lv.Codes[i]], rd[rv.Codes[i]]
+				cmp := 0
+				switch {
+				case a < b:
+					cmp = -1
+				case a > b:
+					cmp = 1
+				}
+				if m.ok(cmp) {
+					out = append(out, i)
+				}
+			}
+		case lv.Bools != nil && rv.Bools != nil:
+			a, b := lv.Bools, rv.Bools
+			for _, i := range sel {
+				if reject(i) {
+					continue
+				}
+				cmp := 0
+				switch {
+				case !a[i] && b[i]:
+					cmp = -1
+				case a[i] && !b[i]:
+					cmp = 1
+				}
+				if m.ok(cmp) {
+					out = append(out, i)
+				}
+			}
+		case hasTyped(lv) && hasTyped(rv):
+			// Two typed columns of incomparable kinds: no live pair can
+			// ever compare, so nothing passes.
+			return sel[:0], true
+		default:
+			return nil, false
+		}
+		return out, true
+	}
+}
+
+// evalCKind reports whether a column of this kind can feed the float
+// score path.
+func numericKind(k types.Kind) bool { return k == types.KindInt || k == types.KindFloat }
+
+// colEvalC builds the score kernel for a column leaf: the vector loads as
+// float64 with its NULL flags. INT columns convert exactly as
+// Value.AsFloat does (float64(i)).
+func colEvalC(idx int) func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+	return func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+		cv := &cols[idx]
+		nulls := cv.Nulls
+		switch {
+		case cv.Ints != nil:
+			vec := cv.Ints
+			for k, i := range sel {
+				out[k] = float64(vec[i])
+				null[k] = nulls != nil && nulls[i]
+			}
+		case cv.Floats != nil:
+			vec := cv.Floats
+			for k, i := range sel {
+				out[k] = vec[i]
+				null[k] = nulls != nil && nulls[i]
+			}
+		default:
+			return false
+		}
+		return true
+	}
+}
+
+// litEvalC builds the score kernel for a numeric or NULL literal.
+func litEvalC(v types.Value) func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+	if v.IsNull() {
+		return func(_ []types.ColVec, sel []int32, out []float64, null []bool) bool {
+			for k := range sel {
+				out[k], null[k] = 0, true
+			}
+			return true
+		}
+	}
+	if !v.IsNumeric() {
+		return nil
+	}
+	f := v.AsFloat()
+	return func(_ []types.ColVec, sel []int32, out []float64, null []bool) bool {
+		for k := range sel {
+			out[k], null[k] = f, false
+		}
+		return true
+	}
+}
+
+// binEvalC builds the score kernel for FLOAT-kind arithmetic (INT-kind
+// nodes wrap int64 on the row path, which float64 cannot reproduce, so
+// they never compile a kernel). Division by zero and float modulo yield
+// NULL, exactly arithApply at KindFloat.
+func binEvalC(op Op, l, r *Compiled) func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+	if l.evalC == nil || r.evalC == nil {
+		return nil
+	}
+	return func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+		n := len(sel)
+		rOut := make([]float64, n)
+		rNull := make([]bool, n)
+		if !l.evalC(cols, sel, out, null) || !r.evalC(cols, sel, rOut, rNull) {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			if null[k] || rNull[k] {
+				null[k] = true
+				continue
+			}
+			a, b := out[k], rOut[k]
+			switch op {
+			case OpAdd:
+				out[k] = a + b
+			case OpSub:
+				out[k] = a - b
+			case OpMul:
+				out[k] = a * b
+			case OpDiv:
+				if b == 0 {
+					null[k] = true
+					continue
+				}
+				out[k] = a / b
+			default: // OpMod over floats: undefined, NULL
+				null[k] = true
+			}
+		}
+		return true
+	}
+}
+
+// negEvalC builds the score kernel for FLOAT-kind negation (INT-kind
+// negation can wrap at MinInt64 on the row path, so it stays scalar).
+func negEvalC(inner *Compiled) func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+	if inner.evalC == nil {
+		return nil
+	}
+	return func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+		if !inner.evalC(cols, sel, out, null) {
+			return false
+		}
+		for k := range out {
+			if !null[k] {
+				out[k] = -out[k]
+			}
+		}
+		return true
+	}
+}
+
+// callEvalC builds the score kernel for a function call with a float
+// kernel (Func.Floats) and direct-column arguments: argument columns
+// evaluate kernel-wise, a NULL argument yields a NULL result, exactly
+// the Floats fast path of the tuple evalB.
+func callEvalC(ff func([]float64) float64, args []*Compiled) func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+	if ff == nil {
+		return nil
+	}
+	for _, a := range args {
+		if a.evalC == nil {
+			return nil
+		}
+	}
+	return func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool {
+		n := len(sel)
+		argOut := make([][]float64, len(args))
+		argNull := make([][]bool, len(args))
+		for j, a := range args {
+			argOut[j] = make([]float64, n)
+			argNull[j] = make([]bool, n)
+			if !a.evalC(cols, sel, argOut[j], argNull[j]) {
+				return false
+			}
+		}
+		fvals := make([]float64, len(args))
+	rows:
+		for k := 0; k < n; k++ {
+			for j := range args {
+				if argNull[j][k] {
+					out[k], null[k] = 0, true
+					continue rows
+				}
+				fvals[j] = argOut[j][k]
+			}
+			out[k], null[k] = ff(fvals), false
+		}
+		return true
+	}
+}

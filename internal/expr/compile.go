@@ -43,6 +43,19 @@ type Compiled struct {
 	// types.Compare dispatch per row. Set for column-vs-literal
 	// comparisons; semantics are identical to Truthy.
 	filterB func(tuples [][]types.Value, sel []int32) []int32
+	// filterC, when set, is the direct-column variant of filterB: it
+	// compacts the selection vector by reading borrowed column vectors
+	// (types.ColVec) without decoding tuples. Reports ok=false when a
+	// needed typed vector is missing at runtime (Raw column); the caller
+	// then falls back to the tuple kernel. Set for column-vs-literal and
+	// column-vs-column comparisons; see cols.go.
+	filterC func(cols []types.ColVec, sel []int32, dc *dictCache) ([]int32, bool)
+	// evalC, when set, is the direct-column float evaluator feeding the
+	// in-place ⟨S,C⟩ score path: out[k]/null[k] for row sel[k], read
+	// straight from column vectors. Only built for nodes whose row-path
+	// evaluation is already float-wise (see cols.go for the exactness
+	// rule), so results are bit-identical to eval + AsFloat.
+	evalC func(cols []types.ColVec, sel []int32, out []float64, null []bool) bool
 }
 
 // Eval evaluates the expression over a tuple.
@@ -174,11 +187,16 @@ func (c *compiler) compile(n Node) (*Compiled, error) {
 		}
 		c.cols = append(c.cols, idx)
 		kind := c.schema.Columns[idx].Kind
-		return &Compiled{kind: kind, eval: func(row []types.Value) types.Value { return row[idx] }}, nil
+		out := &Compiled{kind: kind, eval: func(row []types.Value) types.Value { return row[idx] }}
+		if numericKind(kind) {
+			out.evalC = colEvalC(idx)
+		}
+		return out, nil
 
 	case Lit:
 		v := x.Val
-		return &Compiled{kind: v.Kind(), eval: func([]types.Value) types.Value { return v }}, nil
+		return &Compiled{kind: v.Kind(), evalC: litEvalC(v),
+			eval: func([]types.Value) types.Value { return v }}, nil
 
 	case Bin:
 		return c.compileBin(x)
@@ -258,6 +276,7 @@ func (c *compiler) compileBin(x Bin) (*Compiled, error) {
 			}
 		}}
 		out.filterB = c.compareFilter(x)
+		out.filterC = c.compareFilterCols(x)
 		return out, nil
 
 	case x.Op == OpAnd:
@@ -304,6 +323,9 @@ func (c *compiler) compileBin(x Bin) (*Compiled, error) {
 		out := &Compiled{kind: kind, eval: func(row []types.Value) types.Value {
 			return apply(l.eval(row), r.eval(row))
 		}}
+		if kind == types.KindFloat {
+			out.evalC = binEvalC(x.Op, l, r)
+		}
 		if l.evalB != nil || r.evalB != nil {
 			// Vectorize only when an operand benefits: both sides evaluate
 			// column-wise (hoisting nested call scratch out of the row
@@ -531,7 +553,7 @@ func (c *compiler) compileUn(x Un) (*Compiled, error) {
 			return nil, err
 		}
 		kind := inner.kind
-		return &Compiled{kind: kind, eval: func(row []types.Value) types.Value {
+		out := &Compiled{kind: kind, eval: func(row []types.Value) types.Value {
 			v := inner.eval(row)
 			if v.IsNull() {
 				return types.Null()
@@ -540,7 +562,11 @@ func (c *compiler) compileUn(x Un) (*Compiled, error) {
 				return types.Int(-v.AsInt())
 			}
 			return types.Float(-v.AsFloat())
-		}}, nil
+		}}
+		if kind == types.KindFloat {
+			out.evalC = negEvalC(inner)
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("expr: unsupported unary operator %s", x.Op)
 	}
@@ -565,7 +591,7 @@ func (c *compiler) compileCall(x Call) (*Compiled, error) {
 	fn := f.Eval
 	ff := f.Floats
 	nargs := len(args)
-	return &Compiled{kind: f.Kind,
+	return &Compiled{kind: f.Kind, evalC: callEvalC(ff, args),
 		eval: func(row []types.Value) types.Value {
 			vals := make([]types.Value, len(args))
 			for i, a := range args {

@@ -31,9 +31,18 @@ import (
 // their purpose and none of the escape rules apply. What is forbidden for
 // them is mutation — writing through a segment view corrupts every reader
 // of the store — and the analyzer flags element assignments through one.
+//
+// Borrowed column vectors obey the same inverted contract (prefdb:col-view):
+// the typed slices of a types.ColVec, a columnar Batch's Cols, and the
+// windows Segment.ColVecs hands out all alias segment storage shared by
+// concurrent queries. Kernels may hold and pass them freely — borrowing is
+// the point of the direct-on-column path — but an element write through one
+// corrupts the store, so the analyzer flags it. Sources are matched by type
+// (types.ColVec fields, prel.Batch.Cols, Segment.ColVecs calls) and by
+// fields declared with a `prefdb:col-view` marker.
 var ScratchAlias = &Analyzer{
 	Name: "scratchalias",
-	Doc:  "selection vectors, segScratch buffers and arena tuples must not escape their operator without a copy; segment views may escape but not be written through",
+	Doc:  "selection vectors, segScratch buffers and arena tuples must not escape their operator without a copy; segment views and borrowed column vectors may escape but not be written through",
 	Run:  runScratchAlias,
 }
 
@@ -51,7 +60,15 @@ const (
 	// immutable shared storage that may escape freely but must never be
 	// written through.
 	trackSegView
+	// trackColView marks borrowed column vectors (`prefdb:col-view`):
+	// typed slices aliasing segment storage, same rule as segment views —
+	// escape freely, never write through.
+	trackColView
 )
+
+// isView reports whether k names shared read-only storage, exempt from the
+// escape rules but protected against writes.
+func isView(k trackKind) bool { return k == trackSegView || k == trackColView }
 
 // blessedFields are the scratch fields a derived value may be stored back
 // into, keyed by receiver type name.
@@ -105,15 +122,22 @@ func runScratchAlias(pass *Pass) error {
 				return
 			}
 			for i, lhs := range x.Lhs {
-				// Writing through a segment view mutates storage every
-				// reader of the store shares.
-				if idx, ok := lhs.(*ast.IndexExpr); ok && classify(idx.X) == trackSegView {
-					if _, ok := pass.Marker(x.Pos(), "alias-ok"); ok {
+				// Writing through a segment view or a borrowed column
+				// vector mutates storage every reader of the store shares.
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					if k := classify(idx.X); isView(k) {
+						if _, ok := pass.Marker(x.Pos(), "alias-ok"); ok {
+							continue
+						}
+						if k == trackColView {
+							pass.Reportf(x.Pos(),
+								"borrowed column vector written through; column storage is shared by concurrent readers (prefdb:col-view)")
+						} else {
+							pass.Reportf(x.Pos(),
+								"segment view written through; segment storage is immutable and shared (prefdb:segment-view)")
+						}
 						continue
 					}
-					pass.Reportf(x.Pos(),
-						"segment view written through; segment storage is immutable and shared (prefdb:segment-view)")
-					continue
 				}
 				sel, ok := lhs.(*ast.SelectorExpr)
 				if !ok {
@@ -124,7 +148,7 @@ func runScratchAlias(pass *Pass) error {
 					continue
 				}
 				k := classify(x.Rhs[i])
-				if k == trackNone || k == trackSegView {
+				if k == trackNone || isView(k) {
 					continue
 				}
 				recvName, _ := namedOf(selection.Recv())
@@ -139,7 +163,7 @@ func runScratchAlias(pass *Pass) error {
 					kindNoun(k), recvName, sel.Sel.Name)
 			}
 		case *ast.SendStmt:
-			if k := classify(x.Value); k != trackNone && k != trackSegView {
+			if k := classify(x.Value); k != trackNone && !isView(k) {
 				if _, ok := pass.Marker(x.Pos(), "alias-ok"); ok {
 					return
 				}
@@ -165,6 +189,8 @@ func kindNoun(k trackKind) string {
 		return "arena tuple"
 	case trackSegView:
 		return "segment view"
+	case trackColView:
+		return "borrowed column vector"
 	}
 	return "selection-vector/scratch slice"
 }
@@ -192,14 +218,23 @@ func classifyExpr(pass *Pass, tracked map[types.Object]trackKind, e ast.Expr) tr
 			return trackScratch
 		case recvName == "segScratch" && (x.Sel.Name == "sel" || x.Sel.Name == "scores"):
 			return trackScratch
+		// Every typed slice of a ColVec is a borrowed window of segment
+		// storage, as is a columnar batch's vector set (prefdb:col-view).
+		case recvName == "ColVec" && recvPkg == "types":
+			return trackColView
+		case recvName == "Batch" && recvPkg == "prel" && x.Sel.Name == "Cols":
+			return trackColView
 		}
-		// Fields declared with a `prefdb:segment-view` marker hand out
-		// immutable shared storage (only visible when the declaring
+		// Fields declared with a `prefdb:segment-view` or `prefdb:col-view`
+		// marker hand out shared storage (only visible when the declaring
 		// package is the one under analysis — cross-package reads go
-		// through accessors like Segment.Tuple, matched below).
+		// through the type- and accessor-based matches above and below).
 		if obj := selection.Obj(); obj != nil {
 			if _, ok := pass.Marker(obj.Pos(), "segment-view"); ok {
 				return trackSegView
+			}
+			if _, ok := pass.Marker(obj.Pos(), "col-view"); ok {
+				return trackColView
 			}
 		}
 		return trackNone
@@ -216,19 +251,24 @@ func classifyExpr(pass *Pass, tracked map[types.Object]trackKind, e ast.Expr) tr
 			}
 		}
 		// Segment.Tuple hands out a shared immutable row view over the
-		// segment's decode arena (`prefdb:segment-view`).
-		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Tuple" {
+		// segment's decode arena (`prefdb:segment-view`); Segment.ColVecs
+		// hands out borrowed typed windows of the same storage
+		// (`prefdb:col-view`).
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Tuple" || sel.Sel.Name == "ColVecs") {
 			if recvName, _ := NamedType(pass.TypesInfo, sel.X); recvName == "Segment" {
+				if sel.Sel.Name == "ColVecs" {
+					return trackColView
+				}
 				return trackSegView
 			}
 		}
 		return trackNone
 	case *ast.IndexExpr:
-		// Indexing a segment view container (e.g. the marked tuples
-		// field) yields another shared view; other tracked kinds index
-		// to scalars, which copy.
-		if classifyExpr(pass, tracked, x.X) == trackSegView {
-			return trackSegView
+		// Indexing a shared-view container (the marked tuples field, a
+		// batch's Cols, ColVecs scratch) yields another shared view; other
+		// tracked kinds index to scalars, which copy.
+		if k := classifyExpr(pass, tracked, x.X); isView(k) {
+			return k
 		}
 		return trackNone
 	default:

@@ -2,7 +2,10 @@
 // buffers must not escape their operator without a copy.
 package scratchalias
 
-import "prefdb/internal/prel"
+import (
+	"prefdb/internal/prel"
+	"prefdb/internal/types"
+)
 
 // segScratch is a stand-in for the executor's per-caller scratch; the
 // analyzer matches it by type name.
@@ -94,4 +97,45 @@ func badViewWriteChain(s *Segment) {
 // badViewWriteField mutates through the marked field itself.
 func badViewWriteField(s *Segment) {
 	s.tuples[0][1] = 5 // want `segment view written through`
+}
+
+// colOp carries a field declared under the borrowed-vector marker; the
+// analyzer matches it the same way cross-package code matches types.ColVec.
+type colOp struct {
+	// prefdb:col-view borrowed from the segment for the batch's lifetime
+	ints []int64
+	keep types.ColVec
+}
+
+// goodColRead reads through a borrowed column vector: clean — that is what
+// the direct-on-column kernels do.
+func goodColRead(b *prel.Batch) int64 { return b.Cols[0].Ints[3] }
+
+// goodColStash parks borrowed vectors in operator state: borrowing is the
+// point of the contract; only writes are forbidden.
+func goodColStash(o *colOp, b *prel.Batch) { o.keep = b.Cols[0] }
+
+// goodColSend ships a read-only vector across a goroutine boundary: clean.
+func goodColSend(v types.ColVec, ch chan []float64) { ch <- v.Floats }
+
+// badColWrite mutates segment storage through the batch's vector set.
+func badColWrite(b *prel.Batch) {
+	b.Cols[0].Ints[1] = 9 // want `borrowed column vector written through`
+}
+
+// badColWriteChain mutates through a local-variable-and-slice chain.
+func badColWriteChain(v types.ColVec) {
+	codes := v.Codes[1:]
+	codes[0] = 7 // want `borrowed column vector written through`
+}
+
+// badColWriteMarked mutates through the marked field.
+func badColWriteMarked(o *colOp) {
+	o.ints[2] = 5 // want `borrowed column vector written through`
+}
+
+// sanctionedColWrite documents a vector that is fixture-local scratch, not
+// a real borrow.
+func sanctionedColWrite(v types.ColVec) {
+	v.Bools[0] = true // prefdb:alias-ok vector built locally for the test, no segment behind it
 }

@@ -40,6 +40,12 @@ func (o *Optimizer) annotateSegments(n algebra.Node) algebra.Node {
 		cp := *scan
 		cp.SegCount = segments
 		cp.SegSkip = skipped
+		// Direct-column eligibility: the filter compiled at least one
+		// kernel that runs on borrowed segment vectors, so a colstore
+		// scan in direct mode evaluates it without materializing rows.
+		if c, err := expr.CompileCondition(sel.Cond, s, o.Funcs); err == nil && c.CanFilterCols() {
+			cp.DirectCol = true
+		}
 		return &algebra.Select{Cond: sel.Cond, Input: &cp}
 	})
 }

@@ -61,6 +61,11 @@ func TestAnnotateSegments(t *testing.T) {
 	if !strings.Contains(after, "[segments 3 skip≈2]") {
 		t.Fatalf("plan missing zone-map annotation, got:\n%s", after)
 	}
+	// The pushed-down int comparison compiles to a direct-column kernel,
+	// so the same scan advertises the direct path.
+	if !strings.Contains(after, "[direct-col]") {
+		t.Fatalf("plan missing direct-col annotation, got:\n%s", after)
+	}
 
 	// DML invalidates the store; the stale annotation must disappear until
 	// a colstore scan rebuilds it.

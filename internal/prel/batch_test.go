@@ -3,6 +3,7 @@ package prel
 import (
 	"testing"
 
+	"prefdb/internal/debug"
 	"prefdb/internal/types"
 )
 
@@ -60,11 +61,49 @@ func TestBatchSCIsPrivate(t *testing.T) {
 	src := batchRow(1, 0.5)
 	b := NewBatch(1)
 	b.FillRows([]Row{src})
-	b.SC[0] = types.SC{Known: true, Score: 0.9, Conf: 1}
+	b.SetSC(0, types.SC{Known: true, Score: 0.9, Conf: 1})
 	if src.SC.Score != 0.5 {
 		t.Fatalf("mutating batch SC column changed the source row: %+v", src.SC)
 	}
 	if got := b.Row(0).SC.Score; got != 0.9 {
 		t.Fatalf("batch SC column lost the kernel's write: %v", got)
+	}
+}
+
+// TestColumnarBorrowCanary pins both flavors of the prefdb:col-view
+// contract check: under prefdbdebug a kernel that writes through a
+// borrowed column vector panics at Reset (the end of the borrow); in
+// normal builds the check compiles away and Reset just clears the form.
+func TestColumnarBorrowCanary(t *testing.T) {
+	mk := func() (*Batch, []types.ColVec) {
+		cols := []types.ColVec{{Ints: []int64{10, 20, 30}}}
+		view := [][]types.Value{
+			{types.Int(10)}, {types.Int(20)}, {types.Int(30)},
+		}
+		b := NewBatch(3)
+		b.SetColumnar(cols, view)
+		b.Sel = append(b.Sel, 0, 1, 2)
+		b.Check()
+		return b, cols
+	}
+
+	b, _ := mk()
+	if !b.Columnar() || b.Cap() != 3 || b.Live() != 3 {
+		t.Fatalf("columnar batch shape: columnar=%v cap=%d live=%d", b.Columnar(), b.Cap(), b.Live())
+	}
+	b.Reset() // clean borrow: never panics in either flavor
+	if b.Columnar() {
+		t.Fatal("Reset left the batch columnar")
+	}
+
+	b, cols := mk()
+	cols[0].Ints[1] = 999 // prefdb:alias-ok canary deliberately mutates the borrow to arm the debug check
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		b.Reset()
+		return
+	}()
+	if panicked != debug.Enabled {
+		t.Fatalf("mutated borrow: panicked=%v, want %v (debug.Enabled)", panicked, debug.Enabled)
 	}
 }

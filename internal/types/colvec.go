@@ -1,0 +1,22 @@
+package types
+
+// ColVec is one attribute of a columnar batch: borrowed windows of the
+// typed vectors a colstore segment holds (exactly one of Ints / Floats /
+// Codes / Bools set for a typed column, all nil for a Raw-encoded one).
+// Indices are batch-local: the ColVec slices, the batch's decoded row
+// views and its selection vector all address the same 0..Cap window.
+//
+// Borrowed-vector contract (prefdb:col-view): every slice aliases
+// segment storage shared by concurrent readers. Kernels may only read;
+// writing through a ColVec corrupts the store for every other query.
+// The scratchalias analyzer enforces this statically, and prefdbdebug
+// builds fingerprint the vectors when a batch borrows them and re-check
+// on reuse.
+type ColVec struct {
+	Ints   []int64 // prefdb:col-view
+	Floats []float64
+	Codes  []int32  // dictionary codes (string columns)
+	Dict   []string // segment dictionary the Codes index into
+	Bools  []bool
+	Nulls  []bool // nil when the window has no NULLs
+}
