@@ -65,6 +65,12 @@ type Project struct {
 type Join struct {
 	Cond        expr.Node
 	Left, Right Node
+	// DirectJoin marks that the join qualifies for direct-on-column
+	// execution: an equi-join whose probe side is a colstore-backed scan
+	// with typed key vectors, so the hash probe runs on borrowed segment
+	// vectors and materializes row views only for matching tuples
+	// (EXPLAIN renders `[direct-join]`).
+	DirectJoin bool
 }
 
 // SetOp enumerates the extended set operations.
@@ -259,13 +265,19 @@ func (p *Project) String() string {
 func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
 func (j *Join) WithChildren(c []Node) Node {
 	mustArity(c, 2)
-	return &Join{Cond: j.Cond, Left: c[0], Right: c[1]}
+	cp := *j // preserve the direct-join annotation across plan rewrites
+	cp.Left, cp.Right = c[0], c[1]
+	return &cp
 }
 func (j *Join) String() string {
-	if j.Cond == nil {
-		return "Join(cross)"
+	var suffix string
+	if j.DirectJoin {
+		suffix = " [direct-join]"
 	}
-	return fmt.Sprintf("Join(%s)", j.Cond)
+	if j.Cond == nil {
+		return "Join(cross)" + suffix
+	}
+	return fmt.Sprintf("Join(%s)%s", j.Cond, suffix)
 }
 
 func (s *Set) Children() []Node { return []Node{s.Left, s.Right} }

@@ -1,0 +1,87 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"prefdb/internal/expr"
+)
+
+// AggFn enumerates the grouped-aggregation functions.
+type AggFn uint8
+
+const (
+	// AggCount counts non-NULL values of the argument column.
+	AggCount AggFn = iota
+	// AggSum adds numeric values (NULL and non-numeric values are
+	// skipped; an all-skipped group sums to NULL). The sum stays exact
+	// int64 while every contributing value is an INT and switches to
+	// float64 arithmetic on the first FLOAT, matching expression
+	// evaluation's numeric widening.
+	AggSum
+	// AggMin / AggMax keep the extreme value under types.Compare,
+	// skipping NULLs and incomparable values.
+	AggMin
+	AggMax
+)
+
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	default:
+		return "max"
+	}
+}
+
+// AggSpec is one output aggregate: Fn over Col, named As in the output
+// schema.
+type AggSpec struct {
+	Fn  AggFn
+	Col expr.Col
+	As  string
+}
+
+func (a AggSpec) String() string { return fmt.Sprintf("%s(%s) AS %s", a.Fn, a.Col, a.As) }
+
+// GroupAgg is grouped aggregation γ_{By;Aggs} over a p-relation: one
+// output tuple per distinct combination of the By columns (first-seen
+// order), carrying the group key followed by the aggregate values. The
+// score-confidence pair does not aggregate — every output tuple gets the
+// unknown pair ⟨⊥,0⟩, like the paper's non-preference operators that
+// construct new tuples rather than filter existing ones.
+type GroupAgg struct {
+	By    []expr.Col
+	Aggs  []AggSpec
+	Input Node
+	// DirectAgg marks that the aggregation can key and accumulate
+	// straight off a colstore scan's column vectors (EXPLAIN renders
+	// `[direct-agg]`).
+	DirectAgg bool
+}
+
+func (g *GroupAgg) Children() []Node { return []Node{g.Input} }
+func (g *GroupAgg) WithChildren(c []Node) Node {
+	mustArity(c, 1)
+	cp := *g // preserve the direct-agg annotation across plan rewrites
+	cp.Input = c[0]
+	return &cp
+}
+func (g *GroupAgg) String() string {
+	parts := make([]string, 0, len(g.By)+len(g.Aggs))
+	for _, c := range g.By {
+		parts = append(parts, c.String())
+	}
+	for _, a := range g.Aggs {
+		parts = append(parts, a.String())
+	}
+	var suffix string
+	if g.DirectAgg {
+		suffix = " [direct-agg]"
+	}
+	return fmt.Sprintf("GroupAgg(%s)%s", strings.Join(parts, ", "), suffix)
+}

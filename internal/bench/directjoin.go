@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"prefdb/internal/engine"
+	"prefdb/internal/schema"
+	"prefdb/internal/types"
+)
+
+// directJoinBaseRows sizes the probe relation of the E17 sweep at scale
+// 1.0 (the 1M-row ceiling of the issue's acceptance sweep; |R| points run
+// at /100, /10 and ×1 of this).
+const directJoinBaseRows = 1_000_000
+
+// directJoinGroups is the key cardinality of the probe side: the build
+// table holds a subset of these keys, so join selectivity is the subset
+// fraction.
+const directJoinGroups = 1000
+
+// directJoinSelectivities sweeps the fraction of probe rows with a build
+// match: the low points are where materialize-at-probe wastes the most
+// work (every probe row decoded, almost none joins), 0.5 is the
+// convergence check.
+var directJoinSelectivities = []float64{0.001, 0.01, 0.1, 0.5}
+
+// directJoinDB builds the E17 pair: a segment-scale probe table whose int
+// and string join keys are run-friendly (constant over stretches, so the
+// store run-length-encodes them and the RLE hash kernels engage) and a
+// small heap-side build table holding `int(sel*groups)` of the group keys.
+func directJoinDB(rows int, sel float64) (*engine.DB, error) {
+	db := engine.Open()
+	tbl, err := db.Catalog().CreateTable("events", schema.New(
+		schema.Column{Name: "id", Kind: types.KindInt},
+		schema.Column{Name: "grp", Kind: types.KindInt},
+		schema.Column{Name: "tier", Kind: types.KindString},
+		schema.Column{Name: "year", Kind: types.KindInt},
+	).WithKey("id"))
+	if err != nil {
+		return nil, err
+	}
+	// Keys are constant for runs of rows/groups consecutive rows; group g
+	// occupies one contiguous stretch, so selecting the first k groups on
+	// the build side selects a k/groups fraction of probe rows.
+	runLen := rows / directJoinGroups
+	if runLen < 1 {
+		runLen = 1
+	}
+	for i := 0; i < rows; i++ {
+		g := i / runLen % directJoinGroups
+		year := 1970 + (i*37)%42
+		err := tbl.Insert([]types.Value{
+			types.Int(int64(i)), types.Int(int64(g)),
+			types.Str(fmt.Sprintf("tier-%d", g)), types.Int(int64(year)),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dims, err := db.Catalog().CreateTable("dims", schema.New(
+		schema.Column{Name: "d_key", Kind: types.KindInt},
+		schema.Column{Name: "d_tier", Kind: types.KindString},
+		schema.Column{Name: "weight", Kind: types.KindInt},
+	).WithKey("d_key"))
+	if err != nil {
+		return nil, err
+	}
+	keys := int(sel * directJoinGroups)
+	if keys < 1 {
+		keys = 1
+	}
+	for k := 0; k < keys; k++ {
+		err := dims.Insert([]types.Value{
+			types.Int(int64(k)), types.Str(fmt.Sprintf("tier-%d", k)), types.Int(int64(k % 7)),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// --- E17: direct-column hash join (PR 9) ---
+
+// runDirectJoin sweeps |R| × join selectivity × key family over the
+// dims⋈events→prefer→top-k shape, comparing materialize-at-probe ("rows":
+// the probe side packs row views at the scan, the join hashes tuples)
+// against the direct-column join ("direct": probe batches stay columnar to
+// the hash lookup — key hashes computed straight off int vectors,
+// dictionary codes or RLE runs — and only rows with at least one build
+// match become row views). Expected shape: the direct arm wins by a
+// multiple at selectivity ≤0.01, where RowsMaterialized collapses from
+// |probe| to the match count, and converges toward parity at 0.5. Both
+// arms share the store, zone maps and the batch executor, so the delta
+// isolates the join-boundary materialization change.
+func runDirectJoin(ctx context.Context, e *Env, w io.Writer, repeats int) error {
+	maxRows := int(directJoinBaseRows * e.Scale)
+	if maxRows < 4000 {
+		maxRows = 4000
+	}
+	header(w, "|R|", "sel", "key", "path", "time", "rows", "scanned", "materialized", "probeBatches", "speedup-vs-rows")
+	for _, rows := range []int{maxRows / 100, maxRows / 10, maxRows} {
+		if rows < 1000 {
+			rows = 1000
+		}
+		for _, sel := range directJoinSelectivities {
+			db, err := directJoinDB(rows, sel)
+			if err != nil {
+				return err
+			}
+			db.Workers = e.Workers
+			// Warm the store: the sweep measures joins, not compaction.
+			if t, tErr := db.Catalog().Table("events"); tErr == nil {
+				t.WaitCompaction()
+				t.ColStore()
+			}
+			for _, key := range []struct {
+				label string
+				on    string
+			}{
+				{"int", "dims.d_key = events.grp"},
+				{"string", "dims.d_tier = events.tier"},
+			} {
+				sql := fmt.Sprintf(`SELECT id FROM dims JOIN events ON %s
+					PREFERRING year >= 2000 SCORE recency(year, 2011) CONF 0.9 ON events
+					USING sum TOP 10 BY score`, key.on)
+				prep, err := db.Prepare(sql)
+				if err != nil {
+					return fmt.Errorf("rows=%d sel=%g %s: %w", rows, sel, key.label, err)
+				}
+				baseline := 0.0
+				for _, arm := range []struct {
+					label string
+					mode  engine.ColstoreMode
+				}{{"rows", engine.ColstoreRows}, {"direct", engine.ColstoreOn}} {
+					m, err := MeasurePrepared(ctx, prep, repeats,
+						engine.WithMode(engine.ModeNative), engine.WithScoreCache(engine.CacheOff),
+						engine.WithBatch(engine.BatchOn), engine.WithColstore(arm.mode))
+					if err != nil {
+						return fmt.Errorf("rows=%d sel=%g %s %s: %w", rows, sel, key.label, arm.label, err)
+					}
+					ms := float64(m.Duration.Microseconds()) / 1000
+					speedup := 0.0
+					if arm.label == "rows" {
+						baseline = ms
+					} else if ms > 0 {
+						speedup = baseline / ms
+					}
+					speedupCell := "–"
+					if speedup > 0 {
+						speedupCell = fmt.Sprintf("%.2fx", speedup)
+					}
+					fmt.Fprintf(w, "%d\t%.3f\t%s\t%s\t%.2fms\t%d\t%d\t%d\t%d\t%s\n",
+						rows, sel, key.label, arm.label, ms, m.Rows, m.Stats.RowsScanned,
+						m.Stats.RowsMaterialized, m.Stats.JoinProbeBatches, speedupCell)
+					e.RecordPoint(Point{
+						Experiment:       "directjoin",
+						Label:            fmt.Sprintf("rows=%d sel=%.3f %s %s", rows, sel, key.label, arm.label),
+						TableRows:        rows,
+						Selectivity:      sel,
+						Millis:           ms,
+						ResultRows:       m.Rows,
+						PreferEvals:      m.Stats.PreferEvals,
+						ScoreEvals:       m.Stats.ScoreEvals,
+						Batch:            "on",
+						Batches:          m.Stats.Batches,
+						Speedup:          speedup,
+						Colstore:         arm.mode.String(),
+						SegmentsScanned:  m.Stats.SegmentsScanned,
+						SegmentsSkipped:  m.Stats.SegmentsSkipped,
+						Predicate:        key.label,
+						ColBatches:       m.Stats.ColBatches,
+						RowsMaterialized: m.Stats.RowsMaterialized,
+						JoinProbeBatches: m.Stats.JoinProbeBatches,
+					})
+				}
+			}
+		}
+	}
+	return nil
+}

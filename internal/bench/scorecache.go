@@ -44,6 +44,9 @@ type Point struct {
 	Predicate        string `json:"predicate,omitempty"`
 	ColBatches       int    `json:"colBatches,omitempty"`
 	RowsMaterialized int    `json:"rowsMaterialized,omitempty"`
+	// Direct-join field (E17): probe-side batches the hash join consumed
+	// (0 off the batch join path).
+	JoinProbeBatches int `json:"joinProbeBatches,omitempty"`
 	// Server-load fields (E15): concurrent client sessions and the
 	// throughput / tail-latency profile of the wire-protocol server.
 	Sessions  int     `json:"sessions,omitempty"`

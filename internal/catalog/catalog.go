@@ -30,6 +30,12 @@ type Table struct {
 	colMu sync.Mutex
 	col   *colstore.Store // prefdb:guarded-by colMu
 
+	// colDict is the table-level shared string dictionary every columnar
+	// build interns through (lazy and background alike), so dictionary
+	// codes stay comparable across segments and across rebuilds. It has
+	// its own lock — the background builder interns off colMu.
+	colDict *colstore.TableDict
+
 	// version counts DML batches applied to the table; cross-query caches
 	// (e.g. the engine's prepared-statement score dictionaries) snapshot it
 	// and discard their entries when it moves.
@@ -215,6 +221,7 @@ func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
 		Heap:     storage.NewHeap(s.Rename(key)),
 		hashIdx:  map[string]*storage.HashIndex{},
 		btreeIdx: map[string]*storage.BTreeIndex{},
+		colDict:  colstore.NewTableDict(),
 	}
 	t.autoCompact.Store(c.autoCompact)
 	c.tables[key] = t
@@ -297,7 +304,7 @@ func (t *Table) ColStore() *colstore.Store {
 	t.colMu.Lock()
 	defer t.colMu.Unlock()
 	if v := t.Version(); t.col == nil || t.col.Version != v {
-		t.col = colstore.Build(t.Heap, v)
+		t.col = colstore.BuildShared(t.Heap, v, t.colDict)
 	}
 	return t.col
 }

@@ -113,7 +113,12 @@ func (t *Table) maybeCompactAsync() {
 	go func() {
 		defer t.compactWG.Done()
 		defer t.compacting.Store(false)
-		st := colstore.Build(snap, v)
+		// Interning through the shared table dictionary keeps the
+		// background build's codes compatible with every store the lazy
+		// path builds — the dictionary is append-only and internally
+		// locked, so a concurrent lazy build is safe and both arrive at
+		// the same code for the same string.
+		st := colstore.BuildShared(snap, v, t.colDict)
 		t.colMu.Lock()
 		// Version-guarded install: discard the build if DML moved the
 		// table, or if a lazy ColStore call already produced a store at

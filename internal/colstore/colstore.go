@@ -14,6 +14,7 @@ package colstore
 
 import (
 	"math/bits"
+	"sort"
 
 	"prefdb/internal/debug"
 	"prefdb/internal/schema"
@@ -32,6 +33,15 @@ const SegmentPages = 16
 // int64s, halving (or better) its footprint. Wider spans stay on Ints —
 // past 32 bits the space saving no longer pays for the unpack.
 const packMaxWidth = 32
+
+// rleMinRun is the acceptance threshold for run-length encoding: an int or
+// code vector trades its dense form for runs only when the average run is
+// at least this long (run count ≪ length), so run-aware kernels that
+// evaluate once per run always amortize over many rows. The builder
+// attempts the encoding only on columns whose zone map is Valid (a typed
+// column with live non-null values — the same metadata that drives
+// pruning and pack widths).
+const rleMinRun = 8
 
 // BlockSource is the page-oriented view of row storage the compactor
 // consumes: *storage.Heap satisfies it directly, and the catalog's
@@ -79,6 +89,16 @@ type Column struct {
 	Packed []uint64 // bit-packed int vector (replaces Ints when set)
 	Width  uint8    // bits per packed value, in (0, packMaxWidth]
 	Base   int64    // frame of reference: value = Base + packed bits
+
+	// Run-length encoding (replaces Ints or Codes when the column's run
+	// count is ≪ its length; see rleMinRun): RunVals/RunCodes hold one
+	// value per run, RunEnds the run's exclusive end slot. Dead and NULL
+	// slots are absorbed into the enclosing run — they decode as the run's
+	// value, which never surfaces because the bitmaps guard every read,
+	// exactly as with the zero filler of dense vectors.
+	RunVals  []int64
+	RunCodes []int32 // code runs of a string column (with Dict)
+	RunEnds  []int32
 }
 
 // Value decodes the cell at slot i back into a scalar. Decoding is exact:
@@ -97,15 +117,25 @@ func (c *Column) Value(i int) types.Value {
 		return types.Int(c.Ints[i])
 	case c.Packed != nil:
 		return types.Int(c.Base + int64(c.packedBits(i)))
+	case c.RunVals != nil:
+		return types.Int(c.RunVals[c.runOf(i)])
 	case c.Floats != nil:
 		return types.Float(c.Floats[i])
 	case c.Codes != nil:
 		return types.Str(c.Dict[c.Codes[i]])
+	case c.RunCodes != nil:
+		return types.Str(c.Dict[c.RunCodes[c.runOf(i)]])
 	case c.Bools != nil:
 		return types.Bool(c.Bools[i])
 	default:
 		return types.Null()
 	}
+}
+
+// runOf locates the run covering slot i by binary search over the run
+// ends (runs are contiguous and cover every slot).
+func (c *Column) runOf(i int) int {
+	return sort.Search(len(c.RunEnds), func(k int) bool { return c.RunEnds[k] > int32(i) })
 }
 
 // packedBits extracts the Width-bit word of slot i (which may straddle a
@@ -183,6 +213,93 @@ func (c *Column) packInts(seg *Segment) {
 	}
 }
 
+// runLength builds the run decomposition of a dense vector: one entry per
+// maximal run of equal live non-null values, with dead and NULL slots
+// absorbed into the enclosing run (leading ones into the first run). It
+// returns nil when the column has no live non-null slot or when the run
+// count misses the rleMinRun acceptance threshold.
+func runLength[T comparable](vec []T, nulls []bool, seg *Segment) (vals []T, ends []int32) {
+	open := false
+	var cur T
+	for i, v := range vec {
+		if (nulls != nil && nulls[i]) || seg.Dead(i) {
+			continue
+		}
+		if !open {
+			open, cur = true, v
+			continue
+		}
+		if v != cur {
+			vals = append(vals, cur)
+			ends = append(ends, int32(i))
+			cur = v
+			if len(vals)*rleMinRun > seg.Rows {
+				return nil, nil // too many runs already: keep the dense form
+			}
+		}
+	}
+	if !open {
+		return nil, nil
+	}
+	vals = append(vals, cur)
+	ends = append(ends, int32(seg.Rows))
+	if len(vals)*rleMinRun > seg.Rows {
+		return nil, nil
+	}
+	return vals, ends
+}
+
+// runLengthInts trades an eligible int vector for the run-length encoding.
+// The round-trip is exact for every live non-null slot (asserted in
+// prefdbdebug builds, like the bit-packed widths).
+func (c *Column) runLengthInts(seg *Segment) {
+	if c.Ints == nil || !c.Zone.Valid {
+		return
+	}
+	vals, ends := runLength(c.Ints, c.Nulls, seg)
+	if vals == nil {
+		return
+	}
+	ints := c.Ints
+	c.RunVals, c.RunEnds = vals, ends
+	c.Ints = nil
+	if debug.Enabled {
+		for i, v := range ints {
+			if (c.Nulls != nil && c.Nulls[i]) || seg.Dead(i) {
+				continue
+			}
+			debug.Assertf(c.RunVals[c.runOf(i)] == v,
+				"RLE int round-trip failed at slot %d: run value %d, want %d (%d runs)",
+				i, c.RunVals[c.runOf(i)], v, len(c.RunVals))
+		}
+	}
+}
+
+// runLengthCodes trades an eligible dictionary-code vector for the
+// run-length encoding; Dict is shared with the dense form it replaces.
+func (c *Column) runLengthCodes(seg *Segment) {
+	if c.Codes == nil || !c.Zone.Valid {
+		return
+	}
+	vals, ends := runLength(c.Codes, c.Nulls, seg)
+	if vals == nil {
+		return
+	}
+	codes := c.Codes
+	c.RunCodes, c.RunEnds = vals, ends
+	c.Codes = nil
+	if debug.Enabled {
+		for i, v := range codes {
+			if (c.Nulls != nil && c.Nulls[i]) || seg.Dead(i) {
+				continue
+			}
+			debug.Assertf(c.RunCodes[c.runOf(i)] == v,
+				"RLE code round-trip failed at slot %d: run code %d, want %d (%d runs)",
+				i, c.RunCodes[c.runOf(i)], v, len(c.RunCodes))
+		}
+	}
+}
+
 // Segment is an immutable page-aligned slab of rows in columnar layout.
 type Segment struct {
 	FirstPage int // heap page ordinal of the first covered page
@@ -239,6 +356,19 @@ func (s *Segment) ColVecs(lo, hi int, vecs []types.ColVec, scratch [][]int64) []
 			v.Dict = c.Dict
 		case c.Bools != nil:
 			v.Bools = c.Bools[lo:hi]
+		case c.RunEnds != nil:
+			// Run-length window: alias the runs overlapping [lo, hi). Ends
+			// stay segment-relative; RunBase maps batch-local slots back.
+			f := c.runOf(lo)
+			l := c.runOf(hi - 1)
+			v.RunEnds = c.RunEnds[f : l+1]
+			v.RunBase = int32(lo)
+			if c.RunVals != nil {
+				v.RunVals = c.RunVals[f : l+1]
+			} else {
+				v.RunCodes = c.RunCodes[f : l+1]
+				v.Dict = c.Dict
+			}
 		}
 		if c.Nulls != nil && c.Raw == nil {
 			v.Nulls = c.Nulls[lo:hi]
@@ -270,6 +400,16 @@ func (st *Store) Live() int {
 // serializes writes per table (the lazy first-scan build), or the caller
 // hands in a stable snapshot (the catalog's background builder).
 func Build(h BlockSource, version uint64) *Store {
+	return BuildShared(h, version, nil)
+}
+
+// BuildShared is Build with a table-level shared string dictionary: every
+// string column's codes are drawn from dict (when non-nil), so segments of
+// this build — and of every other build over the same dict, including the
+// background compactor's — agree on what each code means. Kernels may then
+// compare codes across segments directly. A nil dict falls back to
+// per-segment dictionaries.
+func BuildShared(h BlockSource, version uint64, dict *TableDict) *Store {
 	st := &Store{Version: version}
 	sealed := h.Blocks()
 	if sealed > 0 {
@@ -283,14 +423,14 @@ func Build(h BlockSource, version uint64) *Store {
 		if last > sealed {
 			last = sealed
 		}
-		if seg := buildSegment(h, h.Schema(), first, last); seg != nil {
+		if seg := buildSegment(h, h.Schema(), first, last, dict); seg != nil {
 			st.Segments = append(st.Segments, seg)
 		}
 	}
 	return st
 }
 
-func buildSegment(h BlockSource, s *schema.Schema, first, last int) *Segment {
+func buildSegment(h BlockSource, s *schema.Schema, first, last int, dict *TableDict) *Segment {
 	seg := &Segment{FirstPage: first}
 	for p := first; p < last; p++ {
 		rows, _, live := h.Block(p)
@@ -315,7 +455,7 @@ func buildSegment(h BlockSource, s *schema.Schema, first, last int) *Segment {
 	}
 	seg.Cols = make([]Column, s.Len())
 	for ord := range seg.Cols {
-		buildColumn(h, &seg.Cols[ord], s.Columns[ord].Kind, first, last, ord, seg)
+		buildColumn(h, &seg.Cols[ord], s.Columns[ord].Kind, first, last, ord, seg, dict)
 	}
 	seg.decodeTuples(s.Len())
 	return seg
@@ -324,8 +464,11 @@ func buildSegment(h BlockSource, s *schema.Schema, first, last int) *Segment {
 // buildColumn encodes one attribute of the segment's row range. It tries
 // the typed vector matching the declared kind; any live non-null cell of a
 // different kind demotes the whole column to the Raw encoding so decoding
-// stays exact.
-func buildColumn(h BlockSource, c *Column, kind types.Kind, first, last, ord int, seg *Segment) {
+// stays exact. String codes come from the shared table dictionary when one
+// is provided (with a segment-local front cache, so the dictionary lock is
+// taken once per distinct string); int and code vectors then trade for the
+// run-length or bit-packed encodings when eligible.
+func buildColumn(h BlockSource, c *Column, kind types.Kind, first, last, ord int, seg *Segment, shared *TableDict) {
 	c.Kind = kind
 	typed := kind == types.KindInt || kind == types.KindFloat || kind == types.KindString || kind == types.KindBool
 	if typed {
@@ -392,8 +535,12 @@ func buildColumn(h BlockSource, c *Column, kind types.Kind, first, last, ord int
 				sv := v.AsString()
 				code, ok := dict[sv]
 				if !ok {
-					code = int32(len(c.Dict))
-					c.Dict = append(c.Dict, sv)
+					if shared != nil {
+						code = shared.intern(ord, sv)
+					} else {
+						code = int32(len(c.Dict))
+						c.Dict = append(c.Dict, sv)
+					}
 					dict[sv] = code
 				}
 				c.Codes[slot] = code
@@ -408,8 +555,18 @@ func buildColumn(h BlockSource, c *Column, kind types.Kind, first, last, ord int
 	// harmless (dead slots are never decoded into results) and keeps the
 	// encode loop branch-light.
 	c.Zone.Valid = c.Zone.NonNull > 0
-	if kind == types.KindInt {
-		c.packInts(seg)
+	if kind == types.KindString && shared != nil {
+		// Publish the shared dictionary snapshot covering every code this
+		// segment assigned (it may also cover codes other segments use —
+		// the whole point of sharing).
+		c.Dict = shared.snapshot(ord)
+	}
+	switch kind {
+	case types.KindInt:
+		c.runLengthInts(seg)
+		c.packInts(seg) // no-op when RLE claimed the vector
+	case types.KindString:
+		c.runLengthCodes(seg)
 	}
 }
 

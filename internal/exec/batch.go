@@ -31,6 +31,7 @@ import (
 
 	"prefdb/internal/algebra"
 	"prefdb/internal/colstore"
+	"prefdb/internal/debug"
 	"prefdb/internal/expr"
 	"prefdb/internal/pref"
 	"prefdb/internal/prel"
@@ -511,11 +512,29 @@ func (t *thresholdBatch) nextBatch() (*prel.Batch, bool) {
 }
 
 // hashJoinBatch is the vectorized extended hash join: the build side is
-// buffered row-at-a-time (it is buffered state either way), the probe side
-// streams batches, emitting combined rows into a private output batch in
-// the same (probe order, build-insert order) sequence as hashJoinIter.
+// buffered (it is buffered state either way), the probe side streams
+// batches, emitting combined rows into a private output batch in the same
+// (probe order, build-insert order) sequence as hashJoinIter.
+//
+// Both sides run direct-on-column when their batches are columnar with
+// typed key vectors: the build hashes keys straight off the vectors
+// (joinBuildCols) and the probe hashes each batch with expr.HashCols,
+// confirming candidates against the vector slots (expr.KeyEqCols) so a
+// probe row's tuple view is touched only when it actually joins — the
+// late-materialization boundary moves past the join, and only matching
+// probe rows count into Stats.RowsMaterialized.
+//
+// Borrow contract (build side): the bucket table retains key hashes and
+// row views — which alias stable, store-owned tuple arenas — but never
+// types.ColVec windows, which die at the producer's next nextBatch. The
+// scratchalias analyzer enforces this on the prefdb:col-transient marker;
+// prefdbdebug builds additionally re-hash every retained entry from its
+// tuple after the build (debugCheckJoinTable), so a window retained (or a
+// hash computed inconsistently with the row path) is caught at build end,
+// not at a wrong join result.
+// prefdb:col-transient
 type hashJoinBatch struct {
-	left     iter
+	left     batchIter
 	right    batchIter
 	eqL, eqR []int
 	agg      pref.Aggregate
@@ -523,33 +542,76 @@ type hashJoinBatch struct {
 	g        *guard
 	tick     pollTick
 
-	built bool
-	table map[uint64][]prel.Row
-	out   *prel.Batch
+	built  bool
+	table  map[uint64][]prel.Row
+	out    *prel.Batch
+	hashes []uint64
+	bks    expr.KeyScratch // build-side dictionary hash cache
+	pks    expr.KeyScratch // probe-side dictionary hash cache
 }
 
-func (h *hashJoinBatch) nextBatch() (*prel.Batch, bool) {
-	if !h.built {
-		h.table = map[uint64][]prel.Row{}
-		// The build side is buffered state: charge it against the query's
-		// materialization budgets so a runaway build trips before OOM.
-		meter := matTick{g: h.g}
-		for {
-			row, ok := h.left.next()
-			if !ok {
-				break
+// keyHashes returns the per-selected-slot key hashes for a columnar batch,
+// or nil when the key columns lack typed vectors (tuple fallback).
+func (h *hashJoinBatch) keyHashes(b *prel.Batch, keys []int, ks *expr.KeyScratch) []uint64 {
+	if !b.Columnar() {
+		return nil
+	}
+	if cap(h.hashes) < len(b.Sel) {
+		h.hashes = make([]uint64, len(b.Sel))
+	}
+	hs := h.hashes[:len(b.Sel)]
+	if !expr.HashCols(b.Cols, b.Sel, keys, hs, ks) {
+		return nil
+	}
+	return hs
+}
+
+// joinBuildCols drains the build side into the bucket table, hashing the
+// key columns off the vectors when a batch is columnar. The retained rows
+// are the batch's row views (stable storage), so the build side counts
+// fully into RowsMaterialized — it is the buffered state of the join.
+func (h *hashJoinBatch) joinBuildCols() {
+	h.table = map[uint64][]prel.Row{}
+	// The build side is buffered state: charge it against the query's
+	// materialization budgets so a runaway build trips before OOM.
+	meter := matTick{g: h.g}
+	tripped := false
+	for !tripped {
+		b, ok := h.left.nextBatch()
+		if !ok {
+			break
+		}
+		hs := h.keyHashes(b, h.eqL, &h.bks)
+		if b.Columnar() {
+			h.stats.RowsMaterialized += b.Live()
+		}
+		rows := b.Rows()
+		for k, j := range b.Sel {
+			row := prel.Row{Tuple: rows[j], SC: b.SCAt(j)}
+			var key uint64
+			if hs != nil {
+				key = hs[k]
+			} else {
+				key = hashCols(row.Tuple, h.eqL)
 			}
-			key := hashCols(row.Tuple, h.eqL)
 			h.table[key] = append(h.table[key], row)
 			if meter.width == 0 {
 				meter.width = len(row.Tuple) + 2
 			}
 			if meter.row() != nil {
-				break // trip is recorded in the guard; drain surfaces it
+				tripped = true // trip is recorded in the guard; drain surfaces it
+				break
 			}
 		}
-		_ = meter.flush()
-		h.built = true
+	}
+	_ = meter.flush()
+	debugCheckJoinTable(h.table, h.eqL)
+	h.built = true
+}
+
+func (h *hashJoinBatch) nextBatch() (*prel.Batch, bool) {
+	if !h.built {
+		h.joinBuildCols()
 	}
 	for {
 		b, ok := h.right.nextBatch()
@@ -559,30 +621,69 @@ func (h *hashJoinBatch) nextBatch() (*prel.Batch, bool) {
 		if h.tick.stopN(b.Live()) {
 			return nil, false
 		}
+		h.stats.JoinProbeBatches++
 		if h.out == nil {
 			h.out = prel.NewBatch(b.Live())
 		}
 		h.out.Reset()
-		if b.Columnar() {
-			// Probing hashes full tuples, so the probe side materializes.
-			h.stats.RowsMaterialized += b.Live()
-		}
-		rows := b.Rows()
-		for _, j := range b.Sel {
-			rRow := prel.Row{Tuple: rows[j], SC: b.SCAt(j)}
-			key := hashCols(rRow.Tuple, h.eqR)
-			candidates := h.table[key]
-			if len(candidates) == 0 {
-				continue
+		if hs := h.keyHashes(b, h.eqR, &h.pks); hs != nil {
+			// Direct probe: hash and confirm on the vectors; a probe row
+			// materializes (and is counted) only when it joins.
+			var rows [][]types.Value
+			for k, j := range b.Sel {
+				candidates := h.table[hs[k]]
+				if len(candidates) == 0 {
+					continue
+				}
+				matched := false
+				for _, lRow := range candidates {
+					if !expr.KeyEqCols(b.Cols, j, h.eqR, lRow.Tuple, h.eqL) {
+						continue
+					}
+					if !matched {
+						matched = true
+						h.stats.RowsMaterialized++
+						rows = b.Rows()
+					}
+					h.out.Push(combineRows(lRow, prel.Row{Tuple: rows[j], SC: b.SCAt(j)}, h.agg))
+				}
 			}
-			for _, lRow := range candidates {
-				if equalOn(lRow.Tuple, rRow.Tuple, h.eqL, h.eqR) {
-					h.out.Push(combineRows(lRow, rRow, h.agg))
+		} else {
+			if b.Columnar() {
+				// Probing hashes full tuples, so the probe side materializes.
+				h.stats.RowsMaterialized += b.Live()
+			}
+			rows := b.Rows()
+			for _, j := range b.Sel {
+				rRow := prel.Row{Tuple: rows[j], SC: b.SCAt(j)}
+				key := hashCols(rRow.Tuple, h.eqR)
+				for _, lRow := range h.table[key] {
+					if equalOn(lRow.Tuple, rRow.Tuple, h.eqL, h.eqR) {
+						h.out.Push(combineRows(lRow, rRow, h.agg))
+					}
 				}
 			}
 		}
 		if h.out.Live() > 0 {
 			return h.out, true
+		}
+	}
+}
+
+// debugCheckJoinTable re-hashes every retained build-table entry from its
+// tuple in prefdbdebug builds: a bucket key that disagrees with the row
+// path's hashCols exposes either a vector/tuple hash divergence in
+// expr.HashCols or a build row that retained transient window state
+// instead of stable tuple storage (the build-side borrow contract). A
+// no-op in normal builds.
+func debugCheckJoinTable(table map[uint64][]prel.Row, eqL []int) {
+	if !debug.Enabled {
+		return
+	}
+	for key, rows := range table {
+		for _, r := range rows {
+			debug.Assertf(hashCols(r.Tuple, eqL) == key,
+				"hash-join build entry under key %#x re-hashes differently from its tuple (vector/tuple hash divergence or retained transient window)", key)
 		}
 	}
 }
@@ -623,6 +724,19 @@ func (e *Executor) buildBatch(n algebra.Node) (batchIter, *schema.Schema, error)
 
 	case *algebra.Join:
 		return e.buildBatchJoin(x)
+
+	case *algebra.GroupAgg:
+		in, s, err := e.buildBatch(x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		byOrds, aggOrds, out, err := groupAggPlan(x, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		tab := newAggTable(byOrds, aggOrds, x.Aggs, e.gd)
+		return &groupAggBatch{in: in, tab: tab, stats: &e.stats, tick: pollTick{g: e.gd},
+			size: e.batchSize()}, out, nil
 
 	case *algebra.Threshold:
 		in, s, err := e.buildBatch(x.Input)
@@ -747,11 +861,10 @@ func (e *Executor) buildBatchJoin(j *algebra.Join) (batchIter, *schema.Schema, e
 	var base batchIter
 	if len(eqL) > 0 {
 		if e.parallelOK() {
-			it := &parallelHashJoinIter{e: e, left: &batchToRow{in: lBi}, right: &batchToRow{in: rBi},
-				eqL: eqL, eqR: eqR}
+			it := &parallelHashJoinIter{e: e, leftB: lBi, rightB: rBi, eqL: eqL, eqR: eqR}
 			base = &rowBatchSrc{in: it, size: e.batchSize()}
 		} else {
-			base = &hashJoinBatch{left: &batchToRow{in: lBi}, right: rBi, eqL: eqL, eqR: eqR,
+			base = &hashJoinBatch{left: lBi, right: rBi, eqL: eqL, eqR: eqR,
 				agg: e.Agg, stats: &e.stats, g: e.gd, tick: pollTick{g: e.gd}}
 		}
 	} else {

@@ -71,6 +71,8 @@ func TestBatchRowEquivalence(t *testing.T) {
 						mustIdentical(t, want, got, label)
 						rs, gs := ref.Stats(), e.Stats()
 						rs.Batches, gs.Batches = 0, 0
+				rs.JoinProbeBatches, gs.JoinProbeBatches = 0, 0
+						rs.JoinProbeBatches, gs.JoinProbeBatches = 0, 0
 						if rs != gs {
 							t.Fatalf("%s: batch stats %+v, want %+v", label, gs, rs)
 						}
@@ -113,6 +115,7 @@ func TestBatchSizeEquivalence(t *testing.T) {
 				mustIdentical(t, want, got, fmt.Sprintf("batch size %d", size))
 				rs, gs := ref.Stats(), e.Stats()
 				rs.Batches, gs.Batches = 0, 0
+				rs.JoinProbeBatches, gs.JoinProbeBatches = 0, 0
 				if rs != gs {
 					t.Fatalf("batch size %d: stats %+v, want %+v", size, gs, rs)
 				}

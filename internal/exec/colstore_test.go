@@ -175,6 +175,7 @@ func TestColstoreHeapEquivalence(t *testing.T) {
 							refStats.Batches, gotStats.Batches = 0, 0
 							gotStats.SegmentsScanned, gotStats.SegmentsSkipped = 0, 0
 							gotStats.ColBatches, gotStats.RowsMaterialized = 0, 0
+							refStats.JoinProbeBatches, gotStats.JoinProbeBatches = 0, 0
 							if refStats != gotStats {
 								t.Fatalf("%s: colstore stats %+v, want %+v", label, gotStats, refStats)
 							}

@@ -52,6 +52,7 @@ func TestDirectColRowsEquivalence(t *testing.T) {
 						// segment boundary, so their count is its own shape.
 						refStats.Batches, gotStats.Batches = 0, 0
 						gotStats.ColBatches, gotStats.RowsMaterialized = 0, 0
+						refStats.JoinProbeBatches, gotStats.JoinProbeBatches = 0, 0
 						if refStats != gotStats {
 							t.Fatalf("%s: direct stats %+v, want %+v", label, gotStats, refStats)
 						}

@@ -1,0 +1,629 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"prefdb/internal/algebra"
+	"prefdb/internal/catalog"
+	"prefdb/internal/colstore"
+	"prefdb/internal/expr"
+	"prefdb/internal/pref"
+	"prefdb/internal/prel"
+	"prefdb/internal/schema"
+	"prefdb/internal/storage"
+	"prefdb/internal/types"
+)
+
+// directJoinDB extends the colstore fixture with the two shapes the
+// direct-join path adds: a small heap-side "names" table whose string keys
+// hit the items dictionary (and whose int column pairs up for multi-key
+// joins), and a segment-scale "orders" table whose join-key columns are
+// run-heavy — constant for hundreds of consecutive rows — so its store
+// accepts run-length encoding and the RLE-aware hash/eq kernels engage on
+// the probe side.
+func directJoinDB(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	c := colstoreDB(t)
+
+	names := schema.New(
+		schema.Column{Name: "n_name", Kind: types.KindString},
+		schema.Column{Name: "n_grp", Kind: types.KindInt},
+		schema.Column{Name: "rank", Kind: types.KindInt},
+	)
+	nt, err := c.CreateTable("names", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// name-0..name-3 exist in items; name-4/name-5 probe dictionary misses.
+	for i := 0; i < 6; i++ {
+		for g := 0; g < 3; g++ {
+			err := nt.Insert([]types.Value{
+				types.Str(fmt.Sprintf("name-%d", i)),
+				types.Int(int64(g)),
+				types.Int(int64(i*10 + g)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	orders := schema.New(
+		schema.Column{Name: "o_id", Kind: types.KindInt},
+		schema.Column{Name: "o_grp", Kind: types.KindInt},
+		schema.Column{Name: "o_cat", Kind: types.KindString},
+		schema.Column{Name: "o_val", Kind: types.KindFloat},
+	).WithKey("o_id")
+	ot, err := c.CreateTable("orders", orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := colstore.SegmentPages*storage.PageSize + storage.PageSize + 50
+	for i := 0; i < rows; i++ {
+		err := ot.Insert([]types.Value{
+			types.Int(int64(i)),
+			types.Int(int64(i / 512 % 8)),
+			types.Str(fmt.Sprintf("name-%d", i/1024%4)),
+			types.Float(float64(i % 31)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tombstones inside runs: dead slots must be absorbed by the enclosing
+	// run without changing what live readers decode.
+	ot.DeleteWhere(func(tuple []types.Value) bool {
+		id := tuple[0].AsInt()
+		return id%113 == 0 || (id >= 600 && id < 700)
+	})
+	return c
+}
+
+func ordersPref() pref.Preference {
+	return pref.Preference{
+		Name: "bulk", On: []string{"orders"},
+		Cond:  expr.Cmp("o_grp", expr.OpGe, types.Int(2)),
+		Score: pref.Recency("orders.o_id", 8000),
+		Conf:  0.8,
+	}
+}
+
+// directJoinPlans covers the probe/build/key shapes of the direct join:
+// int and string (dictionary-code) probe keys over the plain columnar
+// table, RLE-encoded int and code probe keys over the run-heavy table,
+// multi-key confirmation, a columnar build side, and a residual condition
+// running above the hash match.
+func directJoinPlans() map[string]algebra.Node {
+	return map[string]algebra.Node{
+		"int-probe": &algebra.TopK{K: 12, By: algebra.ByScore, Input: &algebra.Prefer{
+			P: itemsPref(), Input: &algebra.Join{
+				Cond: expr.Bin{Op: expr.OpEq, L: expr.ColRef("cats.c_id"), R: expr.ColRef("items.grp")},
+				Left: &algebra.Scan{Table: "cats"},
+				Right: &algebra.Select{
+					Cond:  expr.Cmp("id", expr.OpLt, types.Int(900)),
+					Input: &algebra.Scan{Table: "items"},
+				},
+			},
+		}},
+		"string-probe": &algebra.TopK{K: 9, By: algebra.ByScore, Input: &algebra.Prefer{
+			P: itemsPref(), Input: &algebra.Join{
+				Cond: expr.Bin{Op: expr.OpEq, L: expr.ColRef("names.n_name"), R: expr.ColRef("items.name")},
+				Left: &algebra.Scan{Table: "names"},
+				Right: &algebra.Select{
+					Cond:  expr.Cmp("id", expr.OpLt, types.Int(2500)),
+					Input: &algebra.Scan{Table: "items"},
+				},
+			},
+		}},
+		"rle-int-probe": &algebra.TopK{K: 15, By: algebra.ByScore, Input: &algebra.Prefer{
+			P: ordersPref(), Input: &algebra.Join{
+				Cond:  expr.Bin{Op: expr.OpEq, L: expr.ColRef("cats.c_id"), R: expr.ColRef("orders.o_grp")},
+				Left:  &algebra.Scan{Table: "cats"},
+				Right: &algebra.Scan{Table: "orders"},
+			},
+		}},
+		"rle-multi-key": &algebra.TopK{K: 11, By: algebra.ByConf, Input: &algebra.Prefer{
+			P: ordersPref(), Input: &algebra.Join{
+				Cond: expr.Bin{Op: expr.OpAnd,
+					L: expr.Bin{Op: expr.OpEq, L: expr.ColRef("names.n_name"), R: expr.ColRef("orders.o_cat")},
+					R: expr.Bin{Op: expr.OpEq, L: expr.ColRef("names.n_grp"), R: expr.ColRef("orders.o_grp")}},
+				Left:  &algebra.Scan{Table: "names"},
+				Right: &algebra.Scan{Table: "orders"},
+			},
+		}},
+		"colstore-build": &algebra.TopK{K: 10, By: algebra.ByScore, Input: &algebra.Prefer{
+			P: itemsPref(), Input: &algebra.Join{
+				Cond: expr.Bin{Op: expr.OpEq, L: expr.ColRef("items.grp"), R: expr.ColRef("cats.c_id")},
+				Left: &algebra.Select{
+					Cond:  expr.Cmp("id", expr.OpLt, types.Int(600)),
+					Input: &algebra.Scan{Table: "items"},
+				},
+				Right: &algebra.Scan{Table: "cats"},
+			},
+		}},
+		"residual": &algebra.Rank{By: algebra.ByScore, Input: &algebra.Prefer{
+			P: itemsPref(), Input: &algebra.Join{
+				Cond: expr.Bin{Op: expr.OpAnd,
+					L: expr.Bin{Op: expr.OpEq, L: expr.ColRef("names.n_name"), R: expr.ColRef("items.name")},
+					R: expr.Bin{Op: expr.OpGt, L: expr.ColRef("names.rank"), R: expr.ColRef("items.grp")}},
+				Left: &algebra.Scan{Table: "names"},
+				Right: &algebra.Select{
+					Cond:  expr.Cmp("id", expr.OpLt, types.Int(400)),
+					Input: &algebra.Scan{Table: "items"},
+				},
+			},
+		}},
+	}
+}
+
+// zeroDiagnostics clears the counters the path-equivalence contract
+// excludes: batch/segment/materialization shape differs across arms by
+// design, everything else must match exactly.
+func zeroDiagnostics(s *Stats) {
+	s.Batches = 0
+	s.SegmentsScanned, s.SegmentsSkipped = 0, 0
+	s.ColBatches, s.RowsMaterialized = 0, 0
+	s.JoinProbeBatches = 0
+}
+
+// TestDirectJoinRowsEquivalence is the acceptance contract of the
+// direct-column hash join: across plan shapes × strategies × workers ×
+// batch sizes, probing (and building) straight off borrowed column
+// vectors — including dictionary-code and run-length-encoded keys — must
+// produce byte-identical rows, order and Stats (modulo diagnostic
+// counters) to both the heap row path (ColstoreOff) and the row-view
+// packing form of the same store (ColstoreRows). Run with -race: the
+// parallel arm doubles as the data-race check for vector-hashed
+// partitioned builds.
+func TestDirectJoinRowsEquivalence(t *testing.T) {
+	cat := directJoinDB(t)
+	for name, plan := range directJoinPlans() {
+		t.Run(name, func(t *testing.T) {
+			for _, strategy := range Strategies() {
+				for _, workers := range []int{1, 4} {
+					for _, size := range []int{3, 1024} {
+						label := fmt.Sprintf("%v workers=%d size=%d", strategy, workers, size)
+
+						ref := New(cat)
+						ref.Workers = workers
+						ref.BatchSize = size
+						ref.Colstore = ColstoreOff
+						want, err := ref.Run(plan, strategy)
+						if err != nil {
+							t.Fatalf("%s heap path: %v", label, err)
+						}
+						refStats := ref.Stats()
+						zeroDiagnostics(&refStats)
+
+						for _, mode := range []ColstoreMode{ColstoreRows, ColstoreOn} {
+							e := New(cat)
+							e.Workers = workers
+							e.BatchSize = size
+							e.Colstore = mode
+							got, err := e.Run(plan, strategy)
+							if err != nil {
+								t.Fatalf("%s %v path: %v", label, mode, err)
+							}
+							mustIdentical(t, want, got, fmt.Sprintf("%s %v", label, mode))
+							gotStats := e.Stats()
+							zeroDiagnostics(&gotStats)
+							if refStats != gotStats {
+								t.Fatalf("%s %v: stats %+v, want %+v", label, mode, gotStats, refStats)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDirectJoinBatchOffEquivalence pins the remaining corner of the
+// contract: the vectorized join (with and without columnar inputs) against
+// the row-at-a-time executor itself.
+func TestDirectJoinBatchOffEquivalence(t *testing.T) {
+	cat := directJoinDB(t)
+	for name, plan := range directJoinPlans() {
+		t.Run(name, func(t *testing.T) {
+			for _, strategy := range Strategies() {
+				ref := New(cat)
+				ref.Batch = BatchOff
+				want, err := ref.Run(plan, strategy)
+				if err != nil {
+					t.Fatalf("%v row path: %v", strategy, err)
+				}
+				e := New(cat)
+				e.Colstore = ColstoreOn
+				got, err := e.Run(plan, strategy)
+				if err != nil {
+					t.Fatalf("%v direct path: %v", strategy, err)
+				}
+				mustIdentical(t, want, got, fmt.Sprintf("%v batch-off-vs-direct", strategy))
+			}
+		})
+	}
+}
+
+// TestDirectJoinLateMaterialization pins the shape claim behind the direct
+// join: on a selective join the probe side stays columnar to the hash
+// lookup, so only probe rows with at least one build match ever cross the
+// materialization boundary. The build side joins on items.id, so of the
+// ~9k probe rows scanned only the handful whose id appears in cats
+// materialize.
+func TestDirectJoinLateMaterialization(t *testing.T) {
+	cat := directJoinDB(t)
+	plan := &algebra.Join{
+		Cond:  expr.Bin{Op: expr.OpEq, L: expr.ColRef("cats.c_id"), R: expr.ColRef("items.id")},
+		Left:  &algebra.Scan{Table: "cats"},
+		Right: &algebra.Scan{Table: "items"},
+	}
+	e := New(cat)
+	e.Colstore = ColstoreOn
+	got, err := e.Run(plan, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("selective join matched nothing; the shape test would pass vacuously")
+	}
+	st := e.Stats()
+	if st.JoinProbeBatches == 0 {
+		t.Fatalf("join consumed no probe batches: %+v", st)
+	}
+	if st.RowsMaterialized == 0 {
+		t.Fatalf("matches never crossed the materialization boundary: %+v", st)
+	}
+	if st.RowsMaterialized*10 > st.RowsScanned {
+		t.Fatalf("late materialization did not engage at the join boundary: materialized %d of %d scanned",
+			st.RowsMaterialized, st.RowsScanned)
+	}
+}
+
+// TestBackgroundCompactionJoinStable pins direct-join results across the
+// compaction lifecycle: a join probing a run-heavy, dictionary-encoded
+// table must return byte-identical rows whether its store was just
+// installed by the background builder, rebuilt lazily, or invalidated by
+// DML in between — the RLE round-trip and the shared-dictionary rebuild
+// sit under the same version-guarded install as the rest of the store.
+func TestBackgroundCompactionJoinStable(t *testing.T) {
+	c := catalog.New()
+	c.SetAutoCompact(true)
+
+	ev := schema.New(
+		schema.Column{Name: "e_id", Kind: types.KindInt},
+		schema.Column{Name: "e_grp", Kind: types.KindInt},
+		schema.Column{Name: "e_tag", Kind: types.KindString},
+	).WithKey("e_id")
+	et, err := c.CreateTable("ev", ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := colstore.SegmentPages*storage.PageSize + storage.PageSize/2
+	for i := 0; i < rows; i++ {
+		err := et.Insert([]types.Value{
+			types.Int(int64(i)),
+			types.Int(int64(i / 256 % 5)),
+			types.Str(fmt.Sprintf("tag-%d", i/512%3)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := schema.New(
+		schema.Column{Name: "k_grp", Kind: types.KindInt},
+		schema.Column{Name: "k_tag", Kind: types.KindString},
+	)
+	kt, err := c.CreateTable("keys", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 5; g += 2 {
+		err := kt.Insert([]types.Value{types.Int(int64(g)), types.Str(fmt.Sprintf("tag-%d", g%3))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plan := &algebra.Join{
+		Cond: expr.Bin{Op: expr.OpAnd,
+			L: expr.Bin{Op: expr.OpEq, L: expr.ColRef("keys.k_grp"), R: expr.ColRef("ev.e_grp")},
+			R: expr.Bin{Op: expr.OpEq, L: expr.ColRef("keys.k_tag"), R: expr.ColRef("ev.e_tag")}},
+		Left:  &algebra.Scan{Table: "keys"},
+		Right: &algebra.Scan{Table: "ev"},
+	}
+	run := func(mode ColstoreMode, label string) *prel.PRelation {
+		e := New(c)
+		e.Colstore = mode
+		got, err := e.Run(plan, Native)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return got
+	}
+
+	want := run(ColstoreOff, "heap reference")
+	if want.Len() == 0 {
+		t.Fatal("join matched nothing; the stability test would pass vacuously")
+	}
+	// Possibly mid-build: the query either races the installer (and falls
+	// back to a lazy, version-checked build) or reads the installed image.
+	mustIdentical(t, want, run(ColstoreOn, "mid-compaction"), "mid-compaction")
+	et.WaitCompaction()
+	mustIdentical(t, want, run(ColstoreOn, "post-compaction"), "post-compaction")
+
+	// DML invalidates the installed image; the next direct read rebuilds
+	// the dictionary and the run encodings from scratch.
+	if n := et.DeleteWhere(func(tu []types.Value) bool { return tu[0].AsInt()%257 == 0 }); n == 0 {
+		t.Fatal("delete removed nothing; version guard untested")
+	}
+	want2 := run(ColstoreOff, "heap reference after DML")
+	if want2.Len() == want.Len() {
+		t.Fatal("DML did not change the join result; rebuild untested")
+	}
+	mustIdentical(t, want2, run(ColstoreOn, "post-DML"), "post-DML")
+	et.WaitCompaction()
+	mustIdentical(t, want2, run(ColstoreOn, "post-DML settled"), "post-DML settled")
+}
+
+// The fuzz catalog is segment-scale (unlike movieDB, whose tables are too
+// small to build a columnar store, so FuzzBatchRowEquivalence's colstore
+// arms run heap-backed there). Built once: executions are read-only.
+var (
+	djFuzzOnce sync.Once
+	djFuzzCat  *catalog.Catalog
+)
+
+func directJoinFuzzDB(t testing.TB) *catalog.Catalog {
+	djFuzzOnce.Do(func() { djFuzzCat = directJoinDB(t) })
+	return djFuzzCat
+}
+
+// djGen generates random join plans over the direct-join fixture: every
+// key shape the direct path distinguishes (int, dictionary string,
+// RLE-int, multi-key with RLE codes), random probe filters, the columnar
+// table on either join side, optional residual conjuncts and a random
+// preference/filter stack on top.
+type djGen struct{ r *rand.Rand }
+
+func (g *djGen) plan() algebra.Node {
+	filt := func(n algebra.Node, col string, max int64) algebra.Node {
+		if g.r.Intn(2) == 0 {
+			return n
+		}
+		return &algebra.Select{
+			Cond:  expr.Cmp(col, expr.OpLt, types.Int(1+g.r.Int63n(max))),
+			Input: n,
+		}
+	}
+	eq := func(l, r string) expr.Node {
+		return expr.Bin{Op: expr.OpEq, L: expr.ColRef(l), R: expr.ColRef(r)}
+	}
+	var core algebra.Node
+	var p pref.Preference
+	switch g.r.Intn(5) {
+	case 0: // int key, items probing
+		core = &algebra.Join{Cond: eq("cats.c_id", "items.grp"),
+			Left: &algebra.Scan{Table: "cats"}, Right: filt(&algebra.Scan{Table: "items"}, "items.id", 9000)}
+		p = itemsPref()
+	case 1: // dictionary-string key
+		core = &algebra.Join{Cond: eq("names.n_name", "items.name"),
+			Left: &algebra.Scan{Table: "names"}, Right: filt(&algebra.Scan{Table: "items"}, "items.id", 9000)}
+		p = itemsPref()
+	case 2: // RLE int key
+		core = &algebra.Join{Cond: eq("cats.c_id", "orders.o_grp"),
+			Left: &algebra.Scan{Table: "cats"}, Right: filt(&algebra.Scan{Table: "orders"}, "orders.o_id", 4400)}
+		p = ordersPref()
+	case 3: // multi-key over RLE codes and ints, optional residual
+		cond := expr.Node(expr.Bin{Op: expr.OpAnd,
+			L: eq("names.n_name", "orders.o_cat"), R: eq("names.n_grp", "orders.o_grp")})
+		if g.r.Intn(2) == 0 {
+			cond = expr.Bin{Op: expr.OpAnd, L: cond,
+				R: expr.Bin{Op: expr.OpGt, L: expr.ColRef("names.rank"), R: expr.ColRef("orders.o_grp")}}
+		}
+		core = &algebra.Join{Cond: cond,
+			Left: &algebra.Scan{Table: "names"}, Right: filt(&algebra.Scan{Table: "orders"}, "orders.o_id", 4400)}
+		p = ordersPref()
+	default: // columnar build side
+		core = &algebra.Join{Cond: eq("items.grp", "cats.c_id"),
+			Left: filt(&algebra.Scan{Table: "items"}, "items.id", 2000), Right: &algebra.Scan{Table: "cats"}}
+		p = itemsPref()
+	}
+	if g.r.Intn(2) == 0 {
+		core = &algebra.Prefer{P: p, Input: core}
+		switch g.r.Intn(3) {
+		case 0:
+			core = &algebra.TopK{K: 1 + g.r.Intn(20), By: algebra.ByScore, Input: core}
+		case 1:
+			core = &algebra.Rank{By: algebra.ByConf, Input: core}
+		}
+	}
+	return core
+}
+
+// FuzzDirectJoinEquivalence is the fuzz arm of the direct-join contract:
+// random join plans over segment-scale columnar tables, cross-checked
+// row path vs vectorized path vs both colstore forms, sequential and
+// parallel, at degenerate and large batch sizes. Run under
+// `-tags prefdbdebug` to layer the join-table canary over the check.
+func FuzzDirectJoinEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 42, 7777, 20120401} {
+		f.Add(seed, uint8(0))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, strategyPick uint8) {
+		cat := directJoinFuzzDB(t)
+		g := &djGen{r: rand.New(rand.NewSource(seed))}
+		plan := g.plan()
+		strategies := Strategies()
+		s := strategies[int(strategyPick)%len(strategies)]
+
+		ref := New(cat)
+		ref.Batch = BatchOff
+		want, err := ref.Run(plan, s)
+		if err != nil {
+			t.Fatalf("row path (%v) failed on\n%s\n%v", s, algebra.Format(plan), err)
+		}
+		refStats := ref.Stats()
+		zeroDiagnostics(&refStats)
+
+		for _, size := range []int{1, 1024} {
+			for _, workers := range []int{1, 4} {
+				for _, mode := range []ColstoreMode{ColstoreOff, ColstoreRows, ColstoreOn} {
+					label := fmt.Sprintf("%v workers=%d size=%d colstore=%v", s, workers, size, mode)
+					e := New(cat)
+					e.Workers = workers
+					e.BatchSize = size
+					e.Colstore = mode
+					got, err := e.Run(plan, s)
+					if err != nil {
+						t.Fatalf("%s failed on\n%s\n%v", label, algebra.Format(plan), err)
+					}
+					if diff := want.Diff(got, 1e-9); diff != "" {
+						t.Fatalf("%s differs on\n%s\n%s", label, algebra.Format(plan), diff)
+					}
+					gotStats := e.Stats()
+					zeroDiagnostics(&gotStats)
+					if gotStats != refStats {
+						t.Fatalf("%s Stats differ on\n%s\nrow:  %v\ngot:  %v",
+							label, algebra.Format(plan), refStats, gotStats)
+					}
+				}
+			}
+		}
+	})
+}
+
+// groupAggPlans builds γ plans directly (the SQL surface has no GROUP BY;
+// grouped aggregation is an algebra-level operator).
+func groupAggPlans() map[string]algebra.Node {
+	return map[string]algebra.Node{
+		"int-group": &algebra.GroupAgg{
+			By: []expr.Col{expr.ColRef("items.grp")},
+			Aggs: []algebra.AggSpec{
+				{Fn: algebra.AggCount, Col: expr.ColRef("items.id"), As: "cnt"},
+				{Fn: algebra.AggSum, Col: expr.ColRef("items.val"), As: "sv"},
+				{Fn: algebra.AggMin, Col: expr.ColRef("items.name"), As: "mn"},
+				{Fn: algebra.AggMax, Col: expr.ColRef("items.id"), As: "mx"},
+			},
+			Input: &algebra.Select{
+				Cond:  expr.Cmp("id", expr.OpLt, types.Int(3000)),
+				Input: &algebra.Scan{Table: "items"},
+			},
+		},
+		"string-group": &algebra.GroupAgg{
+			By: []expr.Col{expr.ColRef("items.name"), expr.ColRef("items.grp")},
+			Aggs: []algebra.AggSpec{
+				{Fn: algebra.AggCount, Col: expr.ColRef("items.val"), As: "cnt"},
+				{Fn: algebra.AggSum, Col: expr.ColRef("items.id"), As: "si"},
+			},
+			Input: &algebra.Scan{Table: "items"},
+		},
+		"rle-group": &algebra.GroupAgg{
+			By: []expr.Col{expr.ColRef("orders.o_cat"), expr.ColRef("orders.o_grp")},
+			Aggs: []algebra.AggSpec{
+				{Fn: algebra.AggCount, Col: expr.ColRef("orders.o_id"), As: "cnt"},
+				{Fn: algebra.AggSum, Col: expr.ColRef("orders.o_val"), As: "sv"},
+				{Fn: algebra.AggMax, Col: expr.ColRef("orders.o_id"), As: "mx"},
+			},
+			Input: &algebra.Scan{Table: "orders"},
+		},
+		"agg-above-join": &algebra.GroupAgg{
+			By: []expr.Col{expr.ColRef("names.n_name")},
+			Aggs: []algebra.AggSpec{
+				{Fn: algebra.AggCount, Col: expr.ColRef("items.id"), As: "cnt"},
+				{Fn: algebra.AggMin, Col: expr.ColRef("items.val"), As: "mv"},
+			},
+			Input: &algebra.Join{
+				Cond: expr.Bin{Op: expr.OpEq, L: expr.ColRef("names.n_name"), R: expr.ColRef("items.name")},
+				Left: &algebra.Scan{Table: "names"},
+				Right: &algebra.Select{
+					Cond:  expr.Cmp("id", expr.OpLt, types.Int(1200)),
+					Input: &algebra.Scan{Table: "items"},
+				},
+			},
+		},
+		// Mixed-type aggregation: tag holds occasional strings in a
+		// declared-INT column (Raw fallback in the store), so sum must skip
+		// non-numerics and min/max must skip incomparable pairs identically
+		// on both paths.
+		"raw-col-aggs": &algebra.GroupAgg{
+			By: []expr.Col{expr.ColRef("items.grp")},
+			Aggs: []algebra.AggSpec{
+				{Fn: algebra.AggSum, Col: expr.ColRef("items.tag"), As: "st"},
+				{Fn: algebra.AggMax, Col: expr.ColRef("items.tag"), As: "mt"},
+			},
+			Input: &algebra.Scan{Table: "items"},
+		},
+	}
+}
+
+// TestGroupAggEquivalence pins the two γ implementations against each
+// other: the row path (BatchOff) is the reference; the vectorized path
+// must match byte-for-byte over heap batches, packed row views
+// (ColstoreRows) and borrowed vectors (ColstoreOn), across workers and
+// batch sizes — group order (first-seen), sum widening, NULL skipping and
+// all.
+func TestGroupAggEquivalence(t *testing.T) {
+	cat := directJoinDB(t)
+	for name, plan := range groupAggPlans() {
+		t.Run(name, func(t *testing.T) {
+			ref := New(cat)
+			ref.Batch = BatchOff
+			want, err := ref.Run(plan, Native)
+			if err != nil {
+				t.Fatalf("row path: %v", err)
+			}
+			refStats := ref.Stats()
+			zeroDiagnostics(&refStats)
+			for _, mode := range []ColstoreMode{ColstoreOff, ColstoreRows, ColstoreOn} {
+				for _, workers := range []int{1, 4} {
+					for _, size := range []int{3, 1024} {
+						label := fmt.Sprintf("%v workers=%d size=%d", mode, workers, size)
+						e := New(cat)
+						e.Workers = workers
+						e.BatchSize = size
+						e.Colstore = mode
+						got, err := e.Run(plan, Native)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						mustIdentical(t, want, got, label)
+						gotStats := e.Stats()
+						zeroDiagnostics(&gotStats)
+						if refStats != gotStats {
+							t.Fatalf("%s: stats %+v, want %+v", label, gotStats, refStats)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGroupAggDirectStaysColumnar pins that γ over a colstore scan
+// aggregates on borrowed vectors: no fallback materialization of the
+// input's rows (only the emitted groups count), while the same plan in
+// rows mode pays the full width.
+func TestGroupAggDirectStaysColumnar(t *testing.T) {
+	cat := directJoinDB(t)
+	plan := groupAggPlans()["rle-group"]
+
+	e := New(cat)
+	e.Colstore = ColstoreOn
+	got, err := e.Run(plan, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("aggregation produced no groups")
+	}
+	st := e.Stats()
+	if st.ColBatches == 0 {
+		t.Fatalf("direct aggregation saw no columnar batches: %+v", st)
+	}
+	if st.RowsMaterialized != 0 {
+		t.Fatalf("direct aggregation materialized %d input rows; want 0", st.RowsMaterialized)
+	}
+}

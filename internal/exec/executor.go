@@ -74,6 +74,13 @@ type Stats struct {
 	// path's shape signature.
 	ColBatches       int
 	RowsMaterialized int
+	// JoinProbeBatches counts probe-side batches processed by the hash
+	// join (morsel-drain batches on the parallel path). A diagnostic
+	// counter excluded from the path equivalence contract, like Batches;
+	// together with RowsMaterialized it shows whether the join probed
+	// direct-on-column (probe batches high, materialized rows only at
+	// match emit) or fell back to tuples.
+	JoinProbeBatches int
 }
 
 // Add accumulates another stats record.
@@ -93,6 +100,7 @@ func (s *Stats) Add(o Stats) {
 	s.SegmentsSkipped += o.SegmentsSkipped
 	s.ColBatches += o.ColBatches
 	s.RowsMaterialized += o.RowsMaterialized
+	s.JoinProbeBatches += o.JoinProbeBatches
 }
 
 // String renders the counters compactly. The scoring counters only appear
@@ -112,6 +120,9 @@ func (s Stats) String() string {
 	}
 	if s.ColBatches != 0 || s.RowsMaterialized != 0 {
 		out += fmt.Sprintf(" colBatches=%d rowsMaterialized=%d", s.ColBatches, s.RowsMaterialized)
+	}
+	if s.JoinProbeBatches != 0 {
+		out += fmt.Sprintf(" joinProbeBatches=%d", s.JoinProbeBatches)
 	}
 	return out
 }
@@ -349,6 +360,18 @@ func (e *Executor) build(n algebra.Node) (iter, *schema.Schema, error) {
 
 	case *algebra.Join:
 		return e.buildJoin(x)
+
+	case *algebra.GroupAgg:
+		in, s, err := e.build(x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		byOrds, aggOrds, out, err := groupAggPlan(x, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		tab := newAggTable(byOrds, aggOrds, x.Aggs, e.gd)
+		return &groupAggIter{in: in, tab: tab, tick: pollTick{g: e.gd}}, out, nil
 
 	case *algebra.Set:
 		return e.buildSet(x)

@@ -201,7 +201,7 @@ func FuzzBatchRowEquivalence(f *testing.F) {
 				t.Fatalf("batch path (%v, size %d) differs on\n%s\n%s", s, size, algebra.Format(plan), diff)
 			}
 			gotStats := eBatch.Stats()
-			gotStats.Batches = 0
+			gotStats.Batches, gotStats.JoinProbeBatches = 0, 0
 			if gotStats != refStats {
 				t.Fatalf("batch path (%v, size %d) Stats differ on\n%s\nrow:   %v\nbatch: %v",
 					s, size, algebra.Format(plan), refStats, gotStats)
@@ -224,7 +224,7 @@ func FuzzBatchRowEquivalence(f *testing.F) {
 				}
 				colStats := eCol.Stats()
 				colStats.Batches, colStats.SegmentsScanned, colStats.SegmentsSkipped = 0, 0, 0
-				colStats.ColBatches, colStats.RowsMaterialized = 0, 0
+				colStats.ColBatches, colStats.RowsMaterialized, colStats.JoinProbeBatches = 0, 0, 0
 				if colStats != refStats {
 					t.Fatalf("colstore=%v path (%v, size %d) Stats differ on\n%s\nrow:      %v\ncolstore: %v",
 						mode, s, size, algebra.Format(plan), refStats, colStats)

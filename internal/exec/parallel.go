@@ -263,8 +263,18 @@ type workerStats struct {
 // within one morsel of a cancellation; wg.Wait always joins every worker,
 // so no goroutine outlives the call.
 func (e *Executor) runMorsels(rows []prel.Row, apply func(morsel []prel.Row, stats *Stats, worker int) []prel.Row) []prel.Row {
+	return e.runMorselsIdx(len(rows), func(lo, hi int, stats *Stats, w int) []prel.Row {
+		return apply(rows[lo:hi:hi], stats, w)
+	})
+}
+
+// runMorselsIdx is runMorsels over an index space: apply sees the global
+// [lo, hi) range instead of a row slice, so callers can address per-row
+// side arrays — the hash-join probe's precomputed key hashes — by global
+// offset alongside the rows themselves.
+func (e *Executor) runMorselsIdx(n int, apply func(lo, hi int, stats *Stats, worker int) []prel.Row) []prel.Row {
 	workers := e.workerCount()
-	morsels := (len(rows) + morselSize - 1) / morselSize
+	morsels := (n + morselSize - 1) / morselSize
 	if workers > morsels {
 		workers = morsels
 	}
@@ -288,8 +298,8 @@ func (e *Executor) runMorsels(rows []prel.Row, apply func(morsel []prel.Row, sta
 					return
 				}
 				lo := m * morselSize
-				hi := min(lo+morselSize, len(rows))
-				outs[m] = apply(rows[lo:hi:hi], &locals[w].Stats, w)
+				hi := min(lo+morselSize, n)
+				outs[m] = apply(lo, hi, &locals[w].Stats, w)
 			}
 		}(w)
 	}
@@ -338,10 +348,18 @@ func parallelFor(workers, n int, fn func(lo, hi int)) {
 // hash ≡ partition (mod P) and inserts its rows in global row order, so
 // every per-key candidate list — and therefore the probe output — is
 // identical to the sequential hashJoinIter's.
+//
+// On the batch path the sides arrive as batch iterators (leftB/rightB)
+// instead of row iterators: the drain then computes each row's key hash
+// with the vector kernel (expr.HashCols) while the window is still live,
+// one batch at a time, and the partitioned build and morsel probe consume
+// the precomputed hashes by global row offset (runMorselsIdx) — the same
+// buckets and the same order, with per-row tuple hashing gone.
 type parallelHashJoinIter struct {
-	e           *Executor
-	left, right iter
-	eqL, eqR    []int
+	e             *Executor
+	left, right   iter      // row-path sources (batch mode off)
+	leftB, rightB batchIter // batch-path sources (set instead of left/right)
+	eqL, eqR      []int
 
 	built bool
 	out   []prel.Row
@@ -361,9 +379,68 @@ func (p *parallelHashJoinIter) next() (prel.Row, bool) {
 	return r, true
 }
 
+// drainSide buffers one join side from its batch source, computing each
+// row's key hash with the vector kernel (expr.HashCols) while the batch's
+// column windows are still live. The buffered rows are the batch's row
+// views — stable, store-owned storage — never the windows themselves (the
+// build-side borrow contract). Batches whose key columns lack typed
+// vectors fall back to tuple hashing; for the probe side, direct[i]
+// records which rows were hashed off the vectors, so the probe can count
+// only their matches as late materialization (fallback columnar rows were
+// already fully touched — and counted — here).
+func (p *parallelHashJoinIter) drainSide(in batchIter, keys []int, probe bool) (rows []prel.Row, hashes []uint64, direct []bool) {
+	stats := &p.e.stats
+	var ks expr.KeyScratch
+	var hbuf []uint64
+	for {
+		b, ok := in.nextBatch()
+		if !ok {
+			break
+		}
+		if probe {
+			stats.JoinProbeBatches++
+		}
+		n := len(b.Sel)
+		if cap(hbuf) < n {
+			hbuf = make([]uint64, n)
+		}
+		hb := hbuf[:n]
+		isDirect := b.Columnar() && expr.HashCols(b.Cols, b.Sel, keys, hb, &ks)
+		if !isDirect {
+			rs := b.Rows()
+			if b.Columnar() {
+				stats.RowsMaterialized += n
+			}
+			for k, j := range b.Sel {
+				hb[k] = hashCols(rs[j], keys)
+			}
+		} else if !probe {
+			// Build rows are retained as the join's buffered state: the
+			// whole side crosses the materialization boundary here.
+			stats.RowsMaterialized += n
+		}
+		hashes = append(hashes, hb...)
+		if probe {
+			for i := 0; i < n; i++ {
+				direct = append(direct, isDirect)
+			}
+		}
+		rows = b.AppendRows(rows)
+	}
+	return rows, hashes, direct
+}
+
 func (p *parallelHashJoinIter) run() {
-	lRows := drainIter(p.left)
-	rRows := drainIter(p.right)
+	var lRows, rRows []prel.Row
+	var lHashes, rHashes []uint64
+	var rDirect []bool
+	if p.leftB != nil {
+		lRows, lHashes, _ = p.drainSide(p.leftB, p.eqL, false)
+		rRows, rHashes, rDirect = p.drainSide(p.rightB, p.eqR, true)
+	} else {
+		lRows = drainIter(p.left)
+		rRows = drainIter(p.right)
+	}
 	if len(lRows) <= morselSize && len(rRows) <= morselSize {
 		seq := newHashJoinIter(&sliceIter{rows: lRows}, &sliceIter{rows: rRows},
 			0, p.eqL, p.eqR, p.e.Agg, &p.e.stats, p.e.gd)
@@ -381,13 +458,17 @@ func (p *parallelHashJoinIter) run() {
 		return
 	}
 
-	// Hash every build row once, morsel-parallel.
-	hashes := make([]uint64, len(lRows))
-	parallelFor(int(parts), len(lRows), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			hashes[i] = hashCols(lRows[i].Tuple, p.eqL)
-		}
-	})
+	// Hash every build row once, morsel-parallel — unless the batch drain
+	// already hashed them off the column vectors.
+	hashes := lHashes
+	if hashes == nil {
+		hashes = make([]uint64, len(lRows))
+		parallelFor(int(parts), len(lRows), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hashes[i] = hashCols(lRows[i].Tuple, p.eqL)
+			}
+		})
+	}
 
 	// Partitioned build: one goroutine per partition, inserting in global
 	// row order; each partition polls the guard amortized so a mid-build
@@ -415,17 +496,33 @@ func (p *parallelHashJoinIter) run() {
 	if p.e.gd.stopped() {
 		return
 	}
+	for _, t := range tables {
+		debugCheckJoinTable(t, p.eqL)
+	}
 
 	// Morsel-parallel probe against the shared read-only tables; ordered
-	// merge restores the sequential probe order.
-	p.out = p.e.runMorsels(rRows, func(morsel []prel.Row, _ *Stats, _ int) []prel.Row {
+	// merge restores the sequential probe order. With precomputed vector
+	// hashes the probe addresses them by global offset, and a direct-hashed
+	// probe row counts as materialized only when it joins.
+	p.out = p.e.runMorselsIdx(len(rRows), func(lo, hi int, stats *Stats, _ int) []prel.Row {
 		var out []prel.Row
-		for _, rRow := range morsel {
-			key := hashCols(rRow.Tuple, p.eqR)
+		for i := lo; i < hi; i++ {
+			rRow := rRows[i]
+			var key uint64
+			if rHashes != nil {
+				key = rHashes[i]
+			} else {
+				key = hashCols(rRow.Tuple, p.eqR)
+			}
+			matched := false
 			for _, lRow := range tables[key%parts][key] {
 				if equalOn(lRow.Tuple, rRow.Tuple, p.eqL, p.eqR) {
 					out = append(out, combineRows(lRow, rRow, p.e.Agg))
+					matched = true
 				}
+			}
+			if matched && rDirect != nil && rDirect[i] {
+				stats.RowsMaterialized++
 			}
 		}
 		return out

@@ -160,9 +160,18 @@ func (m acceptMask) ok(cmp int) bool {
 }
 
 // hasTyped reports whether the window carries any typed vector (a Raw or
-// absent column has none, forcing the tuple fallback).
+// absent column has none, forcing the tuple fallback). Run-length windows
+// count as typed: their kind is known even though the dense slices are
+// absent.
 func hasTyped(cv *types.ColVec) bool {
-	return cv.Ints != nil || cv.Floats != nil || cv.Codes != nil || cv.Bools != nil
+	return cv.Ints != nil || cv.Floats != nil || cv.Codes != nil || cv.Bools != nil || cv.HasRuns()
+}
+
+// sameDict reports whether two dictionary slices are the same snapshot of
+// a shared table dictionary (slice identity). Only then is code-vs-code
+// comparison sound: equal codes iff equal strings.
+func sameDict(a, b []string) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // compareFilterCols builds the direct-column kernel for a comparison:
@@ -264,6 +273,43 @@ func (c *compiler) colLitKernel(col Col, lit Lit, op Op, flip bool) func(cols []
 						out = append(out, i)
 					}
 				}
+			case cv.RunVals != nil:
+				// Run-length int window: the comparison evaluates once per
+				// run; rows merely inherit their run's accept bit.
+				runs := cv.RunVals
+				k, acc := -1, false
+				for _, i := range sel {
+					if nulls != nil && nulls[i] {
+						continue
+					}
+					hint := k
+					if hint < 0 {
+						hint = 0
+					}
+					if nk := cv.RunAt(i, hint); nk != k {
+						k = nk
+						cmp := 0
+						if litInt {
+							switch a := runs[k]; {
+							case a < ri:
+								cmp = -1
+							case a > ri:
+								cmp = 1
+							}
+						} else {
+							switch a := float64(runs[k]); {
+							case a < rf:
+								cmp = -1
+							case a > rf:
+								cmp = 1
+							}
+						}
+						acc = m.ok(cmp)
+					}
+					if acc {
+						out = append(out, i)
+					}
+				}
 			case hasTyped(cv):
 				// Typed non-numeric column: every live value is
 				// incomparable with a numeric literal, so nothing passes.
@@ -277,7 +323,7 @@ func (c *compiler) colLitKernel(col Col, lit Lit, op Op, flip bool) func(cols []
 		rs := v.AsString()
 		return func(cols []types.ColVec, sel []int32, dc *dictCache) ([]int32, bool) {
 			cv := &cols[idx]
-			if cv.Codes == nil {
+			if cv.Codes == nil && cv.RunCodes == nil {
 				if hasTyped(cv) {
 					return sel[:0], true
 				}
@@ -304,9 +350,31 @@ func (c *compiler) colLitKernel(col Col, lit Lit, op Op, flip bool) func(cols []
 				}
 			}
 			accept := dc.accept
-			codes := cv.Codes
 			nulls := cv.Nulls
 			out := sel[:0]
+			if cv.RunCodes != nil {
+				// Run-length code window: one accept-bit lookup per run.
+				runs := cv.RunCodes
+				k, acc := -1, false
+				for _, i := range sel {
+					if nulls != nil && nulls[i] {
+						continue
+					}
+					hint := k
+					if hint < 0 {
+						hint = 0
+					}
+					if nk := cv.RunAt(i, hint); nk != k {
+						k = nk
+						acc = accept[runs[k]]
+					}
+					if acc {
+						out = append(out, i)
+					}
+				}
+				return out, true
+			}
+			codes := cv.Codes
 			for _, i := range sel {
 				if nulls != nil && nulls[i] {
 					continue
@@ -362,8 +430,16 @@ func (c *compiler) colColKernel(l, r Col, op Op) func(cols []types.ColVec, sel [
 		return nil
 	}
 	m := opAccept(op, false)
+	wantEq := op == OpEq
+	codeCmp := op == OpEq || op == OpNe
 	return func(cols []types.ColVec, sel []int32, _ *dictCache) ([]int32, bool) {
 		lv, rv := &cols[li], &cols[ri]
+		if lv.HasRuns() || rv.HasRuns() {
+			// Run-form windows would make the hasTyped fall-through below
+			// reject comparable pairs; column-column predicates over runs
+			// take the tuple path.
+			return nil, false
+		}
 		ln, rn := lv.Nulls, rv.Nulls
 		out := sel[:0]
 		reject := func(i int32) bool {
@@ -412,6 +488,22 @@ func (c *compiler) colColKernel(l, r Col, op Op) func(cols []types.ColVec, sel [
 					cmp = 1
 				}
 				if m.ok(cmp) {
+					out = append(out, i)
+				}
+			}
+		case lv.Codes != nil && rv.Codes != nil && codeCmp && sameDict(lv.Dict, rv.Dict):
+			// Both columns were encoded through the same shared table
+			// dictionary (slice identity), so equal codes iff equal
+			// strings — eq/ne compares codes without touching the
+			// dictionary. Codes are first-sight ordered, not
+			// lexicographic, so ordered comparisons stay on the
+			// string arm below.
+			a, b := lv.Codes, rv.Codes
+			for _, i := range sel {
+				if reject(i) {
+					continue
+				}
+				if (a[i] == b[i]) == wantEq {
 					out = append(out, i)
 				}
 			}
@@ -487,6 +579,28 @@ func colEvalC(idx int) func(cols []types.ColVec, sel []int32, out []float64, nul
 			for k, i := range sel {
 				out[k] = vec[i]
 				null[k] = nulls != nil && nulls[i]
+			}
+		case cv.RunVals != nil:
+			// Run-length int window: convert once per run. NULL slots were
+			// absorbed into the enclosing run, so the flag must come from
+			// the Nulls bitmap, not the run value.
+			runs := cv.RunVals
+			rk := -1
+			var f float64
+			for k, i := range sel {
+				if nulls != nil && nulls[i] {
+					out[k], null[k] = 0, true
+					continue
+				}
+				hint := rk
+				if hint < 0 {
+					hint = 0
+				}
+				if nk := cv.RunAt(i, hint); nk != rk {
+					rk = nk
+					f = float64(runs[rk])
+				}
+				out[k], null[k] = f, false
 			}
 		default:
 			return false

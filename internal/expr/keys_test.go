@@ -1,0 +1,274 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefdb/internal/types"
+)
+
+// keyFixture builds one window per ColVec form — dense ints, floats (with
+// integral values, exercising the numeric hash normalization), dictionary
+// codes, bools, int runs and code runs, all with NULL slots — plus the
+// per-slot types.Value each window is expected to decode to.
+func keyFixture(n int, rng *rand.Rand) (cols []types.ColVec, vals [][]types.Value) {
+	dict := []string{"ash", "birch", "cedar", "oak"}
+
+	addVals := func(cv types.ColVec, vs []types.Value) {
+		cols = append(cols, cv)
+		vals = append(vals, vs)
+	}
+
+	{ // dense ints, every 7th NULL
+		ints := make([]int64, n)
+		nulls := make([]bool, n)
+		vs := make([]types.Value, n)
+		for i := range ints {
+			ints[i] = rng.Int63n(1000) - 500
+			vs[i] = types.Int(ints[i])
+			if i%7 == 3 {
+				nulls[i] = true
+				vs[i] = types.Null()
+			}
+		}
+		addVals(types.ColVec{Ints: ints, Nulls: nulls}, vs)
+	}
+	{ // floats, half integral (must hash like their int)
+		fs := make([]float64, n)
+		vs := make([]types.Value, n)
+		for i := range fs {
+			fs[i] = float64(rng.Intn(50))
+			if i%2 == 0 {
+				fs[i] += 0.25
+			}
+			vs[i] = types.Float(fs[i])
+		}
+		addVals(types.ColVec{Floats: fs}, vs)
+	}
+	{ // dictionary codes
+		codes := make([]int32, n)
+		nulls := make([]bool, n)
+		vs := make([]types.Value, n)
+		for i := range codes {
+			codes[i] = int32(rng.Intn(len(dict)))
+			vs[i] = types.Str(dict[codes[i]])
+			if i%11 == 5 {
+				nulls[i] = true
+				vs[i] = types.Null()
+			}
+		}
+		addVals(types.ColVec{Codes: codes, Dict: dict, Nulls: nulls}, vs)
+	}
+	{ // bools
+		bs := make([]bool, n)
+		vs := make([]types.Value, n)
+		for i := range bs {
+			bs[i] = rng.Intn(2) == 0
+			vs[i] = types.Bool(bs[i])
+		}
+		addVals(types.ColVec{Bools: bs}, vs)
+	}
+	{ // int runs with a nonzero RunBase window
+		base := int32(32)
+		runVals := []int64{-3, 8, 8, 100} // adjacent equal runs stay distinct runs
+		runEnds := []int32{int32(n/4) + base, int32(n / 2) + base, int32(3*n/4) + base, int32(n) + base}
+		nulls := make([]bool, n)
+		vs := make([]types.Value, n)
+		for i := 0; i < n; i++ {
+			abs := base + int32(i)
+			k := 0
+			for runEnds[k] <= abs {
+				k++
+			}
+			vs[i] = types.Int(runVals[k])
+			if i%13 == 2 {
+				nulls[i] = true
+				vs[i] = types.Null()
+			}
+		}
+		addVals(types.ColVec{RunVals: runVals, RunEnds: runEnds, RunBase: base, Nulls: nulls}, vs)
+	}
+	{ // code runs
+		base := int32(5)
+		runCodes := []int32{2, 0, 3}
+		runEnds := []int32{int32(n/3) + base, int32(2*n/3) + base, int32(n) + base}
+		vs := make([]types.Value, n)
+		for i := 0; i < n; i++ {
+			abs := base + int32(i)
+			k := 0
+			for runEnds[k] <= abs {
+				k++
+			}
+			vs[i] = types.Str(dict[runCodes[k]])
+		}
+		addVals(types.ColVec{RunCodes: runCodes, RunEnds: runEnds, RunBase: base, Dict: dict}, vs)
+	}
+	return cols, vals
+}
+
+// refHash is the row path's key fold (exec's hashCols): seed, then per key
+// column h ^= Value.Hash(); h *= prime.
+func refHash(vals [][]types.Value, keys []int, i int32) uint64 {
+	h := keySeed
+	for _, c := range keys {
+		h = (h ^ vals[c][i].Hash()) * keyPrime
+	}
+	return h
+}
+
+// TestHashColsMatchesRowFold pins the tentpole equivalence at the unit
+// level: for every window form (dense, dictionary, run-length, with and
+// without NULLs) and several key combinations, HashCols computes exactly
+// the row path's per-tuple fold — on full and on sparse ascending
+// selection vectors.
+func TestHashColsMatchesRowFold(t *testing.T) {
+	const n = 192
+	rng := rand.New(rand.NewSource(7))
+	cols, vals := keyFixture(n, rng)
+
+	full := make([]int32, n)
+	for i := range full {
+		full[i] = int32(i)
+	}
+	var sparse []int32
+	for i := 0; i < n; i += 3 {
+		sparse = append(sparse, int32(i))
+	}
+
+	keySets := [][]int{
+		{0}, {1}, {2}, {3}, {4}, {5},
+		{0, 2}, {4, 5}, {2, 4}, {0, 1, 2, 3, 4, 5},
+	}
+	for _, keys := range keySets {
+		for name, sel := range map[string][]int32{"full": full, "sparse": sparse} {
+			var ks KeyScratch
+			out := make([]uint64, len(sel))
+			if !HashCols(cols, sel, keys, out, &ks) {
+				t.Fatalf("keys %v %s: HashCols refused typed columns", keys, name)
+			}
+			for j, i := range sel {
+				if want := refHash(vals, keys, i); out[j] != want {
+					t.Fatalf("keys %v %s slot %d: hash %#x, want %#x (value %v)",
+						keys, name, i, out[j], want, vals[keys[0]][i])
+				}
+			}
+			// Second batch over the same windows: the dictionary hash cache
+			// must hit (same identity) and still agree.
+			out2 := make([]uint64, len(sel))
+			if !HashCols(cols, sel, keys, out2, &ks) {
+				t.Fatalf("keys %v %s: second pass refused", keys, name)
+			}
+			for j := range out {
+				if out[j] != out2[j] {
+					t.Fatalf("keys %v %s: cached pass diverged at %d", keys, name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestHashColsRefusesUntyped pins the fallback contract: any untyped key
+// column (a Raw-encoded attribute leaves its ColVec zero) makes HashCols
+// return false rather than guess.
+func TestHashColsRefusesUntyped(t *testing.T) {
+	cols := []types.ColVec{{Ints: []int64{1, 2}}, {}}
+	out := make([]uint64, 2)
+	var ks KeyScratch
+	if HashCols(cols, []int32{0, 1}, []int{0, 1}, out, &ks) {
+		t.Fatal("HashCols accepted an untyped key column")
+	}
+	if !HashCols(cols, []int32{0, 1}, []int{0}, out, &ks) {
+		t.Fatal("HashCols refused a typed key column")
+	}
+	if HasTypedCols(cols, []int{0, 1}) {
+		t.Fatal("HasTypedCols accepted an untyped column")
+	}
+	if !HasTypedCols(cols, []int{0}) {
+		t.Fatal("HasTypedCols refused a typed column")
+	}
+}
+
+// TestColValueDecodesEveryForm pins slot materialization: ColValue must
+// yield the exact value (and kind) for every window form at every slot,
+// and runIdx must agree with the sequential run cursor.
+func TestColValueDecodesEveryForm(t *testing.T) {
+	const n = 96
+	rng := rand.New(rand.NewSource(11))
+	cols, vals := keyFixture(n, rng)
+	for c := range cols {
+		for i := int32(0); i < n; i++ {
+			v, ok := ColValue(&cols[c], i)
+			if !ok {
+				t.Fatalf("col %d slot %d: ColValue not ok", c, i)
+			}
+			if !v.Equal(vals[c][i]) || v.Kind() != vals[c][i].Kind() {
+				t.Fatalf("col %d slot %d: decoded %v (%v), want %v (%v)",
+					c, i, v, v.Kind(), vals[c][i], vals[c][i].Kind())
+			}
+		}
+		if cols[c].HasRuns() {
+			hint := 0
+			for i := int32(0); i < n; i++ {
+				seq := cols[c].RunAt(i, hint)
+				hint = seq
+				if bin := runIdx(&cols[c], i); bin != seq {
+					t.Fatalf("col %d slot %d: runIdx %d, RunAt %d", c, i, bin, seq)
+				}
+			}
+		}
+	}
+	if _, ok := ColValue(&types.ColVec{}, 0); ok {
+		t.Fatal("ColValue decoded an untyped window")
+	}
+}
+
+// TestKeyEqCols pins probe confirmation against Value.Equal semantics:
+// NULL equals NULL, int-int exact, mixed numerics float-wise, and any
+// mismatching column rejects.
+func TestKeyEqCols(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(13))
+	cols, vals := keyFixture(n, rng)
+	keys := []int{0, 2, 4, 5}
+	tupleKeys := []int{0, 1, 2, 3}
+	for i := int32(0); i < n; i++ {
+		tuple := make([]types.Value, len(keys))
+		for k, c := range keys {
+			tuple[k] = vals[c][i]
+		}
+		if !KeyEqCols(cols, i, keys, tuple, tupleKeys) {
+			t.Fatalf("slot %d: exact tuple rejected", i)
+		}
+		// Perturb one key: must reject.
+		tuple[1] = types.Str("no-such-string")
+		if KeyEqCols(cols, i, keys, tuple, tupleKeys) {
+			t.Fatalf("slot %d: perturbed tuple accepted", i)
+		}
+	}
+	// Mixed-numeric equality: an int build key equals the float probe
+	// value 3.0 under Value.Equal; KeyEqCols must agree.
+	fcols := []types.ColVec{{Floats: []float64{3.0}}}
+	if !KeyEqCols(fcols, 0, []int{0}, []types.Value{types.Int(3)}, []int{0}) {
+		t.Fatal("int 3 did not match float 3.0")
+	}
+	if KeyEqCols(fcols, 0, []int{0}, []types.Value{types.Int(4)}, []int{0}) {
+		t.Fatal("int 4 matched float 3.0")
+	}
+}
+
+// TestHashColsIntegralFloatCollides pins the normalization corner: an
+// integral float must land in the same bucket as the equal int, since
+// Value.Equal would accept the pair at confirmation time.
+func TestHashColsIntegralFloatCollides(t *testing.T) {
+	icols := []types.ColVec{{Ints: []int64{42}}}
+	fcols := []types.ColVec{{Floats: []float64{42}}}
+	var ks KeyScratch
+	iout, fout := make([]uint64, 1), make([]uint64, 1)
+	if !HashCols(icols, []int32{0}, []int{0}, iout, &ks) ||
+		!HashCols(fcols, []int32{0}, []int{0}, fout, &ks) {
+		t.Fatal("HashCols refused")
+	}
+	if iout[0] != fout[0] {
+		t.Fatalf("int 42 hashes %#x, float 42.0 hashes %#x; equal values must share a bucket", iout[0], fout[0])
+	}
+}

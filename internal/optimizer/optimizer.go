@@ -90,9 +90,14 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, plan algebra.Node) (alg
 		{!o.DisableJoinReorder && !o.DisablePreferPushdown, o.pushPrefers},
 		{!o.DisableJoinReorder && !o.DisablePreferReorder, o.orderPreferChains},
 		{!o.DisableProjectionPushdown, o.pruneColumns},
+		// Late materialization: probe-side projections under an equi-join
+		// over a columnar-backed scan are pulled above the join, so the
+		// batch path hashes borrowed vectors and materializes only matches.
+		{true, o.pullProbeProjects},
 		// Annotation passes run last so rewrites cannot drop their marks.
 		{!o.DisableScoreCache, o.annotateScoreCache},
 		{true, o.annotateSegments},
+		{true, o.annotateDirectJoin},
 	}
 	for _, p := range passes {
 		if err := step(p.enabled, p.pass); err != nil {

@@ -50,6 +50,130 @@ func (o *Optimizer) annotateSegments(n algebra.Node) algebra.Node {
 	})
 }
 
+// pullProbeProjects rewrites Join(L, C[π(X)]) — C a σ/λ chain — into
+// π'(Join(L, C[X])) when the probe side bottoms out in a scan of a table
+// with a built columnar store. The planner narrows every base relation
+// right above its scan, but a projection on the probe side of a hash join
+// forces the batch path to materialize every probe row just to drop
+// columns; pulling it above the join keeps the probe pipeline columnar to
+// the hash lookup, so only matching rows become row views, and the
+// compensating projection π' (the original join output's column list)
+// then narrows the few joined tuples. The rewrite is declined — plan
+// unchanged — whenever either side fails to re-resolve or any output
+// column reference would be ambiguous against the widened join schema
+// (restoreColumnOrder's bail-out), so it can never change the plan's
+// output schema or semantics.
+func (o *Optimizer) pullProbeProjects(n algebra.Node) algebra.Node {
+	return algebra.Transform(n, func(x algebra.Node) algebra.Node {
+		j, ok := x.(*algebra.Join)
+		if !ok || j.Cond == nil || !hasEquiPair(j.Cond) {
+			return x
+		}
+		right, spliced := spliceProject(j.Right)
+		if !spliced {
+			return x
+		}
+		scan := probeScan(right)
+		if scan == nil {
+			return x
+		}
+		t, err := o.Cat.Table(scan.Table)
+		if err != nil || t.ColStoreIfBuilt() == nil {
+			return x
+		}
+		widened := &algebra.Join{Cond: j.Cond, Left: j.Left, Right: right}
+		return o.restoreColumnOrder(j, widened)
+	})
+}
+
+// spliceProject removes the first projection under a σ/λ chain, exposing
+// its input's full column set to the operators above; ok is false when
+// the chain holds no projection. Chain nodes are copied, never mutated.
+func spliceProject(n algebra.Node) (algebra.Node, bool) {
+	switch x := n.(type) {
+	case *algebra.Select:
+		in, ok := spliceProject(x.Input)
+		if !ok {
+			return n, false
+		}
+		cp := *x
+		cp.Input = in
+		return &cp, true
+	case *algebra.Prefer:
+		in, ok := spliceProject(x.Input)
+		if !ok {
+			return n, false
+		}
+		cp := *x
+		cp.Input = in
+		return &cp, true
+	case *algebra.Project:
+		return x.Input, true
+	default:
+		return n, false
+	}
+}
+
+// annotateDirectJoin marks equi-joins whose probe (right) side bottoms
+// out in a scan of a table with a built, current columnar store: the
+// batch path can then hash and confirm the join keys on borrowed segment
+// vectors, materializing probe row views only for matching tuples
+// (EXPLAIN renders `[direct-join]`). Like annotateSegments the pass never
+// builds a store, so the mark reflects what the very next execution will
+// actually do.
+func (o *Optimizer) annotateDirectJoin(n algebra.Node) algebra.Node {
+	return algebra.Transform(n, func(x algebra.Node) algebra.Node {
+		j, ok := x.(*algebra.Join)
+		if !ok || j.Cond == nil || !hasEquiPair(j.Cond) {
+			return x
+		}
+		scan := probeScan(j.Right)
+		if scan == nil {
+			return x
+		}
+		t, err := o.Cat.Table(scan.Table)
+		if err != nil || t.ColStoreIfBuilt() == nil {
+			return x
+		}
+		cp := *j
+		cp.DirectJoin = true
+		return &cp
+	})
+}
+
+// hasEquiPair reports whether at least one conjunct is a column-column
+// equality — the shape the executor splits into hash-join keys.
+func hasEquiPair(cond expr.Node) bool {
+	for _, c := range expr.Conjuncts(cond) {
+		if b, ok := c.(expr.Bin); ok && b.Op == expr.OpEq {
+			_, lok := b.L.(expr.Col)
+			_, rok := b.R.(expr.Col)
+			if lok && rok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// probeScan unwraps σ/λ chains to the probe side's base scan, if any.
+// A remaining projection in the chain stops the walk: it would force
+// row materialization before the join, so the direct mark would lie.
+func probeScan(n algebra.Node) *algebra.Scan {
+	for {
+		switch x := n.(type) {
+		case *algebra.Scan:
+			return x
+		case *algebra.Select:
+			n = x.Input
+		case *algebra.Prefer:
+			n = x.Input
+		default:
+			return nil
+		}
+	}
+}
+
 // zoneRowBound upper-bounds a filtered scan's output cardinality using
 // zone maps: rows the filter can pass live either in a segment its
 // conjuncts cannot disqualify or in the unsealed heap tail. The bound is
