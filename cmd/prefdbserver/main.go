@@ -99,6 +99,7 @@ func main() {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	// prefdb:fire-and-forget signal watcher lives for the whole process; Serve returning is the join
 	go func() {
 		s := <-sigc
 		fmt.Fprintf(os.Stderr, "prefdbserver: %v: draining connections...\n", s)

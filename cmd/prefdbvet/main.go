@@ -1,19 +1,26 @@
 // Command prefdbvet runs prefdb's custom static-analysis suite over the
-// repository: five analyzers enforcing the executor invariants that the
-// compiler cannot see (atomic counter access, lifecycle ticks in pull
-// loops, selection-vector aliasing, hashed Value equality, %w-wrapped
-// typed errors). See DESIGN.md §11 for the invariant catalog.
+// repository: eight analyzers enforcing the concurrency and executor
+// invariants that the compiler cannot see (atomic counter access,
+// lifecycle ticks in pull loops, flow-sensitive lock discipline,
+// lock-order deadlock cycles, goroutine join points, selection-vector
+// aliasing, hashed Value equality, %w-wrapped typed errors). See
+// DESIGN.md §11 for the invariant catalog and §16 for the lock
+// hierarchy.
 //
 // Usage:
 //
 //	go run ./cmd/prefdbvet ./...
-//	go run ./cmd/prefdbvet -run atomicfield,wrapcheck ./internal/exec
+//	go run ./cmd/prefdbvet -run lockset,lockorder ./internal/wire
+//	go run ./cmd/prefdbvet -json ./... > findings.json
+//	go run ./cmd/prefdbvet -run lockorder -lockgraph - ./...
 //
 // The exit status is 1 when any diagnostic is reported, so the command
-// gates CI exactly like go vet.
+// gates CI exactly like go vet. -list and -lockgraph are informational
+// and exit 0; -json only changes the output encoding, not the status.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +29,23 @@ import (
 	"prefdb/internal/lint"
 )
 
+// finding is the -json wire form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("analyzers", false, "list the available analyzers and exit")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	listOld := flag.Bool("analyzers", false, "alias for -list")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout instead of plain text")
+	lockgraph := flag.String("lockgraph", "", "write the derived lock hierarchy to this file (\"-\" for stdout); requires the lockorder analyzer in the selection")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: prefdbvet [-run names] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: prefdbvet [-run names] [-json] [-lockgraph file] [packages]\n\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -36,7 +55,7 @@ func main() {
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
-	if *list {
+	if *list || *listOld {
 		for _, a := range analyzers {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
@@ -57,6 +76,16 @@ func main() {
 			analyzers = append(analyzers, a)
 		}
 	}
+	if *lockgraph != "" {
+		haveOrder := false
+		for _, a := range analyzers {
+			haveOrder = haveOrder || a.Name == "lockorder"
+		}
+		if !haveOrder {
+			fmt.Fprintf(os.Stderr, "prefdbvet: -lockgraph needs the lockorder analyzer in the -run selection\n")
+			os.Exit(2)
+		}
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -73,8 +102,38 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *lockgraph != "" {
+		hier := lint.LockHierarchy()
+		if *lockgraph == "-" {
+			fmt.Print(hier)
+		} else if err := os.WriteFile(*lockgraph, []byte(hier), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "prefdbvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "prefdbvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

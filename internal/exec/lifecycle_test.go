@@ -241,6 +241,7 @@ func TestCancellationLeaksNoGoroutines(t *testing.T) {
 		if i%2 == 0 {
 			cancel() // pre-canceled: workers must not even start work
 		} else {
+			// prefdb:fire-and-forget bounded delayed cancel; the test polls NumGoroutine back to baseline below
 			go func() {
 				time.Sleep(time.Duration(i) * 100 * time.Microsecond)
 				cancel()

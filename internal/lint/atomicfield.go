@@ -5,7 +5,7 @@ import (
 	"go/types"
 )
 
-// AtomicField enforces the access discipline of annotated shared fields.
+// AtomicField enforces the access discipline of prefdb:atomic fields.
 //
 // Grammar (comment on the struct field declaration):
 //
@@ -15,24 +15,18 @@ import (
 //	    address (never copied or reassigned); if it is a plain integer,
 //	    every access must be an &field argument to a sync/atomic call.
 //
-//	// prefdb:guarded-by <mutexField>
-//	    The field may only be touched inside functions that lock the
-//	    named sibling mutex (flow-insensitive: the enclosing function
-//	    must contain a <mutexField>.Lock() call).
-//
 // Catalog version counters, lifecycle-guard trip state and index probe
-// counters carry these annotations; the analyzer turns a careless direct
+// counters carry this annotation; the analyzer turns a careless direct
 // read — which the race detector only catches if a test happens to race —
-// into a compile-gate failure.
+// into a compile-gate failure. The companion prefdb:guarded-by annotation
+// is enforced path-sensitively by the lockset analyzer.
 var AtomicField = &Analyzer{
 	Name: "atomicfield",
-	Doc:  "fields annotated prefdb:atomic must be accessed via sync/atomic; prefdb:guarded-by fields only under their mutex",
+	Doc:  "fields annotated prefdb:atomic must be accessed via sync/atomic methods or &field in sync/atomic calls",
 	Run:  runAtomicField,
 }
 
 type fieldRule struct {
-	// guard is the sibling mutex field name for guarded-by, "" for atomic.
-	guard string
 	// atomicType is true when the field's type lives in sync/atomic and
 	// method calls are the sanctioned access.
 	atomicType bool
@@ -56,9 +50,6 @@ func runAtomicField(pass *Pass) error {
 				if _, ok := pass.Marker(field.Pos(), "atomic", field.Doc, field.Comment); ok {
 					_, pkgName := namedOf(obj.Type())
 					rules[obj] = fieldRule{atomicType: pkgName == "atomic"}
-				}
-				if mu, ok := pass.Marker(field.Pos(), "guarded-by", field.Doc, field.Comment); ok && mu != "" {
-					rules[obj] = fieldRule{guard: mu}
 				}
 			}
 		}
@@ -93,17 +84,10 @@ func runAtomicField(pass *Pass) error {
 			if rule.atomicType {
 				return // x.f.Load() etc.: method access is the sanctioned form
 			}
-			// Selecting through a plain guarded/atomic field: treat as a read.
+			// Selecting through a plain atomic field: treat as a read.
 		}
 
 		switch {
-		case rule.guard != "":
-			fn := EnclosingFunc(stack)
-			if fn == nil || !callsLock(fn, rule.guard) {
-				pass.Reportf(sel.Pos(),
-					"access to %s.%s outside %s.Lock (annotated prefdb:guarded-by %s)",
-					typeNameOf(selection), sel.Sel.Name, rule.guard, rule.guard)
-			}
 		case rule.atomicType:
 			switch p := parent.(type) {
 			case *ast.SelectorExpr:
@@ -137,34 +121,6 @@ func typeNameOf(selection *types.Selection) string {
 		return "?"
 	}
 	return name
-}
-
-// callsLock reports whether the function body contains a `<mu>.Lock()` or
-// `<mu>.RLock()` call on a selector ending in the named mutex field.
-func callsLock(fn ast.Node, mu string) bool {
-	found := false
-	ast.Inspect(fn, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || found {
-			return !found
-		}
-		method, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (method.Sel.Name != "Lock" && method.Sel.Name != "RLock") {
-			return true
-		}
-		switch recv := method.X.(type) {
-		case *ast.SelectorExpr:
-			if recv.Sel.Name == mu {
-				found = true
-			}
-		case *ast.Ident:
-			if recv.Name == mu {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
 }
 
 // isAtomicCallArg reports whether sel occurs as &sel directly in the

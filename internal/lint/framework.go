@@ -1,9 +1,11 @@
-// Package lint is prefdb's custom static-analysis suite: five analyzers
-// that machine-check the executor invariants PRs 1–4 established by
-// convention (atomic-only counter access, amortized lifecycle ticks in
-// pull loops, no escaping selection-vector/scratch aliases, hashed Value
-// equality, %w-wrapped typed errors). See DESIGN.md §11 for the invariant
-// catalog and the annotation grammar.
+// Package lint is prefdb's custom static-analysis suite: eight analyzers
+// that machine-check the invariants PRs 1–9 established by convention —
+// atomic-only counter access, amortized lifecycle ticks in pull loops, no
+// escaping selection-vector/scratch aliases, hashed Value equality,
+// %w-wrapped typed errors, and (since the lockflow engine) flow-sensitive
+// lock-set discipline, repo-global lock ordering, and goroutine-lifecycle
+// joins. See DESIGN.md §11 for the invariant catalog and §16 for the
+// concurrency annotation grammar and the pinned lock hierarchy.
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis
 // shapes (Analyzer, Pass, Diagnostic, want-comment fixtures) but is built
@@ -32,6 +34,12 @@ type Analyzer struct {
 	// Run reports diagnostics through the pass. The error return is for
 	// analyzer malfunction, not findings.
 	Run func(*Pass) error
+	// Begin, when set, resets analyzer-global state before a Run — for
+	// analyzers that accumulate whole-program facts across packages.
+	Begin func()
+	// Finish, when set, reports whole-program findings after every package
+	// has been analyzed (e.g. lockorder's cross-package cycle detection).
+	Finish func(report func(Diagnostic))
 }
 
 // A Diagnostic is one finding at a source position.
@@ -207,6 +215,11 @@ func IsErrorType(t types.Type) bool {
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Begin != nil {
+			a.Begin()
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -223,6 +236,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					Message:  fmt.Sprintf("analyzer error: %v", err),
 				})
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(func(d Diagnostic) { diags = append(diags, d) })
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -253,7 +271,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // Analyzers returns the full prefdbvet suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{AtomicField, CtxLoop, ScratchAlias, ValueConv, WrapCheck}
+	return []*Analyzer{AtomicField, CtxLoop, GoLeak, LockOrder, LockSet, ScratchAlias, ValueConv, WrapCheck}
 }
 
 // wantRe matches one expectation inside a `// want` comment.

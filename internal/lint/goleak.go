@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak ties every goroutine spawn to a visible join point. A `go`
+// statement passes when the spawned body and its spawning function show
+// one of the accepted lifecycle shapes:
+//
+//   - WaitGroup pairing: the body calls wg.Done() and the spawner calls
+//     wg.Add(...) on the same WaitGroup (the Wait may live elsewhere, as
+//     in server.Serve / server.Close);
+//   - context loop: the body receives from ctx.Done();
+//   - joined channel: the body closes or sends on a channel the spawner
+//     receives from, or the body receives from a channel the spawner
+//     closes or sends on (shutdown signal).
+//
+// Anything else must carry `prefdb:fire-and-forget <reason>` on the go
+// statement — the reason is mandatory, an empty marker is itself a
+// finding. The analyzer is intentionally shallow about where the join
+// runs (same function only), which is exactly the discipline the MVCC
+// and scatter-gather work needs: a spawn whose join is not visible near
+// the spawn site is a review hazard even when some distant code joins it.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement needs a visible join (WaitGroup Add/Done, joined channel, ctx.Done loop) or a reasoned prefdb:fire-and-forget marker",
+	Run:  runGoLeak,
+}
+
+// chanRef identifies a channel or WaitGroup operand for matching between
+// the goroutine body and its spawner.
+type chanRef struct {
+	obj  types.Object
+	name string
+}
+
+func refOf(info *types.Info, e ast.Expr) chanRef {
+	e = ast.Unparen(e)
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		if s := info.Selections[x]; s != nil {
+			obj = s.Obj()
+		} else {
+			obj = info.Uses[x.Sel]
+		}
+	}
+	return chanRef{obj: obj, name: renderExpr(e)}
+}
+
+func refsMatch(a, b chanRef) bool {
+	if a.obj != nil && b.obj != nil {
+		return a.obj == b.obj
+	}
+	return a.name == b.name && a.name != "?"
+}
+
+func anyMatch(as, bs []chanRef) bool {
+	for _, a := range as {
+		for _, b := range bs {
+			if refsMatch(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// joinFacts are the lifecycle-relevant operations found in one region.
+type joinFacts struct {
+	wgDone   []chanRef // wg.Done() calls
+	wgAdd    []chanRef // wg.Add(n) calls
+	ctxDone  bool      // receives from a Context's Done()
+	chanSend []chanRef // ch <- v and close(ch)
+	chanRecv []chanRef // <-ch, range ch
+}
+
+// scanJoin collects join facts under root, skipping one subtree (the
+// goroutine body must not witness itself when scanning the spawner).
+func scanJoin(info *types.Info, root ast.Node, skip ast.Node) *joinFacts {
+	facts := &joinFacts{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == skip {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+					facts.chanSend = append(facts.chanSend, refOf(info, n.Args[0]))
+				}
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tn, _ := NamedType(info, sel.X)
+			switch sel.Sel.Name {
+			case "Done":
+				switch tn {
+				case "WaitGroup":
+					facts.wgDone = append(facts.wgDone, refOf(info, sel.X))
+				case "Context":
+					facts.ctxDone = true
+				}
+			case "Add":
+				if tn == "WaitGroup" {
+					facts.wgAdd = append(facts.wgAdd, refOf(info, sel.X))
+				}
+			}
+		case *ast.SendStmt:
+			facts.chanSend = append(facts.chanSend, refOf(info, n.Chan))
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				facts.chanRecv = append(facts.chanRecv, refOf(info, n.X))
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					facts.chanRecv = append(facts.chanRecv, refOf(info, n.X))
+				}
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+func runGoLeak(pass *Pass) error {
+	// Bodies of same-package named functions, for `go c.method()` spawns.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		if reason, ok := pass.Marker(g.Pos(), "fire-and-forget"); ok {
+			if reason == "" {
+				pass.Reportf(g.Pos(), "prefdb:fire-and-forget needs a reason (why is this goroutine safe without a join?)")
+			}
+			return
+		}
+
+		// Resolve the spawned body. For a named callee, also map its
+		// parameter objects to the call-site arguments so a wg.Done() on a
+		// parameter matches the spawner's wg.Add() on the argument.
+		var body ast.Node
+		var skipInEnclosing ast.Node
+		var paramArgs map[types.Object]ast.Expr
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			body = lit.Body
+			skipInEnclosing = lit
+		} else if callee := calleeOf(pass, g.Call); callee != nil {
+			if fd, ok := decls[callee]; ok {
+				body = fd.Body
+				paramArgs = map[types.Object]ast.Expr{}
+				i := 0
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						if i < len(g.Call.Args) {
+							if obj := pass.TypesInfo.Defs[name]; obj != nil {
+								paramArgs[obj] = g.Call.Args[i]
+							}
+						}
+						i++
+					}
+				}
+			}
+		}
+		enclosing := EnclosingFunc(stack)
+		if body == nil || enclosing == nil {
+			pass.Reportf(g.Pos(), "goroutine spawned here has no visible join (the spawned function's body is outside this package); join it with a WaitGroup or channel, or annotate prefdb:fire-and-forget <reason>")
+			return
+		}
+
+		bodyFacts := scanJoin(pass.TypesInfo, body, nil)
+		if len(paramArgs) > 0 {
+			translate := func(refs []chanRef) []chanRef {
+				out := refs[:0]
+				for _, r := range refs {
+					if arg, ok := paramArgs[r.obj]; ok {
+						r = refOf(pass.TypesInfo, arg)
+					}
+					out = append(out, r)
+				}
+				return out
+			}
+			bodyFacts.wgDone = translate(bodyFacts.wgDone)
+			bodyFacts.chanSend = translate(bodyFacts.chanSend)
+			bodyFacts.chanRecv = translate(bodyFacts.chanRecv)
+		}
+		spawnerFacts := scanJoin(pass.TypesInfo, enclosing, skipInEnclosing)
+
+		switch {
+		case anyMatch(bodyFacts.wgDone, spawnerFacts.wgAdd):
+			return // Add in the spawner, Done in the body
+		case bodyFacts.ctxDone:
+			return // context-cancelled loop
+		case anyMatch(bodyFacts.chanSend, spawnerFacts.chanRecv):
+			return // body signals a channel the spawner joins on
+		case anyMatch(bodyFacts.chanRecv, spawnerFacts.chanSend):
+			return // body waits on a shutdown channel the spawner owns
+		}
+		pass.Reportf(g.Pos(), "goroutine spawned here has no visible join: pair WaitGroup Add/Done, join a channel, or loop on ctx.Done(); if it is deliberately unsupervised, annotate prefdb:fire-and-forget <reason>")
+	})
+	return nil
+}

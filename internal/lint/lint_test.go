@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -16,6 +17,9 @@ var analyzerFixtures = []struct {
 }{
 	{AtomicField, "atomicfield"},
 	{CtxLoop, "ctxloop"},
+	{GoLeak, "goleak"},
+	{LockOrder, "lockorder"},
+	{LockSet, "lockset"},
 	{ScratchAlias, "scratchalias"},
 	{ValueConv, "valueconv"},
 	{WrapCheck, "wrapcheck"},
@@ -161,6 +165,40 @@ func TestPrefdbvetRepoClean(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
+
+	// The derived lock hierarchy must match the block pinned in
+	// DESIGN.md §16 (CI re-checks the same invariant with -lockgraph).
+	raw, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	pinned := designLockBlock(t, string(raw))
+	if got := LockHierarchy(); got != pinned {
+		t.Errorf("lock hierarchy drifted from DESIGN.md §16:\n--- DESIGN.md\n%s\n--- derived\n%s\nrun `go run ./cmd/prefdbvet -run lockorder -lockgraph - ./...` and update the block", pinned, got)
+	}
+}
+
+// designLockBlock extracts the pinned hierarchy between the
+// lock-hierarchy markers in DESIGN.md, dropping the code-fence lines.
+func designLockBlock(t *testing.T, md string) string {
+	t.Helper()
+	_, rest, ok := strings.Cut(md, "<!-- lock-hierarchy:begin -->")
+	if !ok {
+		t.Fatal("DESIGN.md: lock-hierarchy:begin marker missing")
+	}
+	block, _, ok := strings.Cut(rest, "<!-- lock-hierarchy:end -->")
+	if !ok {
+		t.Fatal("DESIGN.md: lock-hierarchy:end marker missing")
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(block, "\n") {
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "```") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // TestLoaderTestVariants pins the loader's package-selection rules: test

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the repo-global lock acquisition graph from the
+// lock-set facts: an edge A -> B is recorded whenever mutex B is acquired
+// while A is held — directly inside one function, or transitively when a
+// function holding A calls (through any chain of statically resolvable
+// calls) a function that acquires B. Locks are identified by their global
+// name (pkg.Type.field for struct mutexes, pkg.var for package-level
+// ones); function-local mutexes cannot participate in cross-goroutine
+// deadlocks and are excluded.
+//
+// Cycles in the graph are potential deadlocks (two goroutines acquiring
+// the same pair of locks in opposite orders) and are reported at the
+// earliest edge of the cycle. The acyclic remainder is the derived lock
+// hierarchy, exposed via LockHierarchy for `prefdbvet -lockgraph` and
+// pinned in DESIGN.md §16; CI diffs the two so the graph cannot drift
+// silently.
+var LockOrder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "repo-global lock acquisition graph: cycles are potential deadlocks; the derived hierarchy is pinned in DESIGN.md §16",
+	Run:    runLockOrder,
+	Begin:  beginLockOrder,
+	Finish: finishLockOrder,
+}
+
+// loCall is one call site annotated with the locks held around it.
+type loCall struct {
+	held   []string
+	callee string
+	pos    token.Position
+}
+
+// loFunc collects one function's direct acquisitions and outgoing calls.
+type loFunc struct {
+	acquires map[string]bool
+	calls    []loCall
+}
+
+// lockOrderState is the whole-program fact base, reset per Run.
+var lockOrderState struct {
+	funcs map[string]*loFunc
+	// edges maps A -> B to the earliest position where B was acquired (or
+	// a B-acquiring callee was entered) under A.
+	edges map[[2]string]token.Position
+	hier  string
+}
+
+func beginLockOrder() {
+	lockOrderState.funcs = map[string]*loFunc{}
+	lockOrderState.edges = map[[2]string]token.Position{}
+	lockOrderState.hier = ""
+}
+
+func loFuncFor(key string) *loFunc {
+	fn := lockOrderState.funcs[key]
+	if fn == nil {
+		fn = &loFunc{acquires: map[string]bool{}}
+		lockOrderState.funcs[key] = fn
+	}
+	return fn
+}
+
+// earlierPos orders positions by file, then line/column.
+func earlierPos(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func addEdge(from, to string, pos token.Position) {
+	key := [2]string{from, to}
+	if prev, ok := lockOrderState.edges[key]; !ok || earlierPos(pos, prev) {
+		lockOrderState.edges[key] = pos
+	}
+}
+
+// runLockOrder collects per-package facts through a quiet flow run.
+func runLockOrder(pass *Pass) error {
+	if lockOrderState.funcs == nil {
+		beginLockOrder()
+	}
+	sums := buildLockSummaries(pass, nil)
+	fl := &lockFlow{
+		pass:      pass,
+		summaries: sums,
+		quiet:     true,
+		pkgName:   pass.Pkg.Name(),
+		hooks: &lockHooks{
+			acquire: func(funcKey string, held []heldInfo, canon string, pos token.Pos) {
+				if canon == "" {
+					return
+				}
+				loFuncFor(funcKey).acquires[canon] = true
+				p := pass.Fset.Position(pos)
+				for _, h := range held {
+					if h.canon != "" && h.canon != canon {
+						addEdge(h.canon, canon, p)
+					}
+				}
+			},
+			call: func(funcKey string, held []heldInfo, callee *types.Func, pos token.Pos) {
+				var names []string
+				for _, h := range held {
+					if h.canon != "" {
+						names = append(names, h.canon)
+					}
+				}
+				loFuncFor(funcKey).calls = append(loFuncFor(funcKey).calls, loCall{
+					held:   names,
+					callee: funcObjKey(callee),
+					pos:    pass.Fset.Position(pos),
+				})
+			},
+		},
+	}
+	fl.analyzePackage()
+	return nil
+}
+
+// finishLockOrder closes the call graph, derives the acquisition edges,
+// reports cycles, and renders the hierarchy.
+func finishLockOrder(report func(Diagnostic)) {
+	funcs := lockOrderState.funcs
+
+	// Transitive closure: total[f] = every lock f may acquire, directly or
+	// through any chain of statically resolved calls.
+	total := map[string]map[string]bool{}
+	for k, fn := range funcs {
+		set := map[string]bool{}
+		for l := range fn.acquires {
+			set[l] = true
+		}
+		total[k] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for k, fn := range funcs {
+			for _, c := range fn.calls {
+				for l := range total[c.callee] {
+					if !total[k][l] {
+						total[k][l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Call edges: holding A across a call that (transitively) acquires B.
+	for _, fn := range funcs {
+		for _, c := range fn.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for l := range total[c.callee] {
+				for _, h := range c.held {
+					if h != l {
+						addEdge(h, l, c.pos)
+					}
+				}
+			}
+		}
+	}
+
+	// Adjacency over the edge set only: locks with no ordering edge do not
+	// constrain anything and stay out of the hierarchy.
+	succ := map[string][]string{}
+	nodeSet := map[string]bool{}
+	for e := range lockOrderState.edges {
+		succ[e[0]] = append(succ[e[0]], e[1])
+		nodeSet[e[0]], nodeSet[e[1]] = true, true
+	}
+	var nodes []string
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, s := range succ {
+		sort.Strings(s)
+	}
+
+	cyclic := reportCycles(nodes, succ, report)
+	lockOrderState.hier = renderHierarchy(nodes, cyclic)
+}
+
+// reportCycles finds strongly connected components (Tarjan) and reports
+// each non-trivial one as a potential deadlock; it returns the set of
+// locks on a cycle.
+func reportCycles(nodes []string, succ map[string][]string, report func(Diagnostic)) map[string]bool {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	cyclic := map[string]bool{}
+	for _, scc := range sccs {
+		selfLoop := false
+		if len(scc) == 1 {
+			for _, w := range succ[scc[0]] {
+				if w == scc[0] {
+					selfLoop = true
+				}
+			}
+		}
+		if len(scc) < 2 && !selfLoop {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			cyclic[n] = true
+			inSCC[n] = true
+		}
+		// Anchor the diagnostic at the earliest edge inside the component.
+		var pos token.Position
+		havePos := false
+		for e, p := range lockOrderState.edges {
+			if inSCC[e[0]] && inSCC[e[1]] && (!havePos || earlierPos(p, pos)) {
+				pos = p
+				havePos = true
+			}
+		}
+		report(Diagnostic{
+			Pos:      pos,
+			Analyzer: "lockorder",
+			Message: fmt.Sprintf("lock-order cycle (potential deadlock): %s -> %s; acquire these locks in one fixed order and pin it in DESIGN.md §16",
+				strings.Join(scc, " -> "), scc[0]),
+		})
+	}
+	return cyclic
+}
+
+// renderHierarchy prints the derived acquisition order: every lock that
+// participates in an ordering edge, then the sorted edge list. The format
+// is committed verbatim in DESIGN.md §16 and diffed by CI.
+func renderHierarchy(nodes []string, cyclic map[string]bool) string {
+	var b strings.Builder
+	b.WriteString("# prefdb lock hierarchy — derived by `prefdbvet -lockgraph` (lockorder analyzer).\n")
+	b.WriteString("# \"edge A -> B\" means B is acquired while A is held somewhere in the tree;\n")
+	b.WriteString("# acquire locks top-down along the arrows. Locks with no ordering edge are\n")
+	b.WriteString("# unconstrained and omitted. A new edge that closes a cycle is a deadlock\n")
+	b.WriteString("# candidate and fails the lockorder analyzer.\n")
+	for _, n := range nodes {
+		if cyclic[n] {
+			fmt.Fprintf(&b, "lock %s  # ON A CYCLE\n", n)
+		} else {
+			fmt.Fprintf(&b, "lock %s\n", n)
+		}
+	}
+	var edges [][2]string
+	for e := range lockOrderState.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "edge %s -> %s\n", e[0], e[1])
+	}
+	return b.String()
+}
+
+// LockHierarchy returns the lock acquisition hierarchy derived by the
+// most recent Run that included the lockorder analyzer.
+func LockHierarchy() string { return lockOrderState.hier }

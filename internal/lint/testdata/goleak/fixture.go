@@ -1,0 +1,109 @@
+// Fixture for the goleak analyzer: every go statement must show a join
+// (WaitGroup Add/Done, joined channel, ctx.Done loop) or carry a
+// reasoned prefdb:fire-and-forget marker.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// goodWaitGroup pairs Add in the spawner with Done in the body.
+func goodWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// goodContext loops on ctx.Done inside the body.
+func goodContext(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// goodJoinedChannel: the body closes a channel the spawner receives from.
+func goodJoinedChannel() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// goodSignalChannel: the body waits on a shutdown channel the spawner
+// owns and closes.
+func goodSignalChannel() {
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+		work()
+	}()
+	close(stop)
+}
+
+// goodNamed joins a named function through a WaitGroup passed by pointer.
+func goodNamed(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go worker(wg)
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// badOrphan spawns with no join of any kind.
+func badOrphan() {
+	go func() { // want `no visible join`
+		work()
+	}()
+}
+
+// badNamed spawns a named function that never joins.
+func badNamed() {
+	go orphanWork() // want `no visible join`
+}
+
+func orphanWork() { work() }
+
+// badDoneWithoutAdd: the body calls Done on a WaitGroup the spawner never
+// Adds to — the pairing is asymmetric, so it does not count as a join.
+func badDoneWithoutAdd(wg *sync.WaitGroup) {
+	go func() { // want `no visible join`
+		defer wg.Done()
+		work()
+	}()
+}
+
+// annotated documents a deliberate detached goroutine with a reason.
+func annotated() {
+	// prefdb:fire-and-forget best-effort cache warm, bounded by process exit
+	go func() {
+		work()
+	}()
+}
+
+// badEmptyReason: the marker without a reason is itself a finding.
+func badEmptyReason() {
+	// prefdb:fire-and-forget
+	go func() { // want `needs a reason`
+		work()
+	}()
+}
+
+func work() {}

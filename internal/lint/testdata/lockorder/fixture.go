@@ -1,0 +1,40 @@
+// Fixture for the lockorder analyzer: a 2-cycle between A.mu and B.mu
+// (acquired in opposite orders by two functions) must be reported as a
+// potential deadlock, while the acyclic A.mu -> C.mu edge — reached
+// through a helper call — is hierarchy, not a finding.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+
+// ab nests B.mu under A.mu.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle \(potential deadlock\): lockorder.A.mu -> lockorder.B.mu -> lockorder.A.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ba nests A.mu under B.mu — the reversed edge that closes the cycle.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockC acquires C.mu; viaCall holds A.mu across the call, so the edge
+// A.mu -> C.mu is found transitively through the call graph.
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func viaCall(a *A, c *C) {
+	a.mu.Lock()
+	lockC(c)
+	a.mu.Unlock()
+}

@@ -182,6 +182,7 @@ func (c *conn) admitSession(qid uint64) bool {
 // c.mu (writeFrame has its own lock).
 func (c *conn) writeErrorLocked(qid uint64) {
 	limit := c.srv.opts.SessionConcurrent
+	// prefdb:fire-and-forget best-effort error reply; writeFrame serializes on its own lock and conn teardown closes the socket under it
 	go c.writeError(qid, fmt.Errorf("server: session statement limit reached (%d concurrent); wait for a statement to finish", limit))
 }
 

@@ -203,7 +203,11 @@ func materialize(rows engine.Rows) (*engine.Result, error) {
 	return &engine.Result{Rel: rel, Stats: rows.Stats(), Plan: rows.Plan(), Message: rows.Message()}, nil
 }
 
-// stream sends a statement request and opens its result stream.
+// stream sends a statement request and opens its result stream. On
+// success it returns holding c.mu: the connection carries one statement
+// at a time, and the lock is released by clientRows.finish when the
+// stream ends (End/Error frame, failure, or Close).
+// prefdb:lock-escapes mu
 func (c *Client) stream(ctx context.Context, build func(qid uint64, s engine.Settings) []byte, frame FrameType, opts []engine.QueryOption) (engine.Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -296,6 +300,7 @@ type clientRows struct {
 }
 
 // Next advances to the next row; false at exhaustion or failure.
+// prefdb:locked c.mu
 func (r *clientRows) Next() bool {
 	if r.done {
 		return false
@@ -318,6 +323,7 @@ func (r *clientRows) Next() bool {
 
 // readFrame pulls the next result frame, returning false when the stream
 // ended (End, Error or transport failure).
+// prefdb:locked c.mu
 func (r *clientRows) readFrame() bool {
 	t, payload, err := ReadFrame(r.c.conn)
 	if err != nil {
@@ -359,6 +365,7 @@ func (r *clientRows) readFrame() bool {
 }
 
 // fail terminates the stream with err.
+// prefdb:locked c.mu
 func (r *clientRows) fail(err error) {
 	r.err = err
 	r.done = true
@@ -366,7 +373,9 @@ func (r *clientRows) fail(err error) {
 }
 
 // finish releases the statement slot and stops the cancel watcher; it is
-// idempotent.
+// idempotent. This is the delayed unlock for the c.mu that stream()
+// returned holding.
+// prefdb:locked c.mu
 func (r *clientRows) finish() {
 	if r.finished {
 		return
@@ -406,6 +415,7 @@ func (r *clientRows) Err() error { return r.err }
 // Close abandons the stream: it cancels the server-side statement if rows
 // remain and drains the connection to the terminating frame so the next
 // statement starts on a clean boundary. Idempotent; returns Err.
+// prefdb:locked c.mu
 func (r *clientRows) Close() error {
 	if r.done {
 		return r.err
